@@ -1,0 +1,114 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppm::bench {
+
+long
+envLong(const char *name, long fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    return std::strtol(value, nullptr, 10);
+}
+
+std::size_t
+traceLength()
+{
+    return static_cast<std::size_t>(envLong("PPM_TRACE_LEN", 100000));
+}
+
+std::uint64_t
+warmupInstructions()
+{
+    return static_cast<std::uint64_t>(envLong("PPM_WARMUP", 15000));
+}
+
+std::uint64_t
+masterSeed()
+{
+    return static_cast<std::uint64_t>(envLong("PPM_SEED", 1));
+}
+
+BenchWorkload::BenchWorkload(const std::string &benchmark)
+    : train_(dspace::paperTrainSpace()), test_(dspace::paperTestSpace())
+{
+    const auto &profile = trace::profileByName(benchmark);
+    name_ = profile.name;
+    trace_ = std::make_unique<trace::Trace>(
+        trace::generateTrace(profile, traceLength()));
+    sim::SimOptions opts;
+    opts.warmup_instructions = warmupInstructions();
+    oracle_ = std::make_unique<core::SimulatorOracle>(train_, *trace_,
+                                                      opts);
+}
+
+core::ModelBuilder
+BenchWorkload::makeBuilder()
+{
+    return core::ModelBuilder(train_, test_, *oracle_);
+}
+
+rbf::TrainerOptions
+benchTrainerOptions()
+{
+    rbf::TrainerOptions opts;
+    opts.p_min_grid = {1, 2};
+    opts.alpha_grid = {4, 6, 8, 10, 12};
+    return opts;
+}
+
+core::BuildOptions
+singleSizeBuild(int size, bool linear_baseline)
+{
+    core::BuildOptions opts;
+    opts.sample_sizes = {size};
+    opts.target_mean_error = 0.0; // always run the full size
+    opts.seed = masterSeed();
+    opts.trainer = benchTrainerOptions();
+    opts.fit_linear_baseline = linear_baseline;
+    return opts;
+}
+
+CsvWriter::CsvWriter(const std::string &name,
+                     const std::vector<std::string> &columns)
+    : out_(name + ".csv"), columns_(columns.size())
+{
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        out_ << (i ? "," : "") << columns[i];
+    out_ << "\n";
+}
+
+void
+CsvWriter::row(const std::vector<double> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%g", values[i]);
+        out_ << (i ? "," : "") << buf;
+    }
+    out_ << "\n";
+    out_.flush();
+}
+
+void
+CsvWriter::rowStrings(const std::vector<std::string> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out_ << (i ? "," : "") << values[i];
+    out_ << "\n";
+    out_.flush();
+}
+
+void
+header(const std::string &title)
+{
+    std::printf("\n%s\n", title.c_str());
+    for (std::size_t i = 0; i < title.size(); ++i)
+        std::printf("=");
+    std::printf("\n");
+}
+
+} // namespace ppm::bench

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared utilities for the reproduction benches: oracle construction,
+ * environment-tunable knobs, CSV output and table printing.
+ *
+ * Environment knobs (all optional):
+ *   PPM_TRACE_LEN    trace length per benchmark (default 100000)
+ *   PPM_WARMUP       warmup instructions per simulation (default 15000)
+ *   PPM_SEED         master seed for sampling (default 1)
+ */
+
+#ifndef PPM_BENCH_BENCH_UTIL_HH
+#define PPM_BENCH_BENCH_UTIL_HH
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_builder.hh"
+#include "core/oracle.hh"
+#include "dspace/paper_space.hh"
+#include "rbf/trainer.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+namespace ppm::bench {
+
+/** Integer environment variable with a default. */
+long envLong(const char *name, long fallback);
+
+/** Trace length used by all benches (PPM_TRACE_LEN). */
+std::size_t traceLength();
+
+/** Warmup instructions per simulation (PPM_WARMUP). */
+std::uint64_t warmupInstructions();
+
+/** Master sampling seed (PPM_SEED). */
+std::uint64_t masterSeed();
+
+/**
+ * A benchmark's trace plus a memoizing simulator oracle over the
+ * paper's training space.
+ */
+class BenchWorkload
+{
+  public:
+    /** @param benchmark Short or full SPEC name ("mcf"). */
+    explicit BenchWorkload(const std::string &benchmark);
+
+    core::SimulatorOracle &oracle() { return *oracle_; }
+    const std::string &name() const { return name_; }
+    const dspace::DesignSpace &trainSpace() const { return train_; }
+    const dspace::DesignSpace &testSpace() const { return test_; }
+
+    /** A ModelBuilder wired to this workload. */
+    core::ModelBuilder makeBuilder();
+
+  private:
+    std::string name_;
+    dspace::DesignSpace train_;
+    dspace::DesignSpace test_;
+    std::unique_ptr<trace::Trace> trace_;
+    std::unique_ptr<core::SimulatorOracle> oracle_;
+};
+
+/**
+ * The trainer grid used by all benches: p_min in {1, 2}, alpha in
+ * {4, 6, 8, 10, 12} — covering the paper's reported optima (Table 4)
+ * at tolerable single-core cost.
+ */
+rbf::TrainerOptions benchTrainerOptions();
+
+/** Standard build options for a single sample size. */
+core::BuildOptions singleSizeBuild(int size, bool linear_baseline);
+
+/** Simple CSV writer: one file per bench, rows appended. */
+class CsvWriter
+{
+  public:
+    /** Opens "<name>.csv" in the working directory. */
+    explicit CsvWriter(const std::string &name,
+                       const std::vector<std::string> &columns);
+
+    /** Append one row (values rendered with %g formatting). */
+    void row(const std::vector<double> &values);
+
+    /** Append one row of preformatted strings. */
+    void rowStrings(const std::vector<std::string> &values);
+
+  private:
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+/** Print an underlined section header to stdout. */
+void header(const std::string &title);
+
+} // namespace ppm::bench
+
+#endif // PPM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension: model-class comparison beyond the paper's Fig 7. At a
+ * fixed sample size, compares the RBF network against the linear
+ * baseline AND an inverse-distance-weighted kNN interpolator, for
+ * three benchmarks — separating what RBF accuracy owes to locality
+ * alone from what the fitted basis expansion adds.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/knn_model.hh"
+#include "linreg/model_selection.hh"
+#include "sampling/sample_gen.hh"
+
+using namespace ppm;
+
+int
+main()
+{
+    bench::header("Extension: RBF vs linear vs kNN (sample size 90)");
+    bench::CsvWriter csv("ext_baselines",
+                         {"benchmark", "model", "mean_err", "max_err"});
+
+    std::printf("%-12s %10s %10s %10s\n", "benchmark", "model",
+                "mean err%", "max err%");
+    for (const std::string name : {"mcf", "vortex", "twolf"}) {
+        bench::BenchWorkload wl(name);
+        math::Rng rng(bench::masterSeed());
+        auto sample = sampling::bestLatinHypercube(
+            wl.trainSpace(), 90, 50, rng).points;
+        auto ys = wl.oracle().cpiAll(sample);
+        auto test_pts =
+            sampling::randomTestSet(wl.testSpace(), 50, rng);
+        auto test_ys = wl.oracle().cpiAll(test_pts);
+
+        std::vector<dspace::UnitPoint> unit;
+        for (const auto &p : sample)
+            unit.push_back(wl.trainSpace().toUnit(p));
+
+        auto report = [&](const char *label,
+                          const core::PerformanceModel &model) {
+            const auto err =
+                core::evaluateModel(model, test_pts, test_ys);
+            std::printf("%-12s %10s %10.2f %10.2f\n",
+                        wl.name().c_str(), label, err.mean_error,
+                        err.max_error);
+            csv.rowStrings({wl.name(), label,
+                            std::to_string(err.mean_error),
+                            std::to_string(err.max_error)});
+        };
+
+        const auto trained = rbf::trainRbfModel(
+            unit, ys, bench::benchTrainerOptions());
+        report("rbf", core::RbfPerformanceModel(wl.trainSpace(),
+                                                trained));
+        report("linear",
+               core::LinearPerformanceModel(
+                   wl.trainSpace(),
+                   linreg::fitSelectedLinearModel(unit, ys)));
+        for (int k : {1, 3, 5, 9}) {
+            char label[16];
+            std::snprintf(label, sizeof label, "knn-%d", k);
+            report(label, core::KnnPerformanceModel(wl.trainSpace(),
+                                                    sample, ys, k));
+        }
+    }
+    std::printf("\n(The gap between kNN and the RBF network is what "
+                "the fitted basis expansion buys.)\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: predicted vs simulated CPI trends for
+ * vortex across instruction cache sizes and L2 latencies — the
+ * two-factor interaction test of Sec 4.1. Solid paper lines =
+ * simulation; dashed = model. Here both are printed side by side.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/explorer.hh"
+
+using namespace ppm;
+
+int
+main()
+{
+    bench::header("Figure 6: vortex trend prediction "
+                  "(il1_size x L2_lat)");
+    bench::BenchWorkload wl("vortex");
+    auto builder = wl.makeBuilder();
+    auto result = builder.build(bench::singleSizeBuild(200, false));
+    const auto &model = *result.model;
+
+    const int il1_levels[] = {8, 16, 32, 64};
+    const int l2_lats[] = {5, 8, 11, 14, 17, 20};
+
+    bench::CsvWriter csv("fig6_trend_prediction",
+                         {"il1_size_kb", "l2_lat", "simulated",
+                          "predicted"});
+
+    double worst_gap = 0, mean_gap = 0;
+    int cells = 0;
+    for (int il1 : il1_levels) {
+        std::printf("\nil1=%dKB: %8s", il1, "L2lat");
+        for (int lat : l2_lats)
+            std::printf(" %7d", lat);
+        std::printf("\n          %8s", "sim");
+        std::vector<double> sims, preds;
+        for (int lat : l2_lats) {
+            dspace::DesignPoint pt{14, 64, 0.5, 0.5, 1024,
+                                   static_cast<double>(lat),
+                                   static_cast<double>(il1), 32, 2};
+            sims.push_back(wl.oracle().cpi(pt));
+            preds.push_back(model.predict(pt));
+            std::printf(" %7.3f", sims.back());
+        }
+        std::printf("\n          %8s", "model");
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            std::printf(" %7.3f", preds[i]);
+            const double gap = 100.0 *
+                std::fabs(preds[i] - sims[i]) / sims[i];
+            worst_gap = std::max(worst_gap, gap);
+            mean_gap += gap;
+            ++cells;
+            csv.row({static_cast<double>(il1),
+                     static_cast<double>(l2_lats[i]), sims[i],
+                     preds[i]});
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\ntrend agreement: mean |gap| %.1f%%, worst %.1f%% "
+                "(paper: close mirror except the low-il1 / high-L2lat "
+                "corner)\n",
+                mean_gap / cells, worst_gap);
+    std::printf("model: %s\n", model.describe().c_str());
+    return 0;
+}

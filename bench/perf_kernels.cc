@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Throughput microbenchmarks (google-benchmark) for the library's
+ * computational kernels: trace generation, cycle-level simulation,
+ * LHS + discrepancy scoring, regression-tree construction, RBF
+ * training and prediction. These quantify the central cost claim of
+ * the paper: once built, model evaluation is orders of magnitude
+ * cheaper than simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "core/evaluator.hh"
+#include "sampling/discrepancy.hh"
+#include "sampling/sample_gen.hh"
+#include "sim/simulator.hh"
+#include "tree/regression_tree.hh"
+
+using namespace ppm;
+
+namespace {
+
+const trace::Trace &
+sharedTrace()
+{
+    static const trace::Trace trace =
+        trace::generateTrace(trace::profileByName("twolf"), 50000);
+    return trace;
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto &profile = trace::profileByName("vortex");
+    const auto n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto t = trace::generateTrace(profile, n);
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10000)->Arg(50000);
+
+void
+BM_CycleSimulation(benchmark::State &state)
+{
+    const auto &t = sharedTrace();
+    sim::ProcessorConfig cfg;
+    sim::SimOptions opts;
+    opts.warmup_instructions = 0;
+    for (auto _ : state) {
+        auto stats = sim::simulate(t, cfg, opts);
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_CycleSimulation);
+
+void
+BM_LhsBestOf(benchmark::State &state)
+{
+    auto space = dspace::paperTrainSpace();
+    math::Rng rng(1);
+    const int size = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto s = sampling::bestLatinHypercube(space, size, 10, rng);
+        benchmark::DoNotOptimize(s.discrepancy);
+    }
+}
+BENCHMARK(BM_LhsBestOf)->Arg(50)->Arg(200);
+
+void
+BM_Discrepancy(benchmark::State &state)
+{
+    auto space = dspace::paperTrainSpace();
+    math::Rng rng(2);
+    auto sample = sampling::latinHypercubeSample(
+        space, static_cast<int>(state.range(0)), rng);
+    auto unit = sampling::toUnitSample(space, sample);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sampling::centeredL2Discrepancy(unit));
+    }
+}
+BENCHMARK(BM_Discrepancy)->Arg(90)->Arg(300);
+
+struct FitData
+{
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+};
+
+FitData
+fitData(std::size_t n)
+{
+    math::Rng rng(3);
+    FitData d;
+    for (std::size_t i = 0; i < n; ++i) {
+        dspace::UnitPoint x(9);
+        for (auto &v : x)
+            v = rng.uniform();
+        d.xs.push_back(x);
+        d.ys.push_back(1.0 + x[0] + 2.0 * x[1] * x[4] +
+                       1.0 / (0.2 + x[5]));
+    }
+    return d;
+}
+
+void
+BM_TreeConstruction(benchmark::State &state)
+{
+    const auto d = fitData(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        tree::RegressionTree t(d.xs, d.ys, 1);
+        benchmark::DoNotOptimize(t.nodeCount());
+    }
+}
+BENCHMARK(BM_TreeConstruction)->Arg(90)->Arg(200);
+
+void
+BM_RbfTraining(benchmark::State &state)
+{
+    const auto d = fitData(static_cast<std::size_t>(state.range(0)));
+    auto opts = bench::benchTrainerOptions();
+    for (auto _ : state) {
+        auto model = rbf::trainRbfModel(d.xs, d.ys, opts);
+        benchmark::DoNotOptimize(model.num_centers);
+    }
+}
+BENCHMARK(BM_RbfTraining)->Unit(benchmark::kMillisecond)
+    ->Arg(50)->Arg(90);
+
+void
+BM_RbfPrediction(benchmark::State &state)
+{
+    const auto d = fitData(120);
+    auto model = rbf::trainRbfModel(d.xs, d.ys,
+                                    bench::benchTrainerOptions());
+    math::Rng rng(4);
+    dspace::UnitPoint x(9);
+    for (auto &v : x)
+        v = rng.uniform();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.network.predict(x));
+        x[0] = rng.uniform();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RbfPrediction);
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Reproduces paper Table 4: the best method parameters (p_min, alpha)
+ * and resulting number of RBF centers for mcf at each sample size —
+ * plus the DESIGN.md ablations at n=90: model-selection criterion
+ * (AIC_c vs BIC vs GCV) and center-selection strategy (tree-ordered
+ * vs greedy forward).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sampling/sample_gen.hh"
+#include "tree/regression_tree.hh"
+
+using namespace ppm;
+
+namespace {
+
+/** Train one RBF variant directly and report accuracy on a test set. */
+struct VariantResult
+{
+    std::size_t centers = 0;
+    double mean_err = 0;
+};
+
+VariantResult
+trainVariant(bench::BenchWorkload &wl,
+             const std::vector<dspace::DesignPoint> &sample,
+             const std::vector<double> &ys,
+             const std::vector<dspace::DesignPoint> &test_pts,
+             const std::vector<double> &test_ys,
+             rbf::Criterion criterion, rbf::Selection selection)
+{
+    std::vector<dspace::UnitPoint> unit;
+    for (const auto &p : sample)
+        unit.push_back(wl.trainSpace().toUnit(p));
+    auto opts = bench::benchTrainerOptions();
+    opts.criterion = criterion;
+    opts.selection = selection;
+    auto trained = rbf::trainRbfModel(unit, ys, opts);
+    core::RbfPerformanceModel model(wl.trainSpace(), trained);
+    auto report = core::evaluateModel(model, test_pts, test_ys);
+    return {trained.num_centers, report.mean_error};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Table 4: RBF model diagnostics for mcf");
+    bench::BenchWorkload wl("mcf");
+    auto builder = wl.makeBuilder();
+
+    bench::CsvWriter csv("table4_diagnostics",
+                         {"sample_size", "p_min", "alpha", "centers",
+                          "mean_err"});
+
+    std::printf("%-12s", "Sample size");
+    const int sizes[] = {30, 50, 70, 90, 110, 200};
+    for (int s : sizes)
+        std::printf(" %6d", s);
+    std::printf("\n");
+
+    std::vector<core::SizeResult> rows;
+    {
+        auto opts = bench::singleSizeBuild(0, false);
+        opts.sample_sizes.assign(std::begin(sizes), std::end(sizes));
+        auto result = builder.build(opts);
+        rows = result.history;
+    }
+
+    auto print_row = [&](const char *label, auto getter) {
+        std::printf("%-12s", label);
+        for (const auto &h : rows)
+            std::printf(" %6g", static_cast<double>(getter(h)));
+        std::printf("\n");
+    };
+    print_row("p_min", [](const core::SizeResult &h) { return h.p_min; });
+    print_row("alpha", [](const core::SizeResult &h) { return h.alpha; });
+    print_row("centers",
+              [](const core::SizeResult &h) { return h.num_centers; });
+    print_row("mean err %", [](const core::SizeResult &h) {
+        return h.rbf_error.mean_error;
+    });
+    for (const auto &h : rows)
+        csv.row({static_cast<double>(h.sample_size),
+                 static_cast<double>(h.p_min), h.alpha,
+                 static_cast<double>(h.num_centers),
+                 h.rbf_error.mean_error});
+
+    // --- ablations at n = 90 -------------------------------------
+    bench::header("Ablations at n=90 (criterion / selection strategy)");
+    math::Rng rng(bench::masterSeed() + 17);
+    auto sample = sampling::bestLatinHypercube(wl.trainSpace(), 90, 50,
+                                               rng).points;
+    auto ys = wl.oracle().cpiAll(sample);
+    auto test_pts = sampling::randomTestSet(wl.testSpace(), 50, rng);
+    auto test_ys = wl.oracle().cpiAll(test_pts);
+
+    bench::CsvWriter acsv("table4_ablations",
+                          {"variant", "centers", "mean_err"});
+    std::printf("%-28s %8s %10s\n", "variant", "centers", "mean err %");
+    const struct
+    {
+        const char *name;
+        rbf::Criterion criterion;
+        rbf::Selection selection;
+    } variants[] = {
+        {"AICc + tree-ordered", rbf::Criterion::AICc,
+         rbf::Selection::TreeOrdered},
+        {"BIC + tree-ordered", rbf::Criterion::BIC,
+         rbf::Selection::TreeOrdered},
+        {"GCV + tree-ordered", rbf::Criterion::GCV,
+         rbf::Selection::TreeOrdered},
+        {"AICc + greedy-forward", rbf::Criterion::AICc,
+         rbf::Selection::GreedyForward},
+    };
+    for (const auto &v : variants) {
+        const auto res = trainVariant(wl, sample, ys, test_pts, test_ys,
+                                      v.criterion, v.selection);
+        std::printf("%-28s %8zu %10.2f\n", v.name, res.centers,
+                    res.mean_err);
+        acsv.rowStrings({v.name, std::to_string(res.centers),
+                         std::to_string(res.mean_err)});
+    }
+
+    std::printf("\nsimulations: %lu (memoized hits: %lu)\n",
+                static_cast<unsigned long>(wl.oracle().evaluations()),
+                static_cast<unsigned long>(wl.oracle().cacheHits()));
+    return 0;
+}

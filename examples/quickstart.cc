@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: build a predictive CPI model for one benchmark and use
+ * it in place of the simulator.
+ *
+ * The complete BuildRBFmodel flow in ~40 lines:
+ *   1. pick a workload (synthetic SPEC CPU2000-like trace);
+ *   2. wrap the cycle-level simulator in a memoizing oracle;
+ *   3. run the model builder (LHS sampling -> simulation -> RBF fit
+ *      -> validation, growing the sample until accurate);
+ *   4. predict CPI at a configuration that was never simulated.
+ */
+
+#include <cstdio>
+
+#include "core/model_builder.hh"
+#include "dspace/paper_space.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+int
+main()
+{
+    using namespace ppm;
+
+    // 1. Workload: 100K instructions of a twolf-like program.
+    const auto trace =
+        trace::generateTrace(trace::profileByName("twolf"), 100000);
+
+    // 2. The design space (paper Table 1) and the simulation oracle.
+    const auto train_space = dspace::paperTrainSpace();
+    const auto test_space = dspace::paperTestSpace();
+    core::SimulatorOracle oracle(train_space, trace);
+
+    // 3. Build the model: grow the sample until the mean validation
+    //    error drops below 5%.
+    core::ModelBuilder builder(train_space, test_space, oracle);
+    core::BuildOptions options;
+    options.sample_sizes = {30, 50, 90};
+    options.target_mean_error = 5.0;
+    const core::BuildResult result = builder.build(options);
+
+    std::printf("built %s from %lu simulations\n",
+                result.model->describe().c_str(),
+                static_cast<unsigned long>(result.simulations));
+    for (const auto &step : result.history) {
+        std::printf("  n=%3d: mean err %.2f%%, max %.2f%%\n",
+                    step.sample_size, step.rbf_error.mean_error,
+                    step.rbf_error.max_error);
+    }
+
+    // 4. Predict CPI at an unexplored design point and compare with
+    //    one detailed simulation of the same point.
+    const dspace::DesignPoint config{
+        12,   // pipeline depth
+        96,   // ROB entries
+        0.5,  // IQ size as fraction of ROB
+        0.5,  // LSQ size as fraction of ROB
+        2048, // L2 size (KB)
+        10,   // L2 latency
+        32,   // IL1 size (KB)
+        32,   // DL1 size (KB)
+        2,    // DL1 latency
+    };
+    const double predicted = result.model->predict(config);
+    const double simulated = oracle.cpi(config);
+    std::printf("\nconfig [%s]\n",
+                train_space.describe(config).c_str());
+    std::printf("predicted CPI %.3f vs simulated %.3f (%.1f%% off)\n",
+                predicted, simulated,
+                100.0 * (predicted - simulated) / simulated);
+    return 0;
+}

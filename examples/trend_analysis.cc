@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Microarchitectural trend analysis (paper Sec 4.1): use the model to
+ * answer "what happens to CPI as I scale parameter X, and how does it
+ * interact with parameter Y?" — and cross-check selected points
+ * against the simulator.
+ *
+ * Scenario: for an mcf-like (memory-bound) workload, study
+ *   (a) the L2-size scaling curve,
+ *   (b) the ROB-size scaling curve, and
+ *   (c) the interaction between L2 size and L2 latency.
+ */
+
+#include <cstdio>
+
+#include "core/explorer.hh"
+#include "core/model_builder.hh"
+#include "dspace/paper_space.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+int
+main()
+{
+    using namespace ppm;
+
+    const auto trace =
+        trace::generateTrace(trace::profileByName("mcf"), 100000);
+    const auto space = dspace::paperTrainSpace();
+    core::SimulatorOracle oracle(space, trace);
+
+    core::ModelBuilder builder(space, dspace::paperTestSpace(), oracle);
+    core::BuildOptions opts;
+    opts.sample_sizes = {90};
+    opts.target_mean_error = 0.0;
+    const auto result = builder.build(opts);
+    const auto &model = *result.model;
+    std::printf("model: %s (mean validation error %.2f%%)\n\n",
+                model.describe().c_str(),
+                result.final().rbf_error.mean_error);
+
+    const dspace::DesignPoint base{14, 64, 0.5, 0.5, 1024, 12,
+                                   32, 32, 2};
+
+    // (a) L2 capacity scaling: where does adding cache stop paying?
+    std::printf("L2 size scaling (model vs simulator):\n");
+    std::printf("%10s %10s %10s\n", "L2 (KB)", "model", "sim");
+    const auto l2_sweep =
+        core::sweepParameter(model, space, base, dspace::kL2SizeKB, 6);
+    for (const auto &c : l2_sweep) {
+        std::printf("%10.0f %10.3f %10.3f\n",
+                    c.point[dspace::kL2SizeKB], c.predicted_cpi,
+                    oracle.cpi(c.point));
+    }
+
+    // (b) ROB scaling: how much window does a pointer chaser need?
+    std::printf("\nROB size scaling (model only):\n");
+    std::printf("%10s %10s\n", "ROB", "model");
+    const auto rob_sweep =
+        core::sweepParameter(model, space, base, dspace::kRobSize, 6);
+    for (const auto &c : rob_sweep)
+        std::printf("%10.0f %10.3f\n", c.point[dspace::kRobSize],
+                    c.predicted_cpi);
+
+    // (c) Interaction: latency hurts more when the cache is small.
+    std::printf("\nL2 size x L2 latency interaction (model CPI):\n");
+    std::printf("%10s", "L2\\lat");
+    for (int lat : {5, 10, 15, 20})
+        std::printf(" %8d", lat);
+    std::printf("\n");
+    const auto grid = core::sweepInteraction(
+        model, space, base, dspace::kL2SizeKB, dspace::kL2Lat, 4, 4);
+    for (int i = 0; i < 4; ++i) {
+        std::printf("%9.0fK", grid[static_cast<std::size_t>(i) * 4]
+                                  .point[dspace::kL2SizeKB]);
+        for (int j = 0; j < 4; ++j)
+            std::printf(" %8.3f",
+                        grid[static_cast<std::size_t>(i) * 4 +
+                             static_cast<std::size_t>(j)]
+                            .predicted_cpi);
+        std::printf("\n");
+    }
+
+    std::printf("\nsimulations: %lu, model evaluations: %zu\n",
+                static_cast<unsigned long>(oracle.evaluations()),
+                l2_sweep.size() + rob_sweep.size() + grid.size());
+    return 0;
+}

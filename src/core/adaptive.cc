@@ -1,0 +1,185 @@
+#include "core/adaptive.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sampling/sample_gen.hh"
+#include "tree/regression_tree.hh"
+
+namespace ppm::core {
+
+namespace {
+
+/** Squared Euclidean distance between unit points. */
+double
+distSq(const dspace::UnitPoint &a, const dspace::UnitPoint &b)
+{
+    double acc = 0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        const double d = a[k] - b[k];
+        acc += d * d;
+    }
+    return acc;
+}
+
+/** Distance from @p x to the nearest point of @p points. */
+double
+nearestDistance(const dspace::UnitPoint &x,
+                const std::vector<dspace::UnitPoint> &points)
+{
+    double best = 1e300;
+    for (const auto &p : points)
+        best = std::min(best, distSq(x, p));
+    return std::sqrt(best);
+}
+
+/**
+ * Response-variability proxy at @p x: the standard deviation of the
+ * training responses inside the tree leaf containing x. High values
+ * mark regions the tree could not yet explain.
+ */
+class LeafStd
+{
+  public:
+    LeafStd(const std::vector<dspace::UnitPoint> &xs,
+            const std::vector<double> &ys)
+        : tree_(xs, ys, 8), xs_(xs), ys_(ys)
+    {
+    }
+
+    double
+    operator()(const dspace::UnitPoint &x) const
+    {
+        // The tree predicts the leaf mean; estimate the leaf spread
+        // by the absolute deviation of the nearest training point's
+        // response from that mean (cheap and monotone in the true
+        // leaf variance).
+        const double mean = tree_.predict(x);
+        double best = 1e300;
+        double nearest_y = mean;
+        for (std::size_t i = 0; i < xs_.size(); ++i) {
+            const double d = distSq(x, xs_[i]);
+            if (d < best) {
+                best = d;
+                nearest_y = ys_[i];
+            }
+        }
+        return std::fabs(nearest_y - mean);
+    }
+
+  private:
+    tree::RegressionTree tree_;
+    const std::vector<dspace::UnitPoint> &xs_;
+    const std::vector<double> &ys_;
+};
+
+} // namespace
+
+AdaptiveSampler::AdaptiveSampler(dspace::DesignSpace train_space,
+                                 dspace::DesignSpace test_space,
+                                 CpiOracle &oracle)
+    : train_space_(std::move(train_space)),
+      test_space_(std::move(test_space)), oracle_(oracle)
+{
+}
+
+AdaptiveResult
+AdaptiveSampler::build(const AdaptiveOptions &options)
+{
+    if (options.initial_size < 10)
+        throw std::invalid_argument("AdaptiveOptions: initial_size");
+    if (options.batch_size < 1)
+        throw std::invalid_argument("AdaptiveOptions: batch_size");
+    if (options.max_samples < options.initial_size)
+        throw std::invalid_argument("AdaptiveOptions: max_samples");
+    if (options.num_test_points < 1)
+        throw std::invalid_argument("AdaptiveOptions: test points");
+
+    const std::uint64_t evals_before = oracle_.evaluations();
+    math::Rng rng(options.seed);
+
+    // Fixed validation set.
+    math::Rng test_rng = rng.split();
+    const auto test_points = sampling::randomTestSet(
+        test_space_, options.num_test_points, test_rng);
+    const auto test_ys = oracle_.cpiAll(test_points);
+
+    AdaptiveResult result;
+
+    // Round 0: discrepancy-optimized LHS seed sample.
+    result.sample = sampling::bestLatinHypercube(
+        train_space_, options.initial_size, options.lhs_candidates,
+        rng).points;
+    std::vector<double> ys = oracle_.cpiAll(result.sample);
+    std::vector<dspace::UnitPoint> unit;
+    for (const auto &p : result.sample)
+        unit.push_back(train_space_.toUnit(p));
+
+    auto refit_and_record = [&]() {
+        rbf::TrainedRbf trained =
+            rbf::trainRbfModel(unit, ys, options.trainer);
+        result.model = std::make_shared<RbfPerformanceModel>(
+            train_space_, std::move(trained));
+        AdaptiveRound round;
+        round.samples = static_cast<int>(result.sample.size());
+        round.error =
+            evaluateModel(*result.model, test_points, test_ys);
+        result.history.push_back(round);
+        return result.history.back().error.mean_error;
+    };
+
+    double err = refit_and_record();
+
+    while (err > options.target_mean_error &&
+           static_cast<int>(result.sample.size()) <
+               options.max_samples) {
+        const int want = std::min(
+            options.batch_size,
+            options.max_samples -
+                static_cast<int>(result.sample.size()));
+
+        // Score a candidate pool: far from the sample, in
+        // high-variance regions.
+        const LeafStd leaf_std(unit, ys);
+        std::vector<dspace::DesignPoint> batch_raw;
+        std::vector<dspace::UnitPoint> batch_unit;
+        std::vector<dspace::UnitPoint> occupied = unit;
+
+        for (int picked = 0; picked < want; ++picked) {
+            double best_score = -1;
+            dspace::DesignPoint best_raw;
+            dspace::UnitPoint best_unit;
+            for (int c = 0; c < options.candidate_pool; ++c) {
+                auto raw = train_space_.randomPoint(rng);
+                auto u = train_space_.toUnit(raw);
+                const double d = nearestDistance(u, occupied);
+                const double score =
+                    std::pow(d, options.distance_weight) *
+                    (1.0 + leaf_std(u));
+                if (score > best_score) {
+                    best_score = score;
+                    best_raw = std::move(raw);
+                    best_unit = std::move(u);
+                }
+            }
+            occupied.push_back(best_unit);
+            batch_raw.push_back(std::move(best_raw));
+            batch_unit.push_back(std::move(best_unit));
+        }
+
+        // Simulate the batch and refit.
+        for (std::size_t i = 0; i < batch_raw.size(); ++i) {
+            ys.push_back(oracle_.cpi(batch_raw[i]));
+            result.sample.push_back(batch_raw[i]);
+            unit.push_back(batch_unit[i]);
+        }
+        err = refit_and_record();
+    }
+
+    result.converged = err <= options.target_mean_error;
+    result.simulations = oracle_.evaluations() - evals_before;
+    return result;
+}
+
+} // namespace ppm::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Adaptive sampling — the paper's proposed cost reduction (Sec 6):
+ * "the simulation costs involved in constructing predictive models
+ * can potentially be reduced using adaptive sampling, wherein sets of
+ * design points to simulate are selected based on data from initial
+ * small samples."
+ *
+ * The sampler starts from a small discrepancy-optimized LHS sample
+ * and then adds batches of infill points chosen to be (a) far from
+ * every already-simulated point and (b) in regions where the current
+ * regression tree sees high response variance — i.e. where the model
+ * is likely still wrong. After each batch the RBF model is refit and
+ * validated; the loop stops at the error target or the budget.
+ */
+
+#ifndef PPM_CORE_ADAPTIVE_HH
+#define PPM_CORE_ADAPTIVE_HH
+
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "core/oracle.hh"
+#include "core/predictor.hh"
+#include "dspace/design_space.hh"
+#include "rbf/trainer.hh"
+
+namespace ppm::core {
+
+/** Options for AdaptiveSampler::build(). */
+struct AdaptiveOptions
+{
+    /** Initial LHS sample size. */
+    int initial_size = 30;
+    /** Points added per refinement round. */
+    int batch_size = 10;
+    /** Total simulation budget for training points. */
+    int max_samples = 200;
+    /** Stop when mean validation error (%) falls below this. */
+    double target_mean_error = 3.0;
+    /** Random candidate pool scored per round. */
+    int candidate_pool = 2000;
+    /**
+     * Exponent balancing exploration vs exploitation in the infill
+     * score  d_min^w * (1 + leaf_std); w = 1 is balanced, larger w
+     * approaches pure space filling.
+     */
+    double distance_weight = 1.0;
+    /** Independent random validation points. */
+    int num_test_points = 50;
+    /** Candidate LHS samples for the initial design. */
+    int lhs_candidates = 50;
+    /** Seed for all sampling. */
+    std::uint64_t seed = 1;
+    /** RBF hyperparameter grid. */
+    rbf::TrainerOptions trainer;
+};
+
+/** One refinement round's outcome. */
+struct AdaptiveRound
+{
+    /** Training points accumulated after this round. */
+    int samples = 0;
+    /** Validation accuracy of the refit model. */
+    ErrorReport error;
+};
+
+/** Result of adaptive model construction. */
+struct AdaptiveResult
+{
+    std::shared_ptr<RbfPerformanceModel> model;
+    std::vector<AdaptiveRound> history;
+    /** All training points used (in simulation order). */
+    std::vector<dspace::DesignPoint> sample;
+    std::uint64_t simulations = 0;
+    bool converged = false;
+};
+
+/**
+ * Drives adaptive model construction against an oracle.
+ */
+class AdaptiveSampler
+{
+  public:
+    /**
+     * @param train_space Space to sample (copied; temporaries safe).
+     * @param test_space Space for validation points (copied).
+     * @param oracle Response source (held by reference).
+     */
+    AdaptiveSampler(dspace::DesignSpace train_space,
+                    dspace::DesignSpace test_space, CpiOracle &oracle);
+
+    /** Run the loop. @throws std::invalid_argument on bad options. */
+    AdaptiveResult build(const AdaptiveOptions &options = {});
+
+  private:
+    dspace::DesignSpace train_space_;
+    dspace::DesignSpace test_space_;
+    CpiOracle &oracle_;
+};
+
+} // namespace ppm::core
+
+#endif // PPM_CORE_ADAPTIVE_HH

@@ -1,0 +1,31 @@
+#include "core/evaluator.hh"
+
+#include <cassert>
+
+#include "math/stats.hh"
+
+namespace ppm::core {
+
+ErrorReport
+evaluatePredictions(const std::vector<double> &actual,
+                    const std::vector<double> &predicted)
+{
+    assert(actual.size() == predicted.size());
+    ErrorReport report;
+    report.errors = math::absolutePercentageErrors(actual, predicted);
+    const math::Summary s = math::summarize(report.errors);
+    report.mean_error = s.mean;
+    report.std_error = s.stddev;
+    report.max_error = s.max;
+    return report;
+}
+
+ErrorReport
+evaluateModel(const PerformanceModel &model,
+              const std::vector<dspace::DesignPoint> &points,
+              const std::vector<double> &actual)
+{
+    return evaluatePredictions(actual, model.predictAll(points));
+}
+
+} // namespace ppm::core

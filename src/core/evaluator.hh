@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Model validation on independent test data (paper Sec 3): mean,
+ * standard deviation and maximum of the absolute percentage error in
+ * predicted CPI — the metrics of Table 3 and Figures 4 and 7.
+ */
+
+#ifndef PPM_CORE_EVALUATOR_HH
+#define PPM_CORE_EVALUATOR_HH
+
+#include <vector>
+
+#include "core/predictor.hh"
+#include "dspace/design_space.hh"
+
+namespace ppm::core {
+
+/** Accuracy of a model on a test set. */
+struct ErrorReport
+{
+    /** Mean absolute percentage error in CPI. */
+    double mean_error = 0.0;
+    /** Standard deviation of the percentage errors. */
+    double std_error = 0.0;
+    /** Largest percentage error at any test point. */
+    double max_error = 0.0;
+    /** Per-point percentage errors (same order as the test set). */
+    std::vector<double> errors;
+};
+
+/**
+ * Evaluate a model against known responses.
+ *
+ * @param model Trained model.
+ * @param points Test design points.
+ * @param actual Simulated CPI at those points (same order/length).
+ */
+ErrorReport evaluateModel(const PerformanceModel &model,
+                          const std::vector<dspace::DesignPoint> &points,
+                          const std::vector<double> &actual);
+
+/** Same metrics for precomputed predictions. */
+ErrorReport evaluatePredictions(const std::vector<double> &actual,
+                                const std::vector<double> &predicted);
+
+} // namespace ppm::core
+
+#endif // PPM_CORE_EVALUATOR_HH

@@ -1,0 +1,91 @@
+#include "core/explorer.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppm::core {
+
+std::vector<Candidate>
+findBestConfigurations(const PerformanceModel &model,
+                       const dspace::DesignSpace &space,
+                       const SearchOptions &options)
+{
+    assert(options.num_candidates > 0 && options.top_k > 0);
+    math::Rng rng(options.seed);
+    std::vector<Candidate> best;
+
+    for (int i = 0; i < options.num_candidates; ++i) {
+        Candidate c;
+        c.point = space.randomPoint(rng);
+        if (options.constraint && !options.constraint(c.point))
+            continue;
+        c.predicted_cpi = model.predict(c.point);
+
+        best.push_back(std::move(c));
+        if (best.size() > static_cast<std::size_t>(options.top_k) * 4) {
+            // Keep the working set small during the scan.
+            std::nth_element(
+                best.begin(),
+                best.begin() + options.top_k, best.end(),
+                [](const Candidate &x, const Candidate &y) {
+                    return x.predicted_cpi < y.predicted_cpi;
+                });
+            best.resize(static_cast<std::size_t>(options.top_k));
+        }
+    }
+
+    std::sort(best.begin(), best.end(),
+              [](const Candidate &x, const Candidate &y) {
+                  return x.predicted_cpi < y.predicted_cpi;
+              });
+    if (best.size() > static_cast<std::size_t>(options.top_k))
+        best.resize(static_cast<std::size_t>(options.top_k));
+    return best;
+}
+
+std::vector<Candidate>
+sweepParameter(const PerformanceModel &model,
+               const dspace::DesignSpace &space,
+               const dspace::DesignPoint &base, std::size_t parameter,
+               int steps)
+{
+    assert(parameter < space.size());
+    assert(steps >= 2);
+    std::vector<Candidate> out;
+    out.reserve(static_cast<std::size_t>(steps));
+    for (int s = 0; s < steps; ++s) {
+        Candidate c;
+        c.point = base;
+        c.point[parameter] =
+            space.param(parameter).levelValue(s, steps);
+        c.predicted_cpi = model.predict(c.point);
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+std::vector<Candidate>
+sweepInteraction(const PerformanceModel &model,
+                 const dspace::DesignSpace &space,
+                 const dspace::DesignPoint &base, std::size_t a,
+                 std::size_t b, int steps_a, int steps_b)
+{
+    assert(a < space.size() && b < space.size() && a != b);
+    assert(steps_a >= 2 && steps_b >= 2);
+    std::vector<Candidate> out;
+    out.reserve(static_cast<std::size_t>(steps_a) *
+                static_cast<std::size_t>(steps_b));
+    for (int i = 0; i < steps_a; ++i) {
+        for (int j = 0; j < steps_b; ++j) {
+            Candidate c;
+            c.point = base;
+            c.point[a] = space.param(a).levelValue(i, steps_a);
+            c.point[b] = space.param(b).levelValue(j, steps_b);
+            c.predicted_cpi = model.predict(c.point);
+            out.push_back(std::move(c));
+        }
+    }
+    return out;
+}
+
+} // namespace ppm::core

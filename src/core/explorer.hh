@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Design-space exploration on top of a trained model: the "common
+ * tasks" the paper argues the model can take over from detailed
+ * simulation — searching for optimal design points and predicting
+ * microarchitectural trends (paper Sec 4.1).
+ */
+
+#ifndef PPM_CORE_EXPLORER_HH
+#define PPM_CORE_EXPLORER_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "dspace/design_space.hh"
+#include "math/rng.hh"
+
+namespace ppm::core {
+
+/** One evaluated candidate from a search. */
+struct Candidate
+{
+    dspace::DesignPoint point;
+    double predicted_cpi = 0.0;
+};
+
+/** Options for findBestConfigurations(). */
+struct SearchOptions
+{
+    /** Random candidates to evaluate through the model. */
+    int num_candidates = 20000;
+    /** How many best configurations to return. */
+    int top_k = 10;
+    /** Seed for candidate generation. */
+    std::uint64_t seed = 7;
+    /**
+     * Optional feasibility constraint (e.g. an area or power proxy);
+     * return false to reject a candidate. Null accepts everything.
+     */
+    std::function<bool(const dspace::DesignPoint &)> constraint;
+};
+
+/**
+ * Search the design space through the model (model evaluations are
+ * microseconds, so tens of thousands of candidates are cheap — the
+ * paper's motivation for replacing simulation in the search loop).
+ *
+ * @return Up to top_k candidates sorted by ascending predicted CPI.
+ */
+std::vector<Candidate> findBestConfigurations(
+    const PerformanceModel &model, const dspace::DesignSpace &space,
+    const SearchOptions &options = {});
+
+/**
+ * Sweep one parameter, holding the others at @p base: the 1-D trend
+ * curve.
+ *
+ * @param parameter Index of the swept parameter.
+ * @param steps Number of evenly spaced settings (in transformed
+ *              space) across the parameter range.
+ * @return Candidates in sweep order.
+ */
+std::vector<Candidate> sweepParameter(
+    const PerformanceModel &model, const dspace::DesignSpace &space,
+    const dspace::DesignPoint &base, std::size_t parameter, int steps);
+
+/**
+ * Sweep two parameters jointly: the 2-D interaction surface of paper
+ * Figures 1 and 6. Row-major: result[i * steps_b + j] corresponds to
+ * setting i of parameter @p a and setting j of parameter @p b.
+ */
+std::vector<Candidate> sweepInteraction(
+    const PerformanceModel &model, const dspace::DesignSpace &space,
+    const dspace::DesignPoint &base, std::size_t a, std::size_t b,
+    int steps_a, int steps_b);
+
+} // namespace ppm::core
+
+#endif // PPM_CORE_EXPLORER_HH

@@ -1,0 +1,65 @@
+#include "core/knn_model.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace ppm::core {
+
+KnnPerformanceModel::KnnPerformanceModel(
+    dspace::DesignSpace space, std::vector<dspace::DesignPoint> points,
+    std::vector<double> responses, int k)
+    : space_(std::move(space)), responses_(std::move(responses)),
+      k_(k)
+{
+    assert(!points.empty());
+    assert(points.size() == responses_.size());
+    assert(k_ >= 1);
+    k_ = std::min(k_, static_cast<int>(points.size()));
+    unit_.reserve(points.size());
+    for (const auto &p : points)
+        unit_.push_back(space_.toUnit(p));
+}
+
+double
+KnnPerformanceModel::predict(const dspace::DesignPoint &point) const
+{
+    const dspace::UnitPoint x = space_.toUnit(point);
+
+    // Partial selection of the k nearest by squared distance.
+    std::vector<std::pair<double, std::size_t>> dist;
+    dist.reserve(unit_.size());
+    for (std::size_t i = 0; i < unit_.size(); ++i) {
+        double acc = 0;
+        for (std::size_t j = 0; j < x.size(); ++j) {
+            const double d = x[j] - unit_[i][j];
+            acc += d * d;
+        }
+        dist.emplace_back(acc, i);
+    }
+    const std::size_t k = static_cast<std::size_t>(k_);
+    std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+
+    // Inverse-distance weights; an exact hit returns its response.
+    double wsum = 0, acc = 0;
+    for (std::size_t n = 0; n < k; ++n) {
+        const double d = std::sqrt(dist[n].first);
+        if (d < 1e-12)
+            return responses_[dist[n].second];
+        const double w = 1.0 / d;
+        wsum += w;
+        acc += w * responses_[dist[n].second];
+    }
+    return acc / wsum;
+}
+
+std::string
+KnnPerformanceModel::describe() const
+{
+    std::ostringstream os;
+    os << "knn k=" << k_ << " samples=" << unit_.size();
+    return os.str();
+}
+
+} // namespace ppm::core

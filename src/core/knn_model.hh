@@ -1,0 +1,51 @@
+/**
+ * @file
+ * k-nearest-neighbour baseline model: inverse-distance-weighted
+ * interpolation over the training sample in unit space. A
+ * zero-training-cost reference point between the linear baseline and
+ * the RBF network — useful for quantifying how much of the RBF
+ * model's accuracy comes from mere locality versus the fitted basis
+ * expansion.
+ */
+
+#ifndef PPM_CORE_KNN_MODEL_HH
+#define PPM_CORE_KNN_MODEL_HH
+
+#include "core/predictor.hh"
+
+namespace ppm::core {
+
+/**
+ * Inverse-distance-weighted k-NN regressor over the design space.
+ */
+class KnnPerformanceModel : public PerformanceModel
+{
+  public:
+    /**
+     * @param space Design space (copied; defines the metric via the
+     *              per-parameter unit transforms).
+     * @param points Training design points.
+     * @param responses Responses, same length as @p points.
+     * @param k Neighbours used per query (clamped to the sample
+     *          size); must be >= 1.
+     */
+    KnnPerformanceModel(dspace::DesignSpace space,
+                        std::vector<dspace::DesignPoint> points,
+                        std::vector<double> responses, int k = 5);
+
+    double predict(const dspace::DesignPoint &point) const override;
+    std::string describe() const override;
+
+    int k() const { return k_; }
+    std::size_t sampleSize() const { return unit_.size(); }
+
+  private:
+    dspace::DesignSpace space_;
+    std::vector<dspace::UnitPoint> unit_;
+    std::vector<double> responses_;
+    int k_;
+};
+
+} // namespace ppm::core
+
+#endif // PPM_CORE_KNN_MODEL_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The paper's BuildRBFmodel procedure (Sec 1):
+ *
+ *  1. specify the design space;
+ *  2. select a discrepancy-optimized latin hypercube sample;
+ *  3. obtain CPI at the sample via detailed simulation;
+ *  4. fit an RBF network (regression tree + AIC_c subset selection,
+ *     grid-searching p_min and alpha);
+ *  5. estimate accuracy on an independent random test set;
+ *  6. repeat with growing sample sizes until accurate enough.
+ *
+ * The same driver fits the linear baseline from the identical sample
+ * for the Fig 7 comparison.
+ */
+
+#ifndef PPM_CORE_MODEL_BUILDER_HH
+#define PPM_CORE_MODEL_BUILDER_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/evaluator.hh"
+#include "core/oracle.hh"
+#include "core/predictor.hh"
+#include "dspace/design_space.hh"
+#include "rbf/trainer.hh"
+
+namespace ppm::core {
+
+/** Options for ModelBuilder::build(). */
+struct BuildOptions
+{
+    /**
+     * Sample-size schedule; building stops at the first size whose
+     * model meets target_mean_error (paper Fig 4 sizes by default).
+     */
+    std::vector<int> sample_sizes = {30, 50, 70, 90, 110, 200};
+    /** Stop early when mean test error (%) drops below this. */
+    double target_mean_error = 3.0;
+    /** Candidate LHS samples scored per size (best-of-N). */
+    int lhs_candidates = 50;
+    /** Independent random test points (paper uses 50). */
+    int num_test_points = 50;
+    /** Seed controlling sampling and test-point generation. */
+    std::uint64_t seed = 1;
+    /** RBF hyperparameter grid and criterion. */
+    rbf::TrainerOptions trainer;
+    /** Also fit the linear baseline at every size (for Fig 7). */
+    bool fit_linear_baseline = false;
+    /** Use plain random sampling instead of LHS (ablation). */
+    bool use_random_sampling = false;
+};
+
+/** Result of one sample size step. */
+struct SizeResult
+{
+    int sample_size = 0;
+    /** Centered L2 discrepancy of the training sample used. */
+    double discrepancy = 0.0;
+    /** Chosen method parameters and model size. */
+    int p_min = 0;
+    double alpha = 0.0;
+    std::size_t num_centers = 0;
+    /** RBF accuracy on the test set. */
+    ErrorReport rbf_error;
+    /** Linear baseline accuracy (when fit_linear_baseline). */
+    ErrorReport linear_error;
+};
+
+/** Result of the full procedure. */
+struct BuildResult
+{
+    /** The final RBF model (from the last size built). */
+    std::shared_ptr<RbfPerformanceModel> model;
+    /** Linear baseline from the last size (when requested). */
+    std::shared_ptr<LinearPerformanceModel> linear_model;
+    /** Per-size history. */
+    std::vector<SizeResult> history;
+    /** Total expensive oracle evaluations consumed. */
+    std::uint64_t simulations = 0;
+    /** True iff target_mean_error was reached. */
+    bool converged = false;
+
+    /** The last (most accurate) size step. */
+    const SizeResult &final() const { return history.back(); }
+};
+
+/**
+ * Drives BuildRBFmodel for one program against one oracle.
+ */
+class ModelBuilder
+{
+  public:
+    /**
+     * @param train_space Space sampled for training (paper Table 1);
+     *        copied, so temporaries are safe.
+     * @param test_space Space from which validation points are drawn
+     *        (paper Table 2; may equal train_space); copied.
+     * @param oracle CPI source (simulator or analytic); held by
+     *        reference and must outlive the builder.
+     */
+    ModelBuilder(dspace::DesignSpace train_space,
+                 dspace::DesignSpace test_space, CpiOracle &oracle);
+
+    /** Run the procedure. @throws std::invalid_argument on bad options. */
+    BuildResult build(const BuildOptions &options = {});
+
+    /**
+     * The validation set of the last build() call and its simulated
+     * responses (exposed for trend analysis and benches).
+     */
+    const std::vector<dspace::DesignPoint> &testPoints() const
+    {
+        return test_points_;
+    }
+    const std::vector<double> &testResponses() const
+    {
+        return test_responses_;
+    }
+
+  private:
+    // Owned copies: callers may pass temporaries (e.g.
+    // paperTestSpace()) without lifetime hazards.
+    dspace::DesignSpace train_space_;
+    dspace::DesignSpace test_space_;
+    CpiOracle &oracle_;
+    std::vector<dspace::DesignPoint> test_points_;
+    std::vector<double> test_responses_;
+};
+
+} // namespace ppm::core
+
+#endif // PPM_CORE_MODEL_BUILDER_HH

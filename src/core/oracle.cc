@@ -1,0 +1,70 @@
+#include "core/oracle.hh"
+
+#include <cmath>
+
+#include "sim/power.hh"
+
+namespace ppm::core {
+
+std::string
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::Cpi:
+        return "CPI";
+      case Metric::EnergyPerInst:
+        return "EPI";
+      case Metric::EnergyDelaySquared:
+        return "ED2P";
+    }
+    return "unknown";
+}
+
+SimulatorOracle::SimulatorOracle(const dspace::DesignSpace &space,
+                                 const trace::Trace &trace,
+                                 const sim::SimOptions &options,
+                                 Metric metric)
+    : space_(space), trace_(trace), options_(options), metric_(metric)
+{
+}
+
+double
+SimulatorOracle::cpi(const dspace::DesignPoint &point)
+{
+    // Key on a fixed-point rendering so float noise cannot split
+    // logically identical configurations.
+    std::vector<std::int64_t> key;
+    key.reserve(point.size());
+    for (double v : point)
+        key.push_back(static_cast<std::int64_t>(std::llround(v * 1e6)));
+
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cache_hits_;
+        return it->second;
+    }
+
+    const auto config =
+        sim::ProcessorConfig::fromDesignPoint(space_, point);
+    last_stats_ = sim::simulate(trace_, config, options_);
+    ++evaluations_;
+
+    double value = 0.0;
+    switch (metric_) {
+      case Metric::Cpi:
+        value = last_stats_.cpi();
+        break;
+      case Metric::EnergyPerInst:
+        value = sim::computePower(config, last_stats_)
+                    .epi(last_stats_);
+        break;
+      case Metric::EnergyDelaySquared:
+        value = sim::computePower(config, last_stats_)
+                    .ed2p(last_stats_);
+        break;
+    }
+    cache_.emplace(std::move(key), value);
+    return value;
+}
+
+} // namespace ppm::core

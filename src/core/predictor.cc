@@ -1,0 +1,49 @@
+#include "core/predictor.hh"
+
+#include <sstream>
+
+namespace ppm::core {
+
+RbfPerformanceModel::RbfPerformanceModel(dspace::DesignSpace space,
+                                         rbf::TrainedRbf trained)
+    : space_(std::move(space)), trained_(std::move(trained))
+{
+}
+
+double
+RbfPerformanceModel::predict(const dspace::DesignPoint &point) const
+{
+    return trained_.network.predict(space_.toUnit(point));
+}
+
+std::string
+RbfPerformanceModel::describe() const
+{
+    std::ostringstream os;
+    os << "rbf centers=" << trained_.num_centers
+       << " p_min=" << trained_.p_min << " alpha=" << trained_.alpha;
+    return os.str();
+}
+
+LinearPerformanceModel::LinearPerformanceModel(
+    dspace::DesignSpace space, linreg::SelectedLinearModel selected)
+    : space_(std::move(space)), selected_(std::move(selected))
+{
+}
+
+double
+LinearPerformanceModel::predict(const dspace::DesignPoint &point) const
+{
+    return selected_.model.predict(space_.toUnit(point));
+}
+
+std::string
+LinearPerformanceModel::describe() const
+{
+    std::ostringstream os;
+    os << "linear terms=" << selected_.model.numTerms()
+       << " eliminated=" << selected_.eliminated;
+    return os.str();
+}
+
+} // namespace ppm::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The public predictive-model interface: a trained model maps a raw
+ * design point to predicted CPI. RBF networks (the paper's model) and
+ * the linear baseline both implement it, so evaluation, exploration
+ * and trend analysis are model-agnostic.
+ */
+
+#ifndef PPM_CORE_PREDICTOR_HH
+#define PPM_CORE_PREDICTOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dspace/design_space.hh"
+#include "linreg/model_selection.hh"
+#include "rbf/trainer.hh"
+
+namespace ppm::core {
+
+/**
+ * A trained performance model over a design space.
+ */
+class PerformanceModel
+{
+  public:
+    virtual ~PerformanceModel() = default;
+
+    /** Predicted CPI at a raw design point. */
+    virtual double predict(const dspace::DesignPoint &point) const = 0;
+
+    /** Short description ("rbf m=27 p_min=1 alpha=6", "linear ..."). */
+    virtual std::string describe() const = 0;
+
+    /** Batch prediction. */
+    std::vector<double>
+    predictAll(const std::vector<dspace::DesignPoint> &points) const
+    {
+        std::vector<double> out;
+        out.reserve(points.size());
+        for (const auto &p : points)
+            out.push_back(predict(p));
+        return out;
+    }
+};
+
+/**
+ * RBF network model bound to its design space (handles raw <-> unit
+ * conversion).
+ */
+class RbfPerformanceModel : public PerformanceModel
+{
+  public:
+    /**
+     * @param space Design space (copied).
+     * @param trained Output of rbf::trainRbfModel().
+     */
+    RbfPerformanceModel(dspace::DesignSpace space, rbf::TrainedRbf trained);
+
+    double predict(const dspace::DesignPoint &point) const override;
+    std::string describe() const override;
+
+    const rbf::TrainedRbf &trained() const { return trained_; }
+    const dspace::DesignSpace &space() const { return space_; }
+
+  private:
+    dspace::DesignSpace space_;
+    rbf::TrainedRbf trained_;
+};
+
+/**
+ * Linear regression model bound to its design space.
+ */
+class LinearPerformanceModel : public PerformanceModel
+{
+  public:
+    LinearPerformanceModel(dspace::DesignSpace space,
+                           linreg::SelectedLinearModel selected);
+
+    double predict(const dspace::DesignPoint &point) const override;
+    std::string describe() const override;
+
+    const linreg::SelectedLinearModel &selected() const
+    {
+        return selected_;
+    }
+
+  private:
+    dspace::DesignSpace space_;
+    linreg::SelectedLinearModel selected_;
+};
+
+} // namespace ppm::core
+
+#endif // PPM_CORE_PREDICTOR_HH

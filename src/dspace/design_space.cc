@@ -1,0 +1,87 @@
+#include "dspace/design_space.hh"
+
+#include <cassert>
+#include <sstream>
+
+namespace ppm::dspace {
+
+std::size_t
+DesignSpace::add(Parameter p)
+{
+    params_.push_back(std::move(p));
+    return params_.size() - 1;
+}
+
+std::size_t
+DesignSpace::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        if (params_[i].name() == name)
+            return i;
+    return params_.size();
+}
+
+UnitPoint
+DesignSpace::toUnit(const DesignPoint &raw) const
+{
+    assert(raw.size() == params_.size());
+    UnitPoint unit(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        unit[i] = params_[i].toUnit(raw[i]);
+    return unit;
+}
+
+DesignPoint
+DesignSpace::fromUnit(const UnitPoint &unit) const
+{
+    assert(unit.size() == params_.size());
+    DesignPoint raw(unit.size());
+    for (std::size_t i = 0; i < unit.size(); ++i)
+        raw[i] = params_[i].quantize(params_[i].fromUnit(unit[i]));
+    return raw;
+}
+
+DesignPoint
+DesignSpace::snapToLevels(const DesignPoint &raw, int sample_size) const
+{
+    assert(raw.size() == params_.size());
+    DesignPoint out(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const int count = params_[i].effectiveLevels(sample_size);
+        out[i] = params_[i].snapToLevel(raw[i], count);
+    }
+    return out;
+}
+
+DesignPoint
+DesignSpace::randomPoint(math::Rng &rng) const
+{
+    DesignPoint raw(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        raw[i] = params_[i].quantize(params_[i].fromUnit(rng.uniform()));
+    return raw;
+}
+
+bool
+DesignSpace::contains(const DesignPoint &raw) const
+{
+    if (raw.size() != params_.size())
+        return false;
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        if (!params_[i].contains(raw[i]))
+            return false;
+    return true;
+}
+
+std::string
+DesignSpace::describe(const DesignPoint &raw) const
+{
+    assert(raw.size() == params_.size());
+    std::ostringstream os;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        os << (i ? " " : "") << params_[i].name() << "=" << raw[i];
+    }
+    return os.str();
+}
+
+} // namespace ppm::dspace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The microarchitectural design space: an ordered set of Parameters with
+ * conversion between raw design points and the normalized unit hypercube
+ * in which sampling, trees, and RBF networks operate.
+ */
+
+#ifndef PPM_DSPACE_DESIGN_SPACE_HH
+#define PPM_DSPACE_DESIGN_SPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "dspace/parameter.hh"
+#include "math/rng.hh"
+
+namespace ppm::dspace {
+
+/**
+ * A point in the design space in raw units, ordered like the owning
+ * DesignSpace's parameters (e.g. element 0 = pipe_depth in cycles).
+ */
+using DesignPoint = std::vector<double>;
+
+/**
+ * The same point mapped through each parameter's transform into
+ * [0, 1]^n. All statistical machinery (LHS, discrepancy, trees, RBFs)
+ * operates on unit points so that parameter scales do not leak into
+ * distance computations.
+ */
+using UnitPoint = std::vector<double>;
+
+/**
+ * An ordered collection of design parameters.
+ */
+class DesignSpace
+{
+  public:
+    DesignSpace() = default;
+
+    /** Append a parameter; returns its index. */
+    std::size_t add(Parameter p);
+
+    /** Number of parameters (the model input dimensionality n). */
+    std::size_t size() const { return params_.size(); }
+
+    /** Parameter at index @p i. */
+    const Parameter &param(std::size_t i) const { return params_.at(i); }
+
+    /** All parameters in order. */
+    const std::vector<Parameter> &params() const { return params_; }
+
+    /**
+     * Index of the parameter named @p name.
+     * @return Index, or size() when not found.
+     */
+    std::size_t indexOf(const std::string &name) const;
+
+    /** Map a raw design point to the unit hypercube. */
+    UnitPoint toUnit(const DesignPoint &raw) const;
+
+    /** Map a unit point back to raw units (no level snapping). */
+    DesignPoint fromUnit(const UnitPoint &unit) const;
+
+    /**
+     * Snap a raw point to each parameter's discrete levels for a sample
+     * of @p sample_size (sample-size-dependent parameters get
+     * @p sample_size levels).
+     */
+    DesignPoint snapToLevels(const DesignPoint &raw, int sample_size) const;
+
+    /**
+     * Uniform random point: each coordinate uniform in transformed
+     * space, quantized per parameter. Used for independent test sets
+     * (paper Sec 3: fifty randomly generated design points).
+     */
+    DesignPoint randomPoint(math::Rng &rng) const;
+
+    /** True iff every coordinate of @p raw is inside its range. */
+    bool contains(const DesignPoint &raw) const;
+
+    /** "name=value" rendering for logs and error messages. */
+    std::string describe(const DesignPoint &raw) const;
+
+  private:
+    std::vector<Parameter> params_;
+};
+
+} // namespace ppm::dspace
+
+#endif // PPM_DSPACE_DESIGN_SPACE_HH

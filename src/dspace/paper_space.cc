@@ -1,0 +1,43 @@
+#include "dspace/paper_space.hh"
+
+namespace ppm::dspace {
+
+DesignSpace
+paperTrainSpace()
+{
+    DesignSpace space;
+    space.add(Parameter("pipe_depth", 7, 24, 18, Transform::Linear, true));
+    space.add(Parameter("ROB_size", 24, 128, kSampleSizeLevels,
+                        Transform::Linear, true));
+    space.add(Parameter("IQ_frac", 0.25, 0.75, kSampleSizeLevels,
+                        Transform::Linear, false));
+    space.add(Parameter("LSQ_frac", 0.25, 0.75, kSampleSizeLevels,
+                        Transform::Linear, false));
+    space.add(Parameter("L2_size", 256, 8192, 6, Transform::Log, true));
+    space.add(Parameter("L2_lat", 5, 20, 16, Transform::Linear, true));
+    space.add(Parameter("il1_size", 8, 64, 4, Transform::Log, true));
+    space.add(Parameter("dl1_size", 8, 64, 4, Transform::Log, true));
+    space.add(Parameter("dl1_lat", 1, 4, 4, Transform::Linear, true));
+    return space;
+}
+
+DesignSpace
+paperTestSpace()
+{
+    DesignSpace space;
+    space.add(Parameter("pipe_depth", 9, 22, 14, Transform::Linear, true));
+    space.add(Parameter("ROB_size", 37, 115, kSampleSizeLevels,
+                        Transform::Linear, true));
+    space.add(Parameter("IQ_frac", 0.31, 0.69, kSampleSizeLevels,
+                        Transform::Linear, false));
+    space.add(Parameter("LSQ_frac", 0.31, 0.69, kSampleSizeLevels,
+                        Transform::Linear, false));
+    space.add(Parameter("L2_size", 256, 8192, 6, Transform::Log, true));
+    space.add(Parameter("L2_lat", 7, 18, 12, Transform::Linear, true));
+    space.add(Parameter("il1_size", 8, 64, 4, Transform::Log, true));
+    space.add(Parameter("dl1_size", 8, 64, 4, Transform::Log, true));
+    space.add(Parameter("dl1_lat", 1, 4, 4, Transform::Linear, true));
+    return space;
+}
+
+} // namespace ppm::dspace

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The paper's concrete design spaces.
+ *
+ * Table 1 defines the 9-parameter training space (ranges, level counts
+ * and transforms); Table 2 defines the narrower space from which the 50
+ * random validation points are drawn. Issue queue and LSQ sizes are
+ * fractions of the ROB size, so the corresponding design parameters are
+ * the fractions themselves; the simulator multiplies them out.
+ */
+
+#ifndef PPM_DSPACE_PAPER_SPACE_HH
+#define PPM_DSPACE_PAPER_SPACE_HH
+
+#include "dspace/design_space.hh"
+
+namespace ppm::dspace {
+
+/**
+ * Indices of the nine paper parameters inside paperTrainSpace() /
+ * paperTestSpace(). Kept in the paper's Table 1 order.
+ */
+enum PaperParamIndex : std::size_t
+{
+    kPipeDepth = 0,  //!< front-end + back-end pipeline stages
+    kRobSize,        //!< reorder buffer entries
+    kIqFrac,         //!< issue queue size as a fraction of ROB size
+    kLsqFrac,        //!< load-store queue size as a fraction of ROB size
+    kL2SizeKB,       //!< unified L2 capacity in KB
+    kL2Lat,          //!< L2 hit latency in cycles
+    kIl1SizeKB,      //!< L1 instruction cache capacity in KB
+    kDl1SizeKB,      //!< L1 data cache capacity in KB
+    kDl1Lat,         //!< L1 data cache hit latency in cycles
+    kNumPaperParams,
+};
+
+/**
+ * The Table 1 training design space.
+ *
+ * Pipeline depth 7-24 (18 levels), ROB 24-128 (S levels), IQ and LSQ
+ * fractions 0.25-0.75 of ROB (S levels), L2 256KB-8MB (6 levels, log),
+ * L2 latency 5-20 (16 levels), IL1 and DL1 8-64KB (4 levels, log), DL1
+ * latency 1-4 (4 levels).
+ */
+DesignSpace paperTrainSpace();
+
+/**
+ * The Table 2 test space used for generating validation points:
+ * pipeline depth 9-22, ROB 37-115, IQ/LSQ fractions 0.31-0.69,
+ * L2 256KB-8MB, L2 latency 7-18, IL1/DL1 8-64KB, DL1 latency 1-4.
+ * Test points are drawn continuously (no level structure).
+ */
+DesignSpace paperTestSpace();
+
+} // namespace ppm::dspace
+
+#endif // PPM_DSPACE_PAPER_SPACE_HH

@@ -1,0 +1,95 @@
+#include "linreg/linear_model.hh"
+
+#include <cassert>
+#include <sstream>
+
+#include "math/linalg.hh"
+
+namespace ppm::linreg {
+
+double
+Term::value(const dspace::UnitPoint &x) const
+{
+    if (isIntercept())
+        return 1.0;
+    assert(static_cast<std::size_t>(i) < x.size());
+    double v = x[static_cast<std::size_t>(i)];
+    if (isInteraction()) {
+        assert(static_cast<std::size_t>(j) < x.size());
+        v *= x[static_cast<std::size_t>(j)];
+    }
+    return v;
+}
+
+std::string
+Term::toString() const
+{
+    if (isIntercept())
+        return "1";
+    std::ostringstream os;
+    os << "x" << i;
+    if (isInteraction())
+        os << "*x" << j;
+    return os.str();
+}
+
+std::vector<Term>
+fullTwoFactorTerms(std::size_t dims)
+{
+    std::vector<Term> terms;
+    terms.push_back(Term{});
+    for (std::size_t a = 0; a < dims; ++a)
+        terms.push_back(Term{static_cast<int>(a), Term::kNone});
+    for (std::size_t a = 0; a < dims; ++a)
+        for (std::size_t b = a + 1; b < dims; ++b)
+            terms.push_back(
+                Term{static_cast<int>(a), static_cast<int>(b)});
+    return terms;
+}
+
+math::Matrix
+termDesignMatrix(const std::vector<Term> &terms,
+                 const std::vector<dspace::UnitPoint> &xs)
+{
+    math::Matrix a(xs.size(), terms.size());
+    for (std::size_t r = 0; r < xs.size(); ++r)
+        for (std::size_t c = 0; c < terms.size(); ++c)
+            a(r, c) = terms[c].value(xs[r]);
+    return a;
+}
+
+LinearModel::LinearModel(std::vector<Term> terms,
+                         const std::vector<dspace::UnitPoint> &xs,
+                         const std::vector<double> &ys)
+    : terms_(std::move(terms))
+{
+    assert(!terms_.empty());
+    assert(xs.size() == ys.size());
+    assert(xs.size() >= terms_.size());
+    const math::Matrix a = termDesignMatrix(terms_, xs);
+    const auto fit = math::leastSquares(a, ys);
+    coeffs_ = fit.coefficients;
+    train_sse_ = fit.residual_sum_squares;
+}
+
+double
+LinearModel::predict(const dspace::UnitPoint &x) const
+{
+    assert(!empty());
+    double acc = 0.0;
+    for (std::size_t t = 0; t < terms_.size(); ++t)
+        acc += coeffs_[t] * terms_[t].value(x);
+    return acc;
+}
+
+std::vector<double>
+LinearModel::predict(const std::vector<dspace::UnitPoint> &xs) const
+{
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (const auto &x : xs)
+        out.push_back(predict(x));
+    return out;
+}
+
+} // namespace ppm::linreg

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Linear regression baseline (paper Sec 4.2, after Joseph et al.
+ * HPCA'06): CPI modeled as a linear combination of the transformed
+ * parameters (main effects) and all two-parameter interactions. This is
+ * the model class whose prediction accuracy Fig 7 compares against RBF
+ * networks.
+ */
+
+#ifndef PPM_LINREG_LINEAR_MODEL_HH
+#define PPM_LINREG_LINEAR_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "dspace/design_space.hh"
+#include "math/matrix.hh"
+
+namespace ppm::linreg {
+
+/**
+ * One model term: the intercept, a main effect x_i, or a two-factor
+ * interaction x_i * x_j.
+ */
+struct Term
+{
+    /** Sentinel index for "no factor". */
+    static constexpr int kNone = -1;
+
+    int i = kNone; //!< first factor index, kNone for the intercept
+    int j = kNone; //!< second factor index, kNone for main effects
+
+    bool isIntercept() const { return i == kNone; }
+    bool isMainEffect() const { return i != kNone && j == kNone; }
+    bool isInteraction() const { return j != kNone; }
+
+    /** Value of this term at unit point @p x. */
+    double value(const dspace::UnitPoint &x) const;
+
+    /** Render as "1", "x3" or "x1*x4". */
+    std::string toString() const;
+
+    bool operator==(const Term &other) const = default;
+};
+
+/**
+ * Construct the full term list for an @p dims -dimensional space:
+ * intercept, all main effects, and all two-factor interactions
+ * ("main effects and all two-parameter interactions only", Sec 4.2).
+ */
+std::vector<Term> fullTwoFactorTerms(std::size_t dims);
+
+/**
+ * A fitted linear model over unit-space inputs.
+ */
+class LinearModel
+{
+  public:
+    LinearModel() = default;
+
+    /**
+     * Fit by least squares.
+     *
+     * @param terms Model terms.
+     * @param xs Training inputs (unit space), xs.size() >= terms.size().
+     * @param ys Training responses.
+     */
+    LinearModel(std::vector<Term> terms,
+                const std::vector<dspace::UnitPoint> &xs,
+                const std::vector<double> &ys);
+
+    /** Model response at @p x. */
+    double predict(const dspace::UnitPoint &x) const;
+
+    /** Batch prediction. */
+    std::vector<double> predict(
+        const std::vector<dspace::UnitPoint> &xs) const;
+
+    const std::vector<Term> &terms() const { return terms_; }
+    const std::vector<double> &coefficients() const { return coeffs_; }
+
+    /** Training sum of squared errors. */
+    double trainSse() const { return train_sse_; }
+
+    /** Number of fitted coefficients. */
+    std::size_t numTerms() const { return terms_.size(); }
+
+    bool empty() const { return terms_.empty(); }
+
+  private:
+    std::vector<Term> terms_;
+    std::vector<double> coeffs_;
+    double train_sse_ = 0.0;
+};
+
+/** Design matrix with one column per term. */
+math::Matrix termDesignMatrix(const std::vector<Term> &terms,
+                              const std::vector<dspace::UnitPoint> &xs);
+
+} // namespace ppm::linreg
+
+#endif // PPM_LINREG_LINEAR_MODEL_HH

@@ -1,0 +1,97 @@
+#include "linreg/model_selection.hh"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "math/linalg.hh"
+
+namespace ppm::linreg {
+
+namespace {
+
+/** SSE of the least-squares fit of @p terms to the data. */
+double
+fitSse(const std::vector<Term> &terms,
+       const std::vector<dspace::UnitPoint> &xs,
+       const std::vector<double> &ys)
+{
+    const math::Matrix a = termDesignMatrix(terms, xs);
+    return math::leastSquares(a, ys).residual_sum_squares;
+}
+
+} // namespace
+
+double
+linearAic(std::size_t p, std::size_t m, double sse)
+{
+    assert(p > 0);
+    if (m >= p)
+        return std::numeric_limits<double>::infinity();
+    const double pd = static_cast<double>(p);
+    const double sigma_sq = std::max(sse / pd, 1e-12);
+    return pd * std::log(sigma_sq) + 2.0 * static_cast<double>(m);
+}
+
+SelectedLinearModel
+fitSelectedLinearModel(const std::vector<dspace::UnitPoint> &xs,
+                       const std::vector<double> &ys,
+                       const LinearSelectionOptions &options)
+{
+    assert(!xs.empty());
+    assert(xs.size() == ys.size());
+    const std::size_t dims = xs.front().size();
+    const std::size_t p = xs.size();
+
+    std::vector<Term> terms = fullTwoFactorTerms(dims);
+    // Keep the system overdetermined: drop trailing interaction terms
+    // when the sample is too small for the full model.
+    const std::size_t max_terms = std::max<std::size_t>(
+        dims + 1,
+        static_cast<std::size_t>(options.sample_fraction
+                                 * static_cast<double>(p)));
+    if (terms.size() > max_terms)
+        terms.resize(max_terms);
+
+    double best_aic = linearAic(p, terms.size(), fitSse(terms, xs, ys));
+    std::size_t eliminated = 0;
+
+    // Backward elimination: drop the term whose removal lowers AIC the
+    // most; stop when every removal hurts.
+    bool improved = true;
+    while (improved && terms.size() > 1) {
+        improved = false;
+        std::size_t best_drop = terms.size();
+        double round_best = best_aic;
+        for (std::size_t t = 0; t < terms.size(); ++t) {
+            if (terms[t].isIntercept())
+                continue;
+            std::vector<Term> reduced;
+            reduced.reserve(terms.size() - 1);
+            for (std::size_t u = 0; u < terms.size(); ++u)
+                if (u != t)
+                    reduced.push_back(terms[u]);
+            const double aic =
+                linearAic(p, reduced.size(), fitSse(reduced, xs, ys));
+            if (aic < round_best) {
+                round_best = aic;
+                best_drop = t;
+            }
+        }
+        if (best_drop < terms.size()) {
+            terms.erase(terms.begin()
+                        + static_cast<std::ptrdiff_t>(best_drop));
+            best_aic = round_best;
+            ++eliminated;
+            improved = true;
+        }
+    }
+
+    SelectedLinearModel out;
+    out.model = LinearModel(terms, xs, ys);
+    out.aic = best_aic;
+    out.eliminated = eliminated;
+    return out;
+}
+
+} // namespace ppm::linreg

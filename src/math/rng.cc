@@ -1,0 +1,160 @@
+#include "math/rng.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace ppm::math {
+
+namespace {
+
+/** splitmix64 step used to expand the user seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // All-zero state is invalid for xoshiro; splitmix64 cannot produce
+    // four zero outputs in a row, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    assert(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0ULL - n) % n;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double
+Rng::gaussian()
+{
+    if (have_cached_gaussian_) {
+        have_cached_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    // Box-Muller transform producing two deviates per pair of uniforms.
+    double u1 = uniform();
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    have_cached_gaussian_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double sd)
+{
+    return mean + sd * gaussian();
+}
+
+double
+Rng::exponential(double mean_value)
+{
+    assert(mean_value > 0.0);
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    return -mean_value * std::log(u);
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    assert(p > 0.0 && p <= 1.0);
+    if (p >= 1.0)
+        return 1;
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    const double k = std::ceil(std::log(u) / std::log(1.0 - p));
+    return k < 1.0 ? 1 : static_cast<std::uint64_t>(k);
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        assert(w >= 0.0);
+        total += w;
+    }
+    assert(total > 0.0);
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa0761d6478bd642fULL);
+}
+
+} // namespace ppm::math

@@ -1,0 +1,152 @@
+#include "math/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ppm::math {
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+double
+variance(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double acc = 0.0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(v.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    return std::sqrt(variance(v));
+}
+
+double
+minValue(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+maxValue(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    return *std::max_element(v.begin(), v.end());
+}
+
+double
+percentile(std::vector<double> v, double pct)
+{
+    if (v.empty())
+        return 0.0;
+    assert(pct >= 0.0 && pct <= 100.0);
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1)
+        return v.front();
+    const double pos = pct / 100.0 * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+Summary
+summarize(const std::vector<double> &v)
+{
+    Summary s;
+    s.count = v.size();
+    if (v.empty())
+        return s;
+    double acc = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (double x : v) {
+        acc += x;
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    s.mean = acc / static_cast<double>(v.size());
+    s.min = lo;
+    s.max = hi;
+    double ss = 0.0;
+    for (double x : v)
+        ss += (x - s.mean) * (x - s.mean);
+    s.stddev = v.size() > 1
+        ? std::sqrt(ss / static_cast<double>(v.size() - 1)) : 0.0;
+    return s;
+}
+
+std::vector<double>
+absolutePercentageErrors(const std::vector<double> &actual,
+                         const std::vector<double> &predicted)
+{
+    assert(actual.size() == predicted.size());
+    std::vector<double> out(actual.size(), 0.0);
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        if (std::fabs(actual[i]) < 1e-12)
+            continue;
+        out[i] = 100.0 * std::fabs(predicted[i] - actual[i])
+            / std::fabs(actual[i]);
+    }
+    return out;
+}
+
+double
+meanAbsolutePercentageError(const std::vector<double> &actual,
+                            const std::vector<double> &predicted)
+{
+    return mean(absolutePercentageErrors(actual, predicted));
+}
+
+double
+rmsError(const std::vector<double> &actual,
+         const std::vector<double> &predicted)
+{
+    assert(actual.size() == predicted.size());
+    if (actual.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        const double e = predicted[i] - actual[i];
+        acc += e * e;
+    }
+    return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+double
+rSquared(const std::vector<double> &actual,
+         const std::vector<double> &predicted)
+{
+    assert(actual.size() == predicted.size());
+    if (actual.empty())
+        return 0.0;
+    const double m = mean(actual);
+    double ss_tot = 0.0, ss_res = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        ss_tot += (actual[i] - m) * (actual[i] - m);
+        ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    }
+    if (ss_tot < 1e-300)
+        return ss_res < 1e-300 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+} // namespace ppm::math

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Summary statistics and error metrics. The paper reports model quality
+ * as the mean / maximum / standard deviation of the absolute percentage
+ * error in predicted CPI (Table 3, Figures 4 and 7).
+ */
+
+#ifndef PPM_MATH_STATS_HH
+#define PPM_MATH_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ppm::math {
+
+/** Mean of @p v; returns 0 for an empty vector. */
+double mean(const std::vector<double> &v);
+
+/**
+ * Sample variance of @p v (divides by n - 1).
+ * Returns 0 when fewer than two elements are present.
+ */
+double variance(const std::vector<double> &v);
+
+/** Sample standard deviation (square root of variance()). */
+double stddev(const std::vector<double> &v);
+
+/** Smallest element; 0 for an empty vector. */
+double minValue(const std::vector<double> &v);
+
+/** Largest element; 0 for an empty vector. */
+double maxValue(const std::vector<double> &v);
+
+/**
+ * Linear-interpolated percentile.
+ *
+ * @param v Values (copied and sorted internally).
+ * @param pct Percentile in [0, 100].
+ */
+double percentile(std::vector<double> v, double pct);
+
+/**
+ * Accumulated description of a set of observations.
+ */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Compute all Summary fields in one pass over @p v. */
+Summary summarize(const std::vector<double> &v);
+
+/**
+ * Absolute percentage errors 100 * |pred - actual| / |actual|,
+ * elementwise. Entries with |actual| below 1e-12 contribute 0 (the CPI
+ * response is bounded away from zero, so this never triggers in
+ * practice but keeps the metric total).
+ */
+std::vector<double> absolutePercentageErrors(
+    const std::vector<double> &actual, const std::vector<double> &predicted);
+
+/** Mean of absolutePercentageErrors(). */
+double meanAbsolutePercentageError(const std::vector<double> &actual,
+                                   const std::vector<double> &predicted);
+
+/** Root mean square of (pred - actual). */
+double rmsError(const std::vector<double> &actual,
+                const std::vector<double> &predicted);
+
+/**
+ * Coefficient of determination R^2 of predictions against actuals.
+ * Returns 1 when the actuals are constant and perfectly matched.
+ */
+double rSquared(const std::vector<double> &actual,
+                const std::vector<double> &predicted);
+
+} // namespace ppm::math
+
+#endif // PPM_MATH_STATS_HH

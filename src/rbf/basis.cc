@@ -1,0 +1,33 @@
+#include "rbf/basis.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace ppm::rbf {
+
+GaussianBasis::GaussianBasis(dspace::UnitPoint center,
+                             std::vector<double> radius)
+    : center_(std::move(center)), radius_(std::move(radius))
+{
+    assert(center_.size() == radius_.size());
+    assert(!center_.empty());
+    inv_radius_sq_.resize(radius_.size());
+    for (std::size_t k = 0; k < radius_.size(); ++k) {
+        assert(radius_[k] > 0.0 && "radii must be strictly positive");
+        inv_radius_sq_[k] = 1.0 / (radius_[k] * radius_[k]);
+    }
+}
+
+double
+GaussianBasis::evaluate(const dspace::UnitPoint &x) const
+{
+    assert(x.size() == center_.size());
+    double exponent = 0.0;
+    for (std::size_t k = 0; k < center_.size(); ++k) {
+        const double d = x[k] - center_[k];
+        exponent += d * d * inv_radius_sq_[k];
+    }
+    return std::exp(-exponent);
+}
+
+} // namespace ppm::rbf

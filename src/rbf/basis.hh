@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Gaussian radial basis function with per-dimension radii (paper Eq 2):
+ *
+ *   h(x) = exp(-sum_k (x_k - c_k)^2 / r_k^2)
+ *
+ * The response peaks at the center c and decays with distance at a rate
+ * controlled independently per dimension by the radius vector r.
+ */
+
+#ifndef PPM_RBF_BASIS_HH
+#define PPM_RBF_BASIS_HH
+
+#include <vector>
+
+#include "dspace/design_space.hh"
+
+namespace ppm::rbf {
+
+/**
+ * One Gaussian basis function over the unit design space.
+ */
+class GaussianBasis
+{
+  public:
+    /**
+     * @param center Center point c (unit space).
+     * @param radius Per-dimension radii r; strictly positive, same
+     *               dimensionality as @p center.
+     */
+    GaussianBasis(dspace::UnitPoint center, std::vector<double> radius);
+
+    /** Basis response h(x) in (0, 1]. */
+    double evaluate(const dspace::UnitPoint &x) const;
+
+    const dspace::UnitPoint &center() const { return center_; }
+    const std::vector<double> &radius() const { return radius_; }
+    std::size_t dimensions() const { return center_.size(); }
+
+  private:
+    dspace::UnitPoint center_;
+    std::vector<double> radius_;
+    /** Precomputed 1 / r_k^2 to keep evaluate() cheap. */
+    std::vector<double> inv_radius_sq_;
+};
+
+} // namespace ppm::rbf
+
+#endif // PPM_RBF_BASIS_HH

@@ -1,0 +1,92 @@
+#include "rbf/criteria.hh"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ppm::rbf {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Guarded log of the error variance. A perfect fit (sse == 0) would
+ * give log(0) = -inf and dominate every criterion regardless of model
+ * size, so the variance is floored at a tiny positive value.
+ */
+double
+logSigmaSq(std::size_t p, double sse)
+{
+    assert(p > 0);
+    const double sigma_sq =
+        std::max(sse / static_cast<double>(p), 1e-12);
+    return std::log(sigma_sq);
+}
+
+} // namespace
+
+std::string
+criterionName(Criterion c)
+{
+    switch (c) {
+      case Criterion::AICc:
+        return "AICc";
+      case Criterion::BIC:
+        return "BIC";
+      case Criterion::GCV:
+        return "GCV";
+    }
+    return "unknown";
+}
+
+double
+aicc(std::size_t p, std::size_t m, double sse)
+{
+    assert(p > 0);
+    if (m + 1 >= p)
+        return kInf;
+    const double pd = static_cast<double>(p);
+    const double md = static_cast<double>(m);
+    return pd * logSigmaSq(p, sse) + 2.0 * md
+        + 2.0 * md * (md + 1.0) / (pd - md - 1.0);
+}
+
+double
+bic(std::size_t p, std::size_t m, double sse)
+{
+    assert(p > 0);
+    if (m >= p)
+        return kInf;
+    const double pd = static_cast<double>(p);
+    return pd * logSigmaSq(p, sse)
+        + static_cast<double>(m) * std::log(pd);
+}
+
+double
+gcv(std::size_t p, std::size_t m, double sse)
+{
+    assert(p > 0);
+    if (m >= p)
+        return kInf;
+    const double pd = static_cast<double>(p);
+    const double denom = pd - static_cast<double>(m);
+    return pd * std::max(sse, 1e-12) / (denom * denom);
+}
+
+double
+evaluateCriterion(Criterion criterion, std::size_t p, std::size_t m,
+                  double sse)
+{
+    switch (criterion) {
+      case Criterion::AICc:
+        return aicc(p, m, sse);
+      case Criterion::BIC:
+        return bic(p, m, sse);
+      case Criterion::GCV:
+        return gcv(p, m, sse);
+    }
+    return kInf;
+}
+
+} // namespace ppm::rbf

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Model-selection criteria balancing fit quality against model size
+ * (paper Sec 2.5, Eq 9). Lower is better for all three. AIC_c is the
+ * paper's choice; BIC and GCV are provided for ablation.
+ */
+
+#ifndef PPM_RBF_CRITERIA_HH
+#define PPM_RBF_CRITERIA_HH
+
+#include <cstddef>
+#include <string>
+
+namespace ppm::rbf {
+
+/** Which criterion scores a candidate model. */
+enum class Criterion
+{
+    AICc, //!< corrected Akaike information criterion (paper Eq 9)
+    BIC,  //!< Bayesian information criterion
+    GCV,  //!< generalized cross validation
+};
+
+/** Human-readable criterion name. */
+std::string criterionName(Criterion c);
+
+/**
+ * Score a model.
+ *
+ * @param criterion Which criterion to evaluate.
+ * @param p Number of training samples.
+ * @param m Number of model parameters (RBF centers chosen).
+ * @param sse Sum of squared training residuals.
+ * @return Criterion value; +infinity when the model is degenerate for
+ *         the criterion (e.g. m >= p - 1 for AIC_c, where the
+ *         correction term blows up), so such models are never selected.
+ */
+double evaluateCriterion(Criterion criterion, std::size_t p,
+                         std::size_t m, double sse);
+
+/**
+ * Corrected Akaike information criterion (Eq 9):
+ *
+ *   AIC_c = p log(sigma^2) + 2m + 2m(m + 1)/(p - m - 1)
+ *
+ * with sigma^2 = sse / p (the additive constant is dropped; only
+ * differences matter for selection).
+ */
+double aicc(std::size_t p, std::size_t m, double sse);
+
+/** BIC = p log(sigma^2) + m log(p). */
+double bic(std::size_t p, std::size_t m, double sse);
+
+/** GCV = p * sse / (p - m)^2. */
+double gcv(std::size_t p, std::size_t m, double sse);
+
+} // namespace ppm::rbf
+
+#endif // PPM_RBF_CRITERIA_HH

@@ -1,0 +1,71 @@
+#include "rbf/network.hh"
+
+#include <cassert>
+
+#include "math/linalg.hh"
+
+namespace ppm::rbf {
+
+RbfNetwork::RbfNetwork(std::vector<GaussianBasis> bases,
+                       std::vector<double> weights)
+    : bases_(std::move(bases)), weights_(std::move(weights))
+{
+    assert(!bases_.empty());
+    assert(bases_.size() == weights_.size());
+    for (const auto &b : bases_) {
+        assert(b.dimensions() == bases_.front().dimensions());
+        (void)b;
+    }
+}
+
+double
+RbfNetwork::predict(const dspace::UnitPoint &x) const
+{
+    assert(!empty());
+    double acc = 0.0;
+    for (std::size_t j = 0; j < bases_.size(); ++j)
+        acc += weights_[j] * bases_[j].evaluate(x);
+    return acc;
+}
+
+std::vector<double>
+RbfNetwork::predict(const std::vector<dspace::UnitPoint> &xs) const
+{
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (const auto &x : xs)
+        out.push_back(predict(x));
+    return out;
+}
+
+std::size_t
+RbfNetwork::dimensions() const
+{
+    return bases_.empty() ? 0 : bases_.front().dimensions();
+}
+
+math::Matrix
+designMatrix(const std::vector<GaussianBasis> &bases,
+             const std::vector<dspace::UnitPoint> &xs)
+{
+    math::Matrix h(xs.size(), bases.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        for (std::size_t j = 0; j < bases.size(); ++j)
+            h(i, j) = bases[j].evaluate(xs[i]);
+    return h;
+}
+
+RbfNetwork
+fitWeights(std::vector<GaussianBasis> bases,
+           const std::vector<dspace::UnitPoint> &xs,
+           const std::vector<double> &ys)
+{
+    assert(!bases.empty());
+    assert(xs.size() == ys.size());
+    assert(xs.size() >= bases.size());
+    const math::Matrix h = designMatrix(bases, xs);
+    const auto fit = math::leastSquares(h, ys);
+    return RbfNetwork(std::move(bases), fit.coefficients);
+}
+
+} // namespace ppm::rbf

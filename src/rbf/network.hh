@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Radial basis function network (paper Eq 1):
+ *
+ *   f(x) = sum_j w_j h_j(x)
+ *
+ * A hidden layer of Gaussian bases feeding a linear output unit. The
+ * weights are fit by least squares against the simulated responses.
+ */
+
+#ifndef PPM_RBF_NETWORK_HH
+#define PPM_RBF_NETWORK_HH
+
+#include <vector>
+
+#include "dspace/design_space.hh"
+#include "math/matrix.hh"
+#include "rbf/basis.hh"
+
+namespace ppm::rbf {
+
+/**
+ * A trained RBF network: m Gaussian bases plus output weights.
+ */
+class RbfNetwork
+{
+  public:
+    RbfNetwork() = default;
+
+    /**
+     * @param bases Hidden-layer basis functions (all one
+     *              dimensionality, at least one).
+     * @param weights Output weights, one per basis.
+     */
+    RbfNetwork(std::vector<GaussianBasis> bases,
+               std::vector<double> weights);
+
+    /** Network response f(x) at a unit-space point. */
+    double predict(const dspace::UnitPoint &x) const;
+
+    /** Batch prediction. */
+    std::vector<double> predict(
+        const std::vector<dspace::UnitPoint> &xs) const;
+
+    /** Number of hidden units m. */
+    std::size_t numBases() const { return bases_.size(); }
+
+    /** Input dimensionality n. */
+    std::size_t dimensions() const;
+
+    const std::vector<GaussianBasis> &bases() const { return bases_; }
+    const std::vector<double> &weights() const { return weights_; }
+
+    /** True iff the network has no bases (default constructed). */
+    bool empty() const { return bases_.empty(); }
+
+  private:
+    std::vector<GaussianBasis> bases_;
+    std::vector<double> weights_;
+};
+
+/**
+ * Hidden-layer design matrix H with H(i, j) = h_j(xs[i]) for a set of
+ * candidate bases. Column j corresponds to bases[j].
+ */
+math::Matrix designMatrix(const std::vector<GaussianBasis> &bases,
+                          const std::vector<dspace::UnitPoint> &xs);
+
+/**
+ * Fit output weights for @p bases against responses @p ys by least
+ * squares and return the resulting network.
+ */
+RbfNetwork fitWeights(std::vector<GaussianBasis> bases,
+                      const std::vector<dspace::UnitPoint> &xs,
+                      const std::vector<double> &ys);
+
+} // namespace ppm::rbf
+
+#endif // PPM_RBF_NETWORK_HH

@@ -1,0 +1,322 @@
+#include "rbf/rbf_rt.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "math/linalg.hh"
+
+namespace ppm::rbf {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Scores center subsets against the training data.
+ *
+ * The full-candidate Gram matrix G = H^T H and correlation vector
+ * H^T y are computed once; scoring a subset S then only needs the
+ * m x m principal submatrix G[S, S], a Cholesky solve, and
+ * SSE = y^T y - w^T (H^T y)[S]. This keeps the 8-way tree-ordered
+ * search affordable even with hundreds of candidates.
+ */
+class SubsetScorer
+{
+  public:
+    SubsetScorer(const std::vector<GaussianBasis> &candidates,
+                 const std::vector<dspace::UnitPoint> &xs,
+                 const std::vector<double> &ys)
+        : p_(xs.size()), h_(designMatrix(candidates, xs)), ys_(ys)
+    {
+        gram_ = h_.gram();
+        hty_ = h_.transposeTimes(ys);
+        yty_ = 0.0;
+        double y_abs_max = 0.0;
+        for (double y : ys) {
+            yty_ += y * y;
+            y_abs_max = std::max(y_abs_max, std::fabs(y));
+        }
+        // Subsets whose fit needs absurdly large (cancelling) weights
+        // are numerically degenerate: they look perfect on the
+        // training points and explode everywhere else.
+        weight_cap_ = 1e4 * (y_abs_max + 1.0);
+    }
+
+    /** Number of training points. */
+    std::size_t sampleSize() const { return p_; }
+
+    /** A subset's fitted weights with fit diagnostics. */
+    struct Fit
+    {
+        math::Vector weights;
+        double sse = 0.0;
+        double weight_max = 0.0;
+    };
+
+    /**
+     * Least-squares fit restricted to subset @p s. The SSE is
+     * computed from the actual residuals (never the y'y - w'H'y
+     * shortcut, which cancels catastrophically when the subset's
+     * Gram matrix is near singular).
+     */
+    Fit
+    fitSubset(const std::vector<std::size_t> &s) const
+    {
+        Fit fit;
+        if (s.empty()) {
+            fit.sse = yty_;
+            return fit;
+        }
+        fit.weights = solveSubset(s);
+        for (double w : fit.weights)
+            fit.weight_max = std::max(fit.weight_max, std::fabs(w));
+        for (std::size_t i = 0; i < p_; ++i) {
+            double pred = 0.0;
+            const double *row = h_.rowPtr(i);
+            for (std::size_t j = 0; j < s.size(); ++j)
+                pred += fit.weights[j] * row[s[j]];
+            const double e = ys_[i] - pred;
+            fit.sse += e * e;
+        }
+        return fit;
+    }
+
+    /** True iff the subset's weights are numerically degenerate. */
+    bool degenerate(const Fit &fit) const
+    {
+        return fit.weight_max > weight_cap_;
+    }
+
+    /** SSE of the least-squares fit restricted to subset @p s. */
+    double
+    subsetSse(const std::vector<std::size_t> &s) const
+    {
+        return fitSubset(s).sse;
+    }
+
+    /** Least-squares weights for subset @p s. */
+    math::Vector
+    solveSubset(const std::vector<std::size_t> &s) const
+    {
+        const std::size_t m = s.size();
+        math::Matrix g(m, m);
+        math::Vector b(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            b[i] = hty_[s[i]];
+            for (std::size_t j = 0; j < m; ++j)
+                g(i, j) = gram_(s[i], s[j]);
+        }
+        auto w = math::choleskySolve(g, b);
+        if (w)
+            return *w;
+        // Nearly collinear bases (e.g. a node and a child covering the
+        // same points); regularize slightly and retry.
+        for (double ridge = 1e-8; ridge <= 1e-2; ridge *= 100.0) {
+            math::Matrix gr = g;
+            for (std::size_t i = 0; i < m; ++i)
+                gr(i, i) += ridge * (1.0 + g(i, i));
+            auto wr = math::choleskySolve(gr, b);
+            if (wr)
+                return *wr;
+        }
+        return math::Vector(m, 0.0);
+    }
+
+  private:
+    std::size_t p_;
+    math::Matrix h_;
+    std::vector<double> ys_;
+    math::Matrix gram_;
+    math::Vector hty_;
+    double yty_ = 0.0;
+    double weight_cap_ = 1e12;
+};
+
+/** Indices currently flagged as selected. */
+std::vector<std::size_t>
+selectedIndices(const std::vector<bool> &flags)
+{
+    std::vector<std::size_t> s;
+    for (std::size_t i = 0; i < flags.size(); ++i)
+        if (flags[i])
+            s.push_back(i);
+    return s;
+}
+
+double
+scoreFlags(const SubsetScorer &scorer, const std::vector<bool> &flags,
+           Criterion criterion, std::size_t max_centers)
+{
+    const auto s = selectedIndices(flags);
+    if (max_centers && s.size() > max_centers)
+        return kInf;
+    if (s.size() + 2 >= scorer.sampleSize())
+        return kInf;
+    const auto fit = scorer.fitSubset(s);
+    if (scorer.degenerate(fit))
+        return kInf;
+    return evaluateCriterion(criterion, scorer.sampleSize(), s.size(),
+                             fit.sse);
+}
+
+/**
+ * The paper's tree-ordered selection: walk internal nodes breadth
+ * first; at each, jointly re-decide the inclusion of the node and its
+ * two children among all 8 combinations.
+ */
+std::vector<bool>
+treeOrderedSelect(const SubsetScorer &scorer,
+                  const std::vector<tree::NodeInfo> &nodes,
+                  const RbfRtOptions &options)
+{
+    std::vector<bool> flags(nodes.size(), false);
+    // Start from the root center (paper Sec 2.5).
+    flags[0] = true;
+    double best = scoreFlags(scorer, flags, options.criterion,
+                             options.max_centers);
+    if (!std::isfinite(best)) {
+        // Sample too small for even a one-center model under the
+        // criterion guard; keep just the root.
+        return flags;
+    }
+
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const auto &node = nodes[i];
+        if (node.is_leaf)
+            continue;
+        const std::size_t l = node.left_child;
+        const std::size_t r = node.right_child;
+        assert(l < nodes.size() && r < nodes.size());
+
+        const bool orig_i = flags[i];
+        const bool orig_l = flags[l];
+        const bool orig_r = flags[r];
+
+        std::uint8_t best_combo = 0xff;
+        double combo_best = best;
+        for (std::uint8_t combo = 0; combo < 8; ++combo) {
+            flags[i] = combo & 1;
+            flags[l] = combo & 2;
+            flags[r] = combo & 4;
+            const double score = scoreFlags(
+                scorer, flags, options.criterion, options.max_centers);
+            if (score < combo_best) {
+                combo_best = score;
+                best_combo = combo;
+            }
+        }
+        if (best_combo == 0xff) {
+            // No combination strictly beats the incumbent (whose own
+            // combo scored exactly `best` in the loop); keep it.
+            flags[i] = orig_i;
+            flags[l] = orig_l;
+            flags[r] = orig_r;
+        } else {
+            flags[i] = best_combo & 1;
+            flags[l] = best_combo & 2;
+            flags[r] = best_combo & 4;
+            best = combo_best;
+        }
+    }
+    if (selectedIndices(flags).empty())
+        flags[0] = true;
+    return flags;
+}
+
+/** Greedy forward selection over all candidates (ablation). */
+std::vector<bool>
+greedySelect(const SubsetScorer &scorer,
+             const std::vector<tree::NodeInfo> &nodes,
+             const RbfRtOptions &options)
+{
+    std::vector<bool> flags(nodes.size(), false);
+    double best = kInf;
+    for (;;) {
+        std::size_t best_add = tree::NodeInfo::npos;
+        double round_best = best;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (flags[i])
+                continue;
+            flags[i] = true;
+            const double score = scoreFlags(
+                scorer, flags, options.criterion, options.max_centers);
+            flags[i] = false;
+            if (score < round_best) {
+                round_best = score;
+                best_add = i;
+            }
+        }
+        if (best_add == tree::NodeInfo::npos)
+            break;
+        flags[best_add] = true;
+        best = round_best;
+    }
+    if (selectedIndices(flags).empty())
+        flags[0] = true;
+    return flags;
+}
+
+} // namespace
+
+std::string
+selectionName(Selection s)
+{
+    return s == Selection::TreeOrdered ? "tree-ordered"
+                                       : "greedy-forward";
+}
+
+std::vector<GaussianBasis>
+candidateBases(const std::vector<tree::NodeInfo> &nodes, double alpha,
+               double min_radius)
+{
+    assert(alpha > 0.0);
+    std::vector<GaussianBasis> bases;
+    bases.reserve(nodes.size());
+    for (const auto &node : nodes) {
+        std::vector<double> radius(node.size.size());
+        for (std::size_t k = 0; k < node.size.size(); ++k)
+            radius[k] = std::max(alpha * node.size[k], min_radius);
+        bases.emplace_back(node.center, std::move(radius));
+    }
+    return bases;
+}
+
+RbfRtResult
+buildRbfFromTree(const tree::RegressionTree &tree,
+                 const std::vector<dspace::UnitPoint> &xs,
+                 const std::vector<double> &ys,
+                 const RbfRtOptions &options)
+{
+    assert(xs.size() == ys.size());
+    assert(!xs.empty());
+
+    const auto nodes = tree.nodes();
+    const auto candidates =
+        candidateBases(nodes, options.alpha, options.min_radius);
+    const SubsetScorer scorer(candidates, xs, ys);
+
+    const std::vector<bool> flags =
+        options.selection == Selection::TreeOrdered
+            ? treeOrderedSelect(scorer, nodes, options)
+            : greedySelect(scorer, nodes, options);
+
+    const auto selected = selectedIndices(flags);
+    std::vector<GaussianBasis> bases;
+    bases.reserve(selected.size());
+    for (std::size_t i : selected)
+        bases.push_back(candidates[i]);
+
+    RbfRtResult result;
+    result.num_candidates = candidates.size();
+    const auto weights = scorer.solveSubset(selected);
+    result.network = RbfNetwork(std::move(bases),
+                                {weights.begin(), weights.end()});
+    result.train_sse = scorer.subsetSse(selected);
+    result.criterion_value = evaluateCriterion(
+        options.criterion, xs.size(), selected.size(), result.train_sse);
+    return result;
+}
+
+} // namespace ppm::rbf

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * RBF network construction from a regression tree — a clean-room C++
+ * implementation of the scheme in Orr et al. (2000) / Orr's MATLAB
+ * rbf_rt_1, updated (as in the paper, Sec 2.6) to select the center
+ * subset with AIC_c.
+ *
+ * Every tree node contributes one candidate Gaussian basis whose center
+ * is the node's hyper-rectangle center and whose radii are the
+ * rectangle's edge lengths scaled by alpha (paper Eq 8). Centers are
+ * then admitted with tree-ordered selection: starting at the root,
+ * each internal node's {parent, left child, right child} inclusion
+ * flags are jointly re-chosen among the 8 possibilities to minimize the
+ * model-selection criterion (paper Sec 2.5).
+ */
+
+#ifndef PPM_RBF_RBF_RT_HH
+#define PPM_RBF_RBF_RT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dspace/design_space.hh"
+#include "rbf/criteria.hh"
+#include "rbf/network.hh"
+#include "tree/regression_tree.hh"
+
+namespace ppm::rbf {
+
+/** How candidate centers are admitted into the network. */
+enum class Selection
+{
+    /** Orr's tree-ordered 8-way local search (the paper's method). */
+    TreeOrdered,
+    /** Greedy forward selection over all candidates (ablation). */
+    GreedyForward,
+};
+
+/** Name of a Selection value. */
+std::string selectionName(Selection s);
+
+/** Options for buildRbfFromTree(). */
+struct RbfRtOptions
+{
+    /** Radius scale alpha in r = alpha * s (paper Eq 8). */
+    double alpha = 7.0;
+    /** Criterion minimized during subset selection. */
+    Criterion criterion = Criterion::AICc;
+    /** Selection strategy. */
+    Selection selection = Selection::TreeOrdered;
+    /**
+     * Floor on any radius component. Deep tree nodes can be very thin
+     * along a repeatedly-split dimension; a zero-width radius would
+     * make the basis a spike that cannot generalize.
+     */
+    double min_radius = 1e-3;
+    /**
+     * Optional cap on the number of selected centers (0 = no cap
+     * beyond what the criterion itself imposes).
+     */
+    std::size_t max_centers = 0;
+};
+
+/** Result of RBF construction. */
+struct RbfRtResult
+{
+    /** The selected and weighted network. */
+    RbfNetwork network;
+    /** Criterion value of the selected subset. */
+    double criterion_value = 0.0;
+    /** Training sum of squared errors of the final fit. */
+    double train_sse = 0.0;
+    /** Number of candidate centers considered (tree nodes). */
+    std::size_t num_candidates = 0;
+};
+
+/**
+ * Build an RBF network from a fitted regression tree and its training
+ * data.
+ *
+ * @param tree Regression tree fitted to (xs, ys).
+ * @param xs Training inputs (unit space).
+ * @param ys Training responses.
+ * @param options Construction options.
+ */
+RbfRtResult buildRbfFromTree(const tree::RegressionTree &tree,
+                             const std::vector<dspace::UnitPoint> &xs,
+                             const std::vector<double> &ys,
+                             const RbfRtOptions &options = {});
+
+/**
+ * Turn tree nodes into candidate bases (centers at hyper-rectangle
+ * centers, radii alpha * size, floored at min_radius). Exposed for
+ * testing and for the greedy ablation path.
+ */
+std::vector<GaussianBasis> candidateBases(
+    const std::vector<tree::NodeInfo> &nodes, double alpha,
+    double min_radius);
+
+} // namespace ppm::rbf
+
+#endif // PPM_RBF_RBF_RT_HH

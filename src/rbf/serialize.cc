@@ -1,0 +1,112 @@
+#include "rbf/serialize.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppm::rbf {
+
+namespace {
+
+constexpr const char *kMagic = "ppm-rbfnet";
+constexpr int kVersion = 1;
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw std::runtime_error("rbf::loadNetwork: " + what);
+}
+
+} // namespace
+
+void
+saveNetwork(const RbfNetwork &network, std::ostream &os)
+{
+    os << kMagic << " " << kVersion << "\n";
+    os << "dims " << network.dimensions() << " bases "
+       << network.numBases() << "\n";
+    os << std::setprecision(17);
+    for (std::size_t j = 0; j < network.numBases(); ++j) {
+        const auto &basis = network.bases()[j];
+        for (double c : basis.center())
+            os << c << " ";
+        for (double r : basis.radius())
+            os << r << " ";
+        os << network.weights()[j] << "\n";
+    }
+}
+
+void
+saveNetwork(const RbfNetwork &network, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("rbf::saveNetwork: cannot open " +
+                                 path);
+    saveNetwork(network, os);
+    if (!os)
+        throw std::runtime_error("rbf::saveNetwork: write failed: " +
+                                 path);
+}
+
+RbfNetwork
+loadNetwork(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version))
+        fail("missing header");
+    if (magic != kMagic)
+        fail("bad magic '" + magic + "'");
+    if (version != kVersion)
+        fail("unsupported version " + std::to_string(version));
+
+    std::string key;
+    std::size_t dims = 0, m = 0;
+    if (!(is >> key >> dims) || key != "dims")
+        fail("missing dims");
+    if (!(is >> key >> m) || key != "bases")
+        fail("missing bases");
+    if (dims == 0 || m == 0)
+        fail("degenerate network");
+    if (dims > 1024 || m > 1000000)
+        fail("implausible sizes");
+
+    std::vector<GaussianBasis> bases;
+    std::vector<double> weights;
+    bases.reserve(m);
+    weights.reserve(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        dspace::UnitPoint center(dims);
+        std::vector<double> radius(dims);
+        double weight = 0;
+        for (auto &c : center)
+            if (!(is >> c))
+                fail("truncated center in basis " + std::to_string(j));
+        for (auto &r : radius) {
+            if (!(is >> r))
+                fail("truncated radius in basis " + std::to_string(j));
+            if (r <= 0)
+                fail("non-positive radius in basis " +
+                     std::to_string(j));
+        }
+        if (!(is >> weight))
+            fail("missing weight in basis " + std::to_string(j));
+        bases.emplace_back(std::move(center), std::move(radius));
+        weights.push_back(weight);
+    }
+    return RbfNetwork(std::move(bases), std::move(weights));
+}
+
+RbfNetwork
+loadNetwork(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("rbf::loadNetwork: cannot open " +
+                                 path);
+    return loadNetwork(is);
+}
+
+} // namespace ppm::rbf

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Text serialization of trained RBF networks, so a model built from
+ * hours of simulation can be archived and reloaded without refitting
+ * (e.g. shipped alongside a design-space study).
+ *
+ * Format (whitespace-separated, one basis per line):
+ *
+ *   ppm-rbfnet 1
+ *   dims <n> bases <m>
+ *   <c_1 ... c_n> <r_1 ... r_n> <w>     (m lines)
+ */
+
+#ifndef PPM_RBF_SERIALIZE_HH
+#define PPM_RBF_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "rbf/network.hh"
+
+namespace ppm::rbf {
+
+/** Write @p network to @p os. */
+void saveNetwork(const RbfNetwork &network, std::ostream &os);
+
+/** Write @p network to @p path. @throws std::runtime_error on I/O. */
+void saveNetwork(const RbfNetwork &network, const std::string &path);
+
+/**
+ * Read a network from @p is.
+ * @throws std::runtime_error on malformed input.
+ */
+RbfNetwork loadNetwork(std::istream &is);
+
+/** Read a network from @p path. @throws std::runtime_error. */
+RbfNetwork loadNetwork(const std::string &path);
+
+} // namespace ppm::rbf
+
+#endif // PPM_RBF_SERIALIZE_HH

@@ -1,0 +1,66 @@
+#include "rbf/trainer.hh"
+
+#include <cassert>
+#include <limits>
+
+#include "tree/regression_tree.hh"
+
+namespace ppm::rbf {
+
+TrainedRbf
+trainRbfModel(const std::vector<dspace::UnitPoint> &xs,
+              const std::vector<double> &ys,
+              const TrainerOptions &options)
+{
+    assert(!xs.empty());
+    assert(xs.size() == ys.size());
+    assert(!options.p_min_grid.empty());
+    assert(!options.alpha_grid.empty());
+
+    TrainedRbf best;
+    best.criterion_value = std::numeric_limits<double>::infinity();
+
+    for (int p_min : options.p_min_grid) {
+        // The tree depends only on p_min; share it across alphas.
+        const tree::RegressionTree tree(xs, ys, p_min);
+        for (double alpha : options.alpha_grid) {
+            RbfRtOptions rt;
+            rt.alpha = alpha;
+            rt.criterion = options.criterion;
+            rt.selection = options.selection;
+            rt.max_centers = options.max_centers;
+
+            RbfRtResult result = buildRbfFromTree(tree, xs, ys, rt);
+            if (result.criterion_value < best.criterion_value) {
+                best.network = std::move(result.network);
+                best.p_min = p_min;
+                best.alpha = alpha;
+                best.criterion_value = result.criterion_value;
+                best.train_sse = result.train_sse;
+                best.num_centers = best.network.numBases();
+            }
+        }
+    }
+
+    // With a degenerate sample every candidate can score +inf; fall
+    // back to the first grid point's root-only model so callers always
+    // get a usable network.
+    if (best.network.empty()) {
+        const tree::RegressionTree tree(xs, ys,
+                                        options.p_min_grid.front());
+        RbfRtOptions rt;
+        rt.alpha = options.alpha_grid.front();
+        rt.criterion = options.criterion;
+        rt.selection = options.selection;
+        RbfRtResult result = buildRbfFromTree(tree, xs, ys, rt);
+        best.network = std::move(result.network);
+        best.p_min = options.p_min_grid.front();
+        best.alpha = options.alpha_grid.front();
+        best.criterion_value = result.criterion_value;
+        best.train_sse = result.train_sse;
+        best.num_centers = best.network.numBases();
+    }
+    return best;
+}
+
+} // namespace ppm::rbf

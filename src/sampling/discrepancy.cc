@@ -1,0 +1,82 @@
+#include "sampling/discrepancy.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace ppm::sampling {
+
+double
+starL2Discrepancy(const std::vector<dspace::UnitPoint> &unit)
+{
+    assert(!unit.empty());
+    const std::size_t p = unit.size();
+    const std::size_t d = unit.front().size();
+    const double pd = static_cast<double>(p);
+
+    double sum1 = 0.0;
+    for (const auto &x : unit) {
+        assert(x.size() == d);
+        double prod = 1.0;
+        for (double v : x)
+            prod *= 1.0 - v * v;
+        sum1 += prod;
+    }
+
+    double sum2 = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = 0; j < p; ++j) {
+            double prod = 1.0;
+            for (std::size_t k = 0; k < d; ++k)
+                prod *= 1.0 - std::max(unit[i][k], unit[j][k]);
+            sum2 += prod;
+        }
+    }
+
+    const double dd = static_cast<double>(d);
+    const double sq = std::pow(3.0, -dd)
+        - std::pow(2.0, 1.0 - dd) / pd * sum1
+        + sum2 / (pd * pd);
+    return std::sqrt(std::max(0.0, sq));
+}
+
+double
+centeredL2Discrepancy(const std::vector<dspace::UnitPoint> &unit)
+{
+    assert(!unit.empty());
+    const std::size_t p = unit.size();
+    const std::size_t d = unit.front().size();
+    const double pd = static_cast<double>(p);
+
+    double sum1 = 0.0;
+    for (const auto &x : unit) {
+        assert(x.size() == d);
+        double prod = 1.0;
+        for (double v : x) {
+            const double z = std::fabs(v - 0.5);
+            prod *= 1.0 + 0.5 * z - 0.5 * z * z;
+        }
+        sum1 += prod;
+    }
+
+    double sum2 = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+        for (std::size_t j = 0; j < p; ++j) {
+            double prod = 1.0;
+            for (std::size_t k = 0; k < d; ++k) {
+                const double zi = std::fabs(unit[i][k] - 0.5);
+                const double zj = std::fabs(unit[j][k] - 0.5);
+                const double dij = std::fabs(unit[i][k] - unit[j][k]);
+                prod *= 1.0 + 0.5 * zi + 0.5 * zj - 0.5 * dij;
+            }
+            sum2 += prod;
+        }
+    }
+
+    const double dd = static_cast<double>(d);
+    const double sq = std::pow(13.0 / 12.0, dd)
+        - 2.0 / pd * sum1
+        + sum2 / (pd * pd);
+    return std::sqrt(std::max(0.0, sq));
+}
+
+} // namespace ppm::sampling

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Space-filling quality metrics: L2-star discrepancy (Warnock) and the
+ * centered L2 discrepancy (Hickernell 1998), which the paper uses to
+ * choose among candidate latin hypercube samples (Sec 2.2, Fig 2).
+ * Lower values mean the sample deviates less from a perfectly uniform
+ * spread over the unit hypercube.
+ */
+
+#ifndef PPM_SAMPLING_DISCREPANCY_HH
+#define PPM_SAMPLING_DISCREPANCY_HH
+
+#include <vector>
+
+#include "dspace/design_space.hh"
+
+namespace ppm::sampling {
+
+/**
+ * Classical L2-star discrepancy via Warnock's closed form:
+ *
+ *   D*^2 = 3^-d
+ *        - 2^(1-d)/p * sum_i prod_k (1 - x_ik^2)
+ *        + 1/p^2 * sum_{i,j} prod_k (1 - max(x_ik, x_jk))
+ *
+ * @param unit Points in [0, 1]^d; all must share one dimensionality.
+ * @return D* (the square root of the expression above).
+ */
+double starL2Discrepancy(const std::vector<dspace::UnitPoint> &unit);
+
+/**
+ * Centered L2 discrepancy (Hickernell 1998, Eq 5.2 / Fang et al. 2002):
+ *
+ *   CD^2 = (13/12)^d
+ *        - 2/p * sum_i prod_k (1 + |z_ik|/2 - z_ik^2/2)
+ *        + 1/p^2 * sum_{i,j} prod_k
+ *              (1 + |z_ik|/2 + |z_jk|/2 - |x_ik - x_jk|/2)
+ *
+ * with z_ik = x_ik - 0.5. This is the variant invariant under
+ * reflection about the centre, the measure the paper's sample
+ * optimization uses.
+ *
+ * @return CD (the square root).
+ */
+double centeredL2Discrepancy(const std::vector<dspace::UnitPoint> &unit);
+
+} // namespace ppm::sampling
+
+#endif // PPM_SAMPLING_DISCREPANCY_HH

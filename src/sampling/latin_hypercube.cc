@@ -1,0 +1,54 @@
+#include "sampling/latin_hypercube.hh"
+
+#include <cassert>
+#include <numeric>
+
+namespace ppm::sampling {
+
+std::vector<dspace::DesignPoint>
+latinHypercubeSample(const dspace::DesignSpace &space, int size,
+                     math::Rng &rng, const LhsOptions &options)
+{
+    assert(size >= 2);
+    const std::size_t n = space.size();
+    const std::size_t p = static_cast<std::size_t>(size);
+
+    // One column of stratified unit values per parameter, independently
+    // permuted so strata combine randomly across parameters.
+    std::vector<dspace::UnitPoint> unit(p, dspace::UnitPoint(n));
+    std::vector<std::size_t> order(p);
+    for (std::size_t k = 0; k < n; ++k) {
+        std::iota(order.begin(), order.end(), 0);
+        rng.shuffle(order);
+        for (std::size_t i = 0; i < p; ++i) {
+            const double offset = options.center_strata ? 0.5
+                : rng.uniform();
+            const double u = (static_cast<double>(order[i]) + offset)
+                / static_cast<double>(p);
+            unit[i][k] = u;
+        }
+    }
+
+    std::vector<dspace::DesignPoint> points;
+    points.reserve(p);
+    for (std::size_t i = 0; i < p; ++i) {
+        dspace::DesignPoint raw = space.fromUnit(unit[i]);
+        if (options.snap_to_levels)
+            raw = space.snapToLevels(raw, size);
+        points.push_back(std::move(raw));
+    }
+    return points;
+}
+
+std::vector<dspace::UnitPoint>
+toUnitSample(const dspace::DesignSpace &space,
+             const std::vector<dspace::DesignPoint> &points)
+{
+    std::vector<dspace::UnitPoint> unit;
+    unit.reserve(points.size());
+    for (const auto &p : points)
+        unit.push_back(space.toUnit(p));
+    return unit;
+}
+
+} // namespace ppm::sampling

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Latin hypercube sampling (McKay, Beckman, Conover 1979), the paper's
+ * strategy for selecting simulation design points (Sec 2.2).
+ *
+ * For a sample of p points, each parameter's transformed range is
+ * stratified into p equal strata and each stratum is used exactly once;
+ * strata are combined randomly across parameters. Points are then
+ * snapped to each parameter's discrete levels, so parameters with few
+ * levels (e.g. dl1_lat with 4) cover every level roughly equally — the
+ * "variant" of LHS the paper describes.
+ */
+
+#ifndef PPM_SAMPLING_LATIN_HYPERCUBE_HH
+#define PPM_SAMPLING_LATIN_HYPERCUBE_HH
+
+#include <vector>
+
+#include "dspace/design_space.hh"
+#include "math/rng.hh"
+
+namespace ppm::sampling {
+
+/** Options controlling LHS generation. */
+struct LhsOptions
+{
+    /**
+     * Place each point at the centre of its stratum instead of a random
+     * offset. Centred strata give slightly better discrepancy; random
+     * offsets give an unbiased space-filling estimate.
+     */
+    bool center_strata = false;
+    /**
+     * Snap each coordinate to the parameter's discrete levels
+     * (sample-size-dependent parameters get one level per point).
+     */
+    bool snap_to_levels = true;
+};
+
+/**
+ * Draw one latin hypercube sample of @p size raw design points.
+ *
+ * @param space The design space to sample.
+ * @param size Number of design points (>= 2).
+ * @param rng Random source.
+ * @param options Generation options.
+ */
+std::vector<dspace::DesignPoint> latinHypercubeSample(
+    const dspace::DesignSpace &space, int size, math::Rng &rng,
+    const LhsOptions &options = {});
+
+/**
+ * Map a raw sample into the unit hypercube of @p space (helper for
+ * discrepancy computation and model fitting).
+ */
+std::vector<dspace::UnitPoint> toUnitSample(
+    const dspace::DesignSpace &space,
+    const std::vector<dspace::DesignPoint> &points);
+
+} // namespace ppm::sampling
+
+#endif // PPM_SAMPLING_LATIN_HYPERCUBE_HH

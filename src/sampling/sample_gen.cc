@@ -1,0 +1,50 @@
+#include "sampling/sample_gen.hh"
+
+#include <cassert>
+
+#include "sampling/discrepancy.hh"
+
+namespace ppm::sampling {
+
+OptimizedSample
+bestLatinHypercube(const dspace::DesignSpace &space, int size,
+                   int num_candidates, math::Rng &rng,
+                   const LhsOptions &options)
+{
+    assert(num_candidates >= 1);
+    OptimizedSample best;
+    for (int c = 0; c < num_candidates; ++c) {
+        auto candidate = latinHypercubeSample(space, size, rng, options);
+        const double disc =
+            centeredL2Discrepancy(toUnitSample(space, candidate));
+        if (best.points.empty() || disc < best.discrepancy) {
+            best.points = std::move(candidate);
+            best.discrepancy = disc;
+        }
+    }
+    best.candidates_evaluated = num_candidates;
+    return best;
+}
+
+std::vector<dspace::DesignPoint>
+randomSample(const dspace::DesignSpace &space, int size, math::Rng &rng)
+{
+    std::vector<dspace::DesignPoint> points;
+    points.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i)
+        points.push_back(
+            space.snapToLevels(space.randomPoint(rng), size));
+    return points;
+}
+
+std::vector<dspace::DesignPoint>
+randomTestSet(const dspace::DesignSpace &space, int size, math::Rng &rng)
+{
+    std::vector<dspace::DesignPoint> points;
+    points.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i)
+        points.push_back(space.randomPoint(rng));
+    return points;
+}
+
+} // namespace ppm::sampling

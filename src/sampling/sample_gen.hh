@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sample-generation strategies built on the latin hypercube sampler:
+ * the paper's best-of-N discrepancy-optimized LHS (Sec 2.2), plain
+ * random sampling (the ablation baseline), and independent random test
+ * sets (Sec 3).
+ */
+
+#ifndef PPM_SAMPLING_SAMPLE_GEN_HH
+#define PPM_SAMPLING_SAMPLE_GEN_HH
+
+#include <vector>
+
+#include "dspace/design_space.hh"
+#include "math/rng.hh"
+#include "sampling/latin_hypercube.hh"
+
+namespace ppm::sampling {
+
+/** A generated training sample with its space-filling score. */
+struct OptimizedSample
+{
+    /** Raw design points, one per simulation to run. */
+    std::vector<dspace::DesignPoint> points;
+    /** Centered L2 discrepancy of the chosen sample. */
+    double discrepancy = 0.0;
+    /** How many candidate samples were scored. */
+    int candidates_evaluated = 0;
+};
+
+/**
+ * Generate @p num_candidates latin hypercube samples and keep the one
+ * with the lowest centered L2 discrepancy — the paper's "generate a
+ * large number of latin hypercube samples and choose the one with the
+ * best L2-star discrepancy metric".
+ *
+ * @param space Design space to sample.
+ * @param size Sample size (number of simulations).
+ * @param num_candidates Candidate samples to generate (>= 1).
+ * @param rng Random source.
+ * @param options LHS options forwarded to each candidate.
+ */
+OptimizedSample bestLatinHypercube(const dspace::DesignSpace &space,
+                                   int size, int num_candidates,
+                                   math::Rng &rng,
+                                   const LhsOptions &options = {});
+
+/**
+ * Plain uniform random sample (each point independent), snapped to
+ * parameter levels. Baseline against which LHS is ablated.
+ */
+std::vector<dspace::DesignPoint> randomSample(
+    const dspace::DesignSpace &space, int size, math::Rng &rng);
+
+/**
+ * Independent random test set for model validation: @p size points
+ * drawn uniformly from @p space without level snapping (the paper draws
+ * 50 such points from the Table 2 subspace).
+ */
+std::vector<dspace::DesignPoint> randomTestSet(
+    const dspace::DesignSpace &space, int size, math::Rng &rng);
+
+} // namespace ppm::sampling
+
+#endif // PPM_SAMPLING_SAMPLE_GEN_HH

@@ -1,0 +1,181 @@
+#include "sim/branch_predictor.hh"
+
+#include <cassert>
+
+namespace ppm::sim {
+
+using trace::OpClass;
+
+BranchPredictor::BranchPredictor(const ProcessorConfig &config)
+    : history_bits_(config.gshare_bits),
+      btb_assoc_(config.btb_assoc),
+      ras_limit_(static_cast<std::size_t>(config.ras_entries))
+{
+    counters_.assign(1ULL << history_bits_, 1); // weakly not-taken
+    btb_sets_ = static_cast<std::uint64_t>(config.btb_entries /
+                                           config.btb_assoc);
+    assert(btb_sets_ > 0);
+    btb_.assign(btb_sets_ * static_cast<std::uint64_t>(btb_assoc_),
+                BtbEntry{});
+}
+
+std::uint64_t
+BranchPredictor::gshareIndex(std::uint64_t pc) const
+{
+    const std::uint64_t mask = (1ULL << history_bits_) - 1;
+    return ((pc >> 2) ^ history_) & mask;
+}
+
+bool
+BranchPredictor::btbLookup(std::uint64_t pc, std::uint64_t &target) const
+{
+    const std::uint64_t set = (pc >> 2) % btb_sets_;
+    const BtbEntry *base =
+        &btb_[set * static_cast<std::uint64_t>(btb_assoc_)];
+    for (int w = 0; w < btb_assoc_; ++w) {
+        if (base[w].valid && base[w].pc == pc) {
+            target = base[w].target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BranchPredictor::btbInsert(std::uint64_t pc, std::uint64_t target)
+{
+    const std::uint64_t set = (pc >> 2) % btb_sets_;
+    BtbEntry *base = &btb_[set * static_cast<std::uint64_t>(btb_assoc_)];
+    BtbEntry *victim = base;
+    for (int w = 0; w < btb_assoc_; ++w) {
+        BtbEntry &e = base[w];
+        if (e.valid && e.pc == pc) {
+            e.target = target;
+            e.lru = ++btb_use_;
+            return;
+        }
+        if (!e.valid) {
+            if (victim->valid || e.lru < victim->lru)
+                victim = &e;
+        } else if (victim->valid && e.lru < victim->lru) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lru = ++btb_use_;
+}
+
+BranchPrediction
+BranchPredictor::predictTarget(const trace::TraceInstruction &inst)
+{
+    BranchPrediction pred;
+    if (inst.op == OpClass::BranchRet) {
+        if (!ras_.empty()) {
+            pred.target = ras_.back();
+            pred.target_known = true;
+            ras_.pop_back();
+        }
+        return pred;
+    }
+    std::uint64_t target = 0;
+    if (btbLookup(inst.pc, target)) {
+        pred.target = target;
+        pred.target_known = true;
+    }
+    return pred;
+}
+
+BranchPrediction
+BranchPredictor::predict(const trace::TraceInstruction &inst)
+{
+    assert(inst.isBr());
+    BranchPrediction pred = predictTarget(inst);
+
+    if (inst.op == OpClass::BranchCall) {
+        // Push the fall-through (call PC + 4) for the matching return.
+        if (ras_.size() == ras_limit_)
+            ras_.erase(ras_.begin());
+        ras_.push_back(inst.pc + 4);
+    }
+
+    if (inst.op == OpClass::BranchCond) {
+        pred.gshare_index = gshareIndex(inst.pc);
+        pred.fetch_history = history_;
+        const std::uint8_t counter = counters_[pred.gshare_index];
+        pred.taken = counter >= 2;
+        // Speculative history update with the prediction; update()
+        // repairs it from fetch_history on a misprediction.
+        history_ = ((history_ << 1) |
+                    (pred.taken ? 1ULL : 0ULL)) &
+            ((1ULL << history_bits_) - 1);
+    } else {
+        pred.taken = true;
+    }
+    return pred;
+}
+
+BranchPredictor::Resolution
+BranchPredictor::update(const trace::TraceInstruction &inst,
+                        const BranchPrediction &prediction)
+{
+    assert(inst.isBr());
+    ++stats_.branches;
+
+    Resolution res;
+    bool mispredict = false;
+    if (inst.op == OpClass::BranchCond) {
+        ++stats_.cond_branches;
+        const std::uint64_t mask = (1ULL << history_bits_) - 1;
+        std::uint8_t &counter = counters_[prediction.gshare_index];
+        if (inst.taken) {
+            if (counter < 3)
+                ++counter;
+        } else if (counter > 0) {
+            --counter;
+        }
+        if (prediction.taken != inst.taken) {
+            mispredict = true;
+            // Repair the speculative history with the real outcome.
+            history_ = ((prediction.fetch_history << 1) |
+                        (inst.taken ? 1ULL : 0ULL)) & mask;
+        }
+    }
+
+    // Taken control flow needs a target at fetch; a wrong or unknown
+    // target from BTB/RAS means the redirect resolves at execute.
+    if (inst.taken && !mispredict) {
+        const bool target_ok = prediction.target_known &&
+            prediction.target == inst.branch_target;
+        if (!target_ok && inst.op == OpClass::BranchRet) {
+            mispredict = true; // returns resolve through the RAS only
+        } else if (!target_ok && !prediction.target_known) {
+            ++stats_.btb_bubbles; // decode-time target computation
+            res.btb_bubble = true;
+        } else if (!target_ok) {
+            mispredict = true; // stale BTB target: full redirect
+        }
+    }
+
+    if (inst.op != OpClass::BranchRet)
+        btbInsert(inst.pc, inst.branch_target);
+    if (mispredict)
+        ++stats_.mispredicts;
+    res.mispredict = mispredict;
+    return res;
+}
+
+void
+BranchPredictor::reset()
+{
+    counters_.assign(counters_.size(), 1);
+    for (auto &e : btb_)
+        e = BtbEntry{};
+    btb_use_ = 0;
+    history_ = 0;
+    ras_.clear();
+    stats_ = BranchStats{};
+}
+
+} // namespace ppm::sim

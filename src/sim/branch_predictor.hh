@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Branch direction and target prediction: a gshare direction predictor
+ * (global history XOR PC indexing a table of 2-bit counters), a
+ * set-associative branch target buffer, and a return address stack.
+ */
+
+#ifndef PPM_SIM_BRANCH_PREDICTOR_HH
+#define PPM_SIM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "trace/instruction.hh"
+
+namespace ppm::sim {
+
+/** Outcome of a fetch-time prediction for one branch. */
+struct BranchPrediction
+{
+    bool taken = false;        //!< predicted direction
+    bool target_known = false; //!< BTB/RAS supplied a target
+    std::uint64_t target = 0;  //!< predicted target when known
+    /** Fetch-time gshare table index (for the training update). */
+    std::uint64_t gshare_index = 0;
+    /** Global history as it was at fetch (for misprediction repair). */
+    std::uint64_t fetch_history = 0;
+};
+
+/**
+ * Combined direction/target predictor.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const ProcessorConfig &config);
+
+    /**
+     * Predict @p inst at fetch. Unconditional branches predict taken;
+     * returns consult the RAS; calls push their return address.
+     * Updates speculative state (history, RAS) immediately — adequate
+     * for a trace-driven model fetching only correct-path instructions.
+     */
+    BranchPrediction predict(const trace::TraceInstruction &inst);
+
+    /**
+     * What the core must do about a branch after training.
+     */
+    struct Resolution
+    {
+        /** Full redirect: wrong direction, or an execute-time target. */
+        bool mispredict = false;
+        /** Right direction but the BTB had no target: decode bubble. */
+        bool btb_bubble = false;
+    };
+
+    /**
+     * Train with the actual outcome and record statistics.
+     *
+     * @param inst The branch.
+     * @param prediction What predict() returned for it.
+     */
+    Resolution update(const trace::TraceInstruction &inst,
+                      const BranchPrediction &prediction);
+
+    const BranchStats &stats() const { return stats_; }
+
+    /** Clear tables, history, RAS and statistics. */
+    void reset();
+
+  private:
+    std::uint64_t gshareIndex(std::uint64_t pc) const;
+    BranchPrediction predictTarget(const trace::TraceInstruction &inst);
+    void btbInsert(std::uint64_t pc, std::uint64_t target);
+    bool btbLookup(std::uint64_t pc, std::uint64_t &target) const;
+
+    struct BtbEntry
+    {
+        std::uint64_t pc = 0;
+        std::uint64_t target = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    int history_bits_;
+    std::uint64_t history_ = 0;
+    std::vector<std::uint8_t> counters_; //!< 2-bit saturating
+
+    int btb_assoc_;
+    std::uint64_t btb_sets_;
+    std::vector<BtbEntry> btb_;
+    std::uint64_t btb_use_ = 0;
+
+    std::vector<std::uint64_t> ras_;
+    std::size_t ras_limit_;
+
+    BranchStats stats_;
+};
+
+} // namespace ppm::sim
+
+#endif // PPM_SIM_BRANCH_PREDICTOR_HH

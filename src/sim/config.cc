@@ -1,0 +1,131 @@
+#include "sim/config.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "dspace/paper_space.hh"
+
+namespace ppm::sim {
+
+namespace {
+
+bool
+isPowerOfTwo(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+void
+require(bool ok, const std::string &what)
+{
+    if (!ok)
+        throw std::invalid_argument("ProcessorConfig: " + what);
+}
+
+} // namespace
+
+int
+ProcessorConfig::frontEndDepth() const
+{
+    return std::max(1, pipe_depth - backend_stages);
+}
+
+void
+ProcessorConfig::validate() const
+{
+    require(pipe_depth >= 6 && pipe_depth <= 40,
+            "pipe_depth out of range");
+    require(rob_size >= 8 && rob_size <= 512, "rob_size out of range");
+    require(iq_size >= 4 && iq_size <= rob_size,
+            "iq_size must be in [4, rob_size]");
+    require(lsq_size >= 4 && lsq_size <= rob_size,
+            "lsq_size must be in [4, rob_size]");
+    require(l2_size_kb >= 64 && l2_size_kb <= 65536,
+            "l2_size_kb out of range");
+    require(l2_lat >= 2 && l2_lat <= 64, "l2_lat out of range");
+    require(il1_size_kb >= 1 && il1_size_kb <= 1024,
+            "il1_size_kb out of range");
+    require(dl1_size_kb >= 1 && dl1_size_kb <= 1024,
+            "dl1_size_kb out of range");
+    require(dl1_lat >= 1 && dl1_lat <= 16, "dl1_lat out of range");
+    require(l2_size_kb > dl1_size_kb && l2_size_kb > il1_size_kb,
+            "L2 must be larger than the L1s");
+    require(l2_lat > dl1_lat, "L2 must be slower than DL1");
+
+    require(fetch_width >= 1 && fetch_width <= 16, "fetch_width");
+    require(issue_width >= 1 && issue_width <= 16, "issue_width");
+    require(commit_width >= 1 && commit_width <= 16, "commit_width");
+    require(il1_lat >= 1, "il1_lat");
+    require(backend_stages >= 1 && backend_stages < pipe_depth,
+            "backend_stages must leave a front end");
+
+    require(num_int_alu >= 1, "num_int_alu");
+    require(num_int_mul >= 1, "num_int_mul");
+    require(num_fp_units >= 1, "num_fp_units");
+    require(num_mem_ports >= 1, "num_mem_ports");
+
+    require(isPowerOfTwo(line_size), "line_size must be a power of two");
+    require(il1_assoc >= 1 && dl1_assoc >= 1 && l2_assoc >= 1,
+            "associativities must be positive");
+
+    require(gshare_bits >= 4 && gshare_bits <= 24, "gshare_bits");
+    require(isPowerOfTwo(btb_entries), "btb_entries power of two");
+    require(btb_assoc >= 1 && btb_assoc <= btb_entries, "btb_assoc");
+    require(ras_entries >= 1, "ras_entries");
+    require(btb_miss_penalty >= 0, "btb_miss_penalty");
+
+    require(isPowerOfTwo(dram_banks), "dram_banks power of two");
+    require(dram_tcas > 0 && dram_trcd > 0 && dram_trp > 0,
+            "DRAM timing must be positive");
+    require(isPowerOfTwo(dram_row_bytes), "dram_row_bytes power of two");
+    require(bus_burst_cycles > 0, "bus_burst_cycles");
+    require(memctrl_overhead >= 0, "memctrl_overhead");
+}
+
+std::string
+ProcessorConfig::toString() const
+{
+    std::ostringstream os;
+    os << "pipe=" << pipe_depth << " rob=" << rob_size
+       << " iq=" << iq_size << " lsq=" << lsq_size
+       << " l2=" << l2_size_kb << "KB@" << l2_lat
+       << " il1=" << il1_size_kb << "KB"
+       << " dl1=" << dl1_size_kb << "KB@" << dl1_lat;
+    return os.str();
+}
+
+ProcessorConfig
+ProcessorConfig::fromDesignPoint(const dspace::DesignSpace &space,
+                                 const dspace::DesignPoint &point)
+{
+    using namespace ppm::dspace;
+    if (point.size() != kNumPaperParams ||
+        space.size() != kNumPaperParams) {
+        throw std::invalid_argument(
+            "fromDesignPoint: expected the 9-parameter paper space");
+    }
+
+    ProcessorConfig cfg;
+    cfg.pipe_depth =
+        static_cast<int>(std::lround(point[kPipeDepth]));
+    cfg.rob_size = static_cast<int>(std::lround(point[kRobSize]));
+    cfg.iq_size = std::max(
+        8, static_cast<int>(std::lround(point[kIqFrac] *
+                                        point[kRobSize])));
+    cfg.lsq_size = std::max(
+        8, static_cast<int>(std::lround(point[kLsqFrac] *
+                                        point[kRobSize])));
+    cfg.l2_size_kb = static_cast<int>(std::lround(point[kL2SizeKB]));
+    cfg.l2_lat = static_cast<int>(std::lround(point[kL2Lat]));
+    cfg.il1_size_kb =
+        static_cast<int>(std::lround(point[kIl1SizeKB]));
+    cfg.dl1_size_kb =
+        static_cast<int>(std::lround(point[kDl1SizeKB]));
+    cfg.dl1_lat = static_cast<int>(std::lround(point[kDl1Lat]));
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace ppm::sim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Processor configuration: the paper's nine design parameters plus the
+ * fixed machine parameters (widths, associativities, DRAM timing) held
+ * constant across the design space, with conversion from a DesignPoint
+ * of the paper's design space.
+ */
+
+#ifndef PPM_SIM_CONFIG_HH
+#define PPM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dspace/design_space.hh"
+
+namespace ppm::sim {
+
+/**
+ * Full configuration of the modeled superscalar processor.
+ *
+ * The first block holds the paper's Table 1 design parameters; the
+ * rest are fixed at values typical of the paper's era (4-wide core,
+ * 64B lines, gshare predictor, DDR-style memory behind a shared bus).
+ */
+struct ProcessorConfig
+{
+    // --- design parameters (paper Table 1) -------------------------
+    int pipe_depth = 14;   //!< total pipeline stages, 7-24
+    int rob_size = 64;     //!< reorder buffer entries, 24-128
+    int iq_size = 32;      //!< issue queue entries (frac * ROB)
+    int lsq_size = 32;     //!< load/store queue entries (frac * ROB)
+    int l2_size_kb = 1024; //!< unified L2 capacity, 256-8192 KB
+    int l2_lat = 12;       //!< L2 hit latency, 5-20 cycles
+    int il1_size_kb = 32;  //!< L1 I-cache capacity, 8-64 KB
+    int dl1_size_kb = 32;  //!< L1 D-cache capacity, 8-64 KB
+    int dl1_lat = 2;       //!< L1 D-cache hit latency, 1-4 cycles
+
+    // --- fixed core parameters --------------------------------------
+    int fetch_width = 4;   //!< instructions fetched per cycle
+    int issue_width = 4;   //!< instructions issued per cycle
+    int commit_width = 4;  //!< instructions committed per cycle
+    int il1_lat = 1;       //!< IL1 hit latency (pipelined into fetch)
+    /**
+     * Back-end stages (issue/execute/writeback/commit) included in
+     * pipe_depth; the front end gets pipe_depth - backend_stages
+     * stages, which sets the misprediction refill time.
+     */
+    int backend_stages = 5;
+
+    // --- fixed functional unit pool ----------------------------------
+    int num_int_alu = 4;   //!< single-cycle integer units
+    int num_int_mul = 1;   //!< integer multiply/divide unit
+    int num_fp_units = 2;  //!< FP add/mul pipelines
+    int num_mem_ports = 2; //!< cache ports (loads+stores issued/cycle)
+
+    // --- fixed cache geometry ---------------------------------------
+    int line_size = 64;    //!< bytes per cache line
+    int il1_assoc = 2;
+    int dl1_assoc = 2;
+    int l2_assoc = 8;
+
+    // --- fixed branch predictor --------------------------------------
+    int gshare_bits = 12;     //!< history/index bits (4K counters)
+    int btb_entries = 1024;   //!< BTB entries (4-way)
+    int btb_assoc = 4;
+    int ras_entries = 16;     //!< return address stack depth
+    /** Fetch bubble when direction is right but the BTB misses. */
+    int btb_miss_penalty = 3;
+
+    // --- fixed memory system -----------------------------------------
+    int dram_banks = 8;
+    int dram_tcas = 30;        //!< column access, CPU cycles
+    int dram_trcd = 30;        //!< row activate
+    int dram_trp = 30;         //!< precharge
+    int dram_row_bytes = 8192; //!< open-row size per bank
+    int bus_burst_cycles = 16; //!< bus occupancy per line transfer
+    int memctrl_overhead = 20; //!< fixed controller pipeline latency
+
+    /** Front-end depth derived from pipe_depth (>= 1). */
+    int frontEndDepth() const;
+
+    /**
+     * Throws std::invalid_argument when any field is out of its
+     * supported range (non-positive sizes, widths, latencies, or
+     * non-power-of-two geometry where required).
+     */
+    void validate() const;
+
+    /** One-line summary of the nine design parameters. */
+    std::string toString() const;
+
+    /**
+     * Build a configuration from a design point of the paper space
+     * (paperTrainSpace()/paperTestSpace() parameter order): converts
+     * IQ/LSQ fractions into entry counts (rounded, >= 8).
+     *
+     * @param space The design space describing the point layout.
+     * @param point Raw design point.
+     */
+    static ProcessorConfig fromDesignPoint(
+        const dspace::DesignSpace &space,
+        const dspace::DesignPoint &point);
+};
+
+} // namespace ppm::sim
+
+#endif // PPM_SIM_CONFIG_HH

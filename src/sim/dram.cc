@@ -1,0 +1,77 @@
+#include "sim/dram.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppm::sim {
+
+namespace {
+
+int
+log2Floor(int v)
+{
+    int shift = 0;
+    while ((1 << (shift + 1)) <= v)
+        ++shift;
+    return shift;
+}
+
+} // namespace
+
+Dram::Dram(const ProcessorConfig &config)
+    : tcas_(config.dram_tcas), trcd_(config.dram_trcd),
+      trp_(config.dram_trp),
+      line_shift_(log2Floor(config.line_size)),
+      bank_shift_(log2Floor(config.dram_banks)),
+      row_shift_(log2Floor(config.dram_row_bytes))
+{
+    banks_.assign(static_cast<std::size_t>(config.dram_banks), Bank{});
+}
+
+std::uint64_t
+Dram::bankOf(std::uint64_t addr) const
+{
+    // Line-interleaved across banks: consecutive lines hit
+    // consecutive banks, spreading streams.
+    return (addr >> line_shift_) & ((1ULL << bank_shift_) - 1);
+}
+
+std::uint64_t
+Dram::rowOf(std::uint64_t addr) const
+{
+    return addr >> (row_shift_ + bank_shift_);
+}
+
+Tick
+Dram::access(std::uint64_t addr, Tick at)
+{
+    ++stats_.requests;
+    Bank &bank = banks_[bankOf(addr)];
+    const std::uint64_t row = rowOf(addr);
+
+    Tick start = std::max(at, bank.busy_until);
+    Tick latency = 0;
+    if (bank.row_valid && bank.open_row == row) {
+        ++stats_.row_hits;
+        latency = static_cast<Tick>(tcas_);
+    } else if (!bank.row_valid) {
+        latency = static_cast<Tick>(trcd_ + tcas_);
+    } else {
+        // Row conflict: precharge the open row, then activate.
+        latency = static_cast<Tick>(trp_ + trcd_ + tcas_);
+    }
+    bank.open_row = row;
+    bank.row_valid = true;
+    bank.busy_until = start + latency;
+    return start + latency;
+}
+
+void
+Dram::reset()
+{
+    for (auto &bank : banks_)
+        bank = Bank{};
+    stats_ = MemoryStats{};
+}
+
+} // namespace ppm::sim

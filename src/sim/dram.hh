@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DRAM device timing model: per-bank open-row (page-mode) state with
+ * activate / precharge / column-access latencies expressed in CPU
+ * cycles. The paper's simulator "models DRAM device timing"; this
+ * captures the first-order effects — row-buffer hits are fast, bank
+ * conflicts pay precharge + activate, and a busy bank delays the next
+ * access to it.
+ */
+
+#ifndef PPM_SIM_DRAM_HH
+#define PPM_SIM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace ppm::sim {
+
+/** Simulation time in CPU cycles. */
+using Tick = std::uint64_t;
+
+/**
+ * Multi-bank DRAM device with open-page policy.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const ProcessorConfig &config);
+
+    /**
+     * Perform one line access.
+     *
+     * @param addr Line address (bytes).
+     * @param at Earliest cycle the command can start.
+     * @return Cycle at which the data transfer may begin (the bank is
+     *         then busy until that cycle).
+     */
+    Tick access(std::uint64_t addr, Tick at);
+
+    /** Bank index for an address (line-interleaved). */
+    std::uint64_t bankOf(std::uint64_t addr) const;
+
+    /** Row index within a bank for an address. */
+    std::uint64_t rowOf(std::uint64_t addr) const;
+
+    const MemoryStats &stats() const { return stats_; }
+
+    /** Close all rows and clear statistics. */
+    void reset();
+
+  private:
+    struct Bank
+    {
+        std::uint64_t open_row = 0;
+        bool row_valid = false;
+        Tick busy_until = 0;
+    };
+
+    int tcas_;
+    int trcd_;
+    int trp_;
+    int line_shift_;
+    int bank_shift_;   //!< log2(banks)
+    int row_shift_;    //!< log2(row_bytes)
+    std::vector<Bank> banks_;
+    MemoryStats stats_;
+};
+
+} // namespace ppm::sim
+
+#endif // PPM_SIM_DRAM_HH

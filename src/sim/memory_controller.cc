@@ -1,0 +1,44 @@
+#include "sim/memory_controller.hh"
+
+#include <algorithm>
+
+namespace ppm::sim {
+
+MemoryController::MemoryController(const ProcessorConfig &config)
+    : dram_(config), overhead_(config.memctrl_overhead),
+      burst_cycles_(config.bus_burst_cycles)
+{
+}
+
+Tick
+MemoryController::transfer(std::uint64_t addr, Tick at)
+{
+    // Controller pipeline, then the bank, then the shared bus.
+    const Tick ready = dram_.access(addr, at + overhead_);
+    const Tick bus_start = std::max(ready, bus_free_);
+    bus_free_ = bus_start + static_cast<Tick>(burst_cycles_);
+    return bus_free_;
+}
+
+Tick
+MemoryController::read(std::uint64_t addr, Tick at)
+{
+    return transfer(addr, at);
+}
+
+void
+MemoryController::writeback(std::uint64_t addr, Tick at)
+{
+    ++writebacks_;
+    (void)transfer(addr, at);
+}
+
+void
+MemoryController::reset()
+{
+    dram_.reset();
+    bus_free_ = 0;
+    writebacks_ = 0;
+}
+
+} // namespace ppm::sim

@@ -1,0 +1,79 @@
+#include "sim/memory_hierarchy.hh"
+
+namespace ppm::sim {
+
+MemoryHierarchy::MemoryHierarchy(const ProcessorConfig &config)
+    : config_(config),
+      il1_("il1",
+           static_cast<std::uint64_t>(config.il1_size_kb) * 1024,
+           config.il1_assoc, config.line_size),
+      dl1_("dl1",
+           static_cast<std::uint64_t>(config.dl1_size_kb) * 1024,
+           config.dl1_assoc, config.line_size),
+      l2_("l2", static_cast<std::uint64_t>(config.l2_size_kb) * 1024,
+          config.l2_assoc, config.line_size),
+      memctrl_(config)
+{
+}
+
+Tick
+MemoryHierarchy::accessL2(std::uint64_t addr, Tick at, bool is_write)
+{
+    const CacheAccessResult res = l2_.access(addr, is_write);
+    const Tick lookup_done = at + static_cast<Tick>(config_.l2_lat);
+    if (res.hit)
+        return lookup_done;
+    // Dirty victim goes to memory; it shares the bank/bus resources
+    // with the demand fill but the core never waits on it.
+    if (res.writeback)
+        memctrl_.writeback(res.victim_addr, lookup_done);
+    return memctrl_.read(addr, lookup_done);
+}
+
+Tick
+MemoryHierarchy::fetchInstruction(std::uint64_t pc, Tick at)
+{
+    const CacheAccessResult res = il1_.access(pc, false);
+    const Tick l1_done = at + static_cast<Tick>(config_.il1_lat);
+    if (res.hit)
+        return l1_done;
+    // Instruction lines are never dirty; no writeback possible.
+    return accessL2(pc, l1_done, false);
+}
+
+Tick
+MemoryHierarchy::load(std::uint64_t addr, Tick at)
+{
+    const CacheAccessResult res = dl1_.access(addr, false);
+    const Tick l1_done = at + static_cast<Tick>(config_.dl1_lat);
+    if (res.hit)
+        return l1_done;
+    // A dirty victim drains through a victim buffer: it occupies L2
+    // (and possibly DRAM) bandwidth but does not block the demand.
+    if (res.writeback)
+        (void)accessL2(res.victim_addr, l1_done, true);
+    return accessL2(addr, l1_done, false);
+}
+
+Tick
+MemoryHierarchy::store(std::uint64_t addr, Tick at)
+{
+    const CacheAccessResult res = dl1_.access(addr, true);
+    const Tick l1_done = at + static_cast<Tick>(config_.dl1_lat);
+    if (res.hit)
+        return l1_done;
+    if (res.writeback)
+        (void)accessL2(res.victim_addr, l1_done, true);
+    return accessL2(addr, l1_done, false);
+}
+
+void
+MemoryHierarchy::reset()
+{
+    il1_.reset();
+    dl1_.reset();
+    l2_.reset();
+    memctrl_.reset();
+}
+
+} // namespace ppm::sim

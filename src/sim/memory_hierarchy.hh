@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The full memory hierarchy: split L1s over a unified write-back L2
+ * over the memory controller/DRAM. Exposes completion-time queries the
+ * core uses to schedule instruction fetch, loads, and committed
+ * stores.
+ */
+
+#ifndef PPM_SIM_MEMORY_HIERARCHY_HH
+#define PPM_SIM_MEMORY_HIERARCHY_HH
+
+#include "sim/cache.hh"
+#include "sim/memory_controller.hh"
+
+namespace ppm::sim {
+
+/**
+ * Two-level cache hierarchy with DRAM behind it.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const ProcessorConfig &config);
+
+    /**
+     * Instruction fetch of the line containing @p pc.
+     * @return Cycle at which the fetch group is available.
+     */
+    Tick fetchInstruction(std::uint64_t pc, Tick at);
+
+    /**
+     * Data load.
+     * @return Cycle at which the loaded value is available.
+     */
+    Tick load(std::uint64_t addr, Tick at);
+
+    /**
+     * Data store performed at commit. Write-allocate: a missing line
+     * is fetched; the core does not wait, but the traffic occupies
+     * the L2/DRAM.
+     * @return Cycle at which the line is owned (for statistics only).
+     */
+    Tick store(std::uint64_t addr, Tick at);
+
+    const Cache &il1() const { return il1_; }
+    const Cache &dl1() const { return dl1_; }
+    const Cache &l2() const { return l2_; }
+    const MemoryController &controller() const { return memctrl_; }
+
+    void reset();
+
+  private:
+    /** L2 lookup + fill from DRAM on miss; returns data-ready time. */
+    Tick accessL2(std::uint64_t addr, Tick at, bool is_write);
+
+    ProcessorConfig config_;
+    Cache il1_;
+    Cache dl1_;
+    Cache l2_;
+    MemoryController memctrl_;
+};
+
+} // namespace ppm::sim
+
+#endif // PPM_SIM_MEMORY_HIERARCHY_HH

@@ -1,0 +1,405 @@
+#include "sim/ooo_core.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ppm::sim {
+
+using trace::OpClass;
+using trace::kNoReg;
+
+namespace {
+
+int
+log2Floor(int v)
+{
+    int shift = 0;
+    while ((1 << (shift + 1)) <= v)
+        ++shift;
+    return shift;
+}
+
+/** Forwarding granularity: stores forward to loads within 8 bytes. */
+constexpr int kForwardShift = 3;
+
+} // namespace
+
+OooCore::OooCore(const ProcessorConfig &config, const trace::Trace &trace)
+    : config_(config), trace_(trace), memory_(config),
+      predictor_(config), fus_(config)
+{
+    config_.validate();
+    rob_size_ = config_.rob_size;
+    rob_.assign(static_cast<std::size_t>(rob_size_), RobEntry{});
+    fetch_queue_capacity_ = static_cast<std::size_t>(
+        (config_.frontEndDepth() + 1) * config_.fetch_width);
+    waiting_.reserve(static_cast<std::size_t>(config_.iq_size));
+    for (std::size_t r = 0; r < trace::kNumArchRegs; ++r) {
+        reg_writer_[r] = kNoProducer;
+        reg_writer_seq_[r] = 0;
+    }
+}
+
+bool
+OooCore::operandReady(const RobEntry &entry, int which) const
+{
+    const int slot = entry.producer[which];
+    if (slot == kNoProducer)
+        return true;
+    const RobEntry &producer = rob_[static_cast<std::size_t>(slot)];
+    if (producer.seq != entry.producer_seq[which])
+        return true; // producer already committed; value in the file
+    return producer.issued && producer.completion <= now_;
+}
+
+void
+OooCore::doFetch()
+{
+    if (fetch_seq_ >= trace_.size() || fetch_blocked_on_branch_)
+        return;
+    if (now_ < fetch_stall_until_)
+        return;
+
+    const int line_shift = log2Floor(config_.line_size);
+    int fetched = 0;
+    while (fetched < config_.fetch_width &&
+           fetch_queue_.size() < fetch_queue_capacity_ &&
+           fetch_seq_ < trace_.size()) {
+        const trace::TraceInstruction &inst = trace_[fetch_seq_];
+        Tick base = now_;
+        bool line_missed = false;
+
+        const std::uint64_t line = inst.pc >> line_shift;
+        if (line != last_fetch_line_) {
+            const Tick ready = memory_.fetchInstruction(inst.pc, now_);
+            last_fetch_line_ = line;
+            if (ready > now_ + static_cast<Tick>(config_.il1_lat)) {
+                // IL1 miss: this group completes when the line lands.
+                base = ready;
+                fetch_stall_until_ = ready;
+                line_missed = true;
+            }
+        }
+
+        FetchedInst fetched_inst;
+        fetched_inst.seq = fetch_seq_;
+        fetched_inst.dispatch_ready =
+            base + static_cast<Tick>(config_.frontEndDepth());
+
+        bool break_group = line_missed;
+        if (inst.isBr()) {
+            const BranchPrediction pred = predictor_.predict(inst);
+            const auto res = predictor_.update(inst, pred);
+            if (res.mispredict) {
+                fetched_inst.mispredicted = true;
+                fetch_blocked_on_branch_ = true;
+                blocking_branch_seq_ = fetch_seq_;
+                break_group = true;
+            } else if (res.btb_bubble) {
+                fetch_stall_until_ = std::max(
+                    fetch_stall_until_,
+                    base + static_cast<Tick>(config_.btb_miss_penalty));
+                break_group = true;
+            } else if (inst.taken) {
+                // Fetch groups end at taken branches.
+                break_group = true;
+            }
+        }
+
+        fetch_queue_.push_back(fetched_inst);
+        ++fetch_seq_;
+        ++fetched;
+        progress_ = true;
+        if (break_group)
+            break;
+    }
+}
+
+void
+OooCore::doDispatch()
+{
+    int dispatched = 0;
+    while (dispatched < config_.fetch_width && !fetch_queue_.empty()) {
+        const FetchedInst &f = fetch_queue_.front();
+        if (f.dispatch_ready > now_) {
+            if (dispatched == 0)
+                ++stats_.fetch_empty_stalls;
+            return;
+        }
+        const trace::TraceInstruction &inst = trace_[f.seq];
+
+        if (rob_count_ == rob_size_) {
+            if (dispatched == 0)
+                ++stats_.rob_full_stalls;
+            return;
+        }
+        if (iq_count_ >= config_.iq_size) {
+            if (dispatched == 0)
+                ++stats_.iq_full_stalls;
+            return;
+        }
+        if (inst.isMem() && lsq_count_ >= config_.lsq_size) {
+            if (dispatched == 0)
+                ++stats_.lsq_full_stalls;
+            return;
+        }
+
+        const int slot = rob_tail_;
+        RobEntry &entry = rob_[static_cast<std::size_t>(slot)];
+        entry = RobEntry{};
+        entry.seq = f.seq;
+        entry.op = inst.op;
+        entry.mem_addr = inst.mem_addr;
+        entry.earliest_issue = now_ + 1;
+        entry.is_mispredicted_branch = f.mispredicted;
+
+        for (int k = 0; k < 2; ++k) {
+            const trace::RegId reg = inst.src[k];
+            if (reg == kNoReg)
+                continue;
+            const int w = reg_writer_[reg];
+            if (w == kNoProducer)
+                continue;
+            const RobEntry &producer =
+                rob_[static_cast<std::size_t>(w)];
+            if (producer.seq == reg_writer_seq_[reg] &&
+                producer.seq != entry.seq) {
+                entry.producer[k] = w;
+                entry.producer_seq[k] = producer.seq;
+            }
+        }
+        if (inst.dest != kNoReg) {
+            reg_writer_[inst.dest] = slot;
+            reg_writer_seq_[inst.dest] = f.seq;
+        }
+
+        rob_tail_ = robNext(rob_tail_);
+        ++rob_count_;
+        ++iq_count_;
+        waiting_.push_back(slot);
+        if (inst.isMem()) {
+            lsq_.push_back(slot);
+            ++lsq_count_;
+        }
+        fetch_queue_.pop_front();
+        ++dispatched;
+        progress_ = true;
+    }
+}
+
+Tick
+OooCore::loadCompletion(int slot)
+{
+    // Search the youngest older store to the same 8-byte word.
+    const RobEntry &load = rob_[static_cast<std::size_t>(slot)];
+    const std::uint64_t word = load.mem_addr >> kForwardShift;
+    int match = kNoProducer;
+    for (int s : lsq_) {
+        if (s == slot)
+            break;
+        const RobEntry &e = rob_[static_cast<std::size_t>(s)];
+        if (e.op == OpClass::Store &&
+            (e.mem_addr >> kForwardShift) == word) {
+            match = s;
+        }
+    }
+    if (match != kNoProducer) {
+        const RobEntry &store = rob_[static_cast<std::size_t>(match)];
+        if (!store.issued)
+            return kNever; // must wait for the store to execute
+        return std::max(now_, store.completion) + 1; // forwarding
+    }
+    return memory_.load(load.mem_addr, now_);
+}
+
+bool
+OooCore::tryIssueEntry(int slot)
+{
+    RobEntry &entry = rob_[static_cast<std::size_t>(slot)];
+    if (entry.earliest_issue > now_)
+        return false;
+    if (!operandReady(entry, 0) || !operandReady(entry, 1))
+        return false;
+
+    // Loads blocked behind an unexecuted same-address store must not
+    // claim a cache port.
+    if (entry.op == OpClass::Load) {
+        const std::uint64_t word = entry.mem_addr >> kForwardShift;
+        for (int s : lsq_) {
+            if (s == slot)
+                break;
+            const RobEntry &e = rob_[static_cast<std::size_t>(s)];
+            if (e.op == OpClass::Store && !e.issued &&
+                (e.mem_addr >> kForwardShift) == word) {
+                return false;
+            }
+        }
+    }
+
+    if (!fus_.tryIssue(entry.op, now_)) {
+        fu_retry_ = std::min(fu_retry_, fus_.nextFree(entry.op, now_));
+        return false;
+    }
+
+    entry.issued = true;
+    switch (entry.op) {
+      case OpClass::Load:
+        entry.completion = loadCompletion(slot);
+        assert(entry.completion != kNever);
+        break;
+      case OpClass::Store:
+        entry.completion = now_ + 1; // address/data into the LSQ
+        break;
+      default:
+        entry.completion =
+            now_ + static_cast<Tick>(fus_.latency(entry.op));
+        break;
+    }
+
+    if (entry.is_mispredicted_branch) {
+        // Redirect: fetch restarts when the branch executes.
+        assert(fetch_blocked_on_branch_ &&
+               blocking_branch_seq_ == entry.seq);
+        fetch_blocked_on_branch_ = false;
+        fetch_stall_until_ = entry.completion;
+        // The next fetch group starts at a new line.
+        last_fetch_line_ = ~0ULL;
+    }
+    return true;
+}
+
+void
+OooCore::doIssue()
+{
+    fu_retry_ = kNever;
+    int issued = 0;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < waiting_.size(); ++i) {
+        const int slot = waiting_[i];
+        if (issued < config_.issue_width && tryIssueEntry(slot)) {
+            ++issued;
+            --iq_count_;
+            progress_ = true;
+            continue;
+        }
+        waiting_[kept++] = slot;
+    }
+    waiting_.resize(kept);
+}
+
+void
+OooCore::doCommit()
+{
+    int done = 0;
+    while (done < config_.commit_width && rob_count_ > 0) {
+        RobEntry &entry = rob_[static_cast<std::size_t>(rob_head_)];
+        if (!entry.issued || entry.completion > now_)
+            return;
+        if (entry.op == OpClass::Store)
+            (void)memory_.store(entry.mem_addr, now_);
+        if (entry.op == OpClass::Load || entry.op == OpClass::Store) {
+            assert(!lsq_.empty() && lsq_.front() == rob_head_);
+            lsq_.pop_front();
+            --lsq_count_;
+        }
+        rob_head_ = robNext(rob_head_);
+        --rob_count_;
+        ++committed_;
+        ++done;
+        progress_ = true;
+    }
+}
+
+Tick
+OooCore::nextEventTime() const
+{
+    Tick t = kNever;
+    // Fetch resumption.
+    if (!fetch_blocked_on_branch_ && fetch_seq_ < trace_.size() &&
+        fetch_queue_.size() < fetch_queue_capacity_) {
+        t = std::min(t, std::max(fetch_stall_until_, now_ + 1));
+    }
+    // Front-end arrival of the next dispatchable instruction.
+    if (!fetch_queue_.empty())
+        t = std::min(t, fetch_queue_.front().dispatch_ready);
+    // Commit of the ROB head.
+    if (rob_count_ > 0) {
+        const RobEntry &head =
+            rob_[static_cast<std::size_t>(rob_head_)];
+        if (head.issued)
+            t = std::min(t, head.completion);
+    }
+    // Wakeups of waiting instructions.
+    for (int slot : waiting_) {
+        const RobEntry &entry = rob_[static_cast<std::size_t>(slot)];
+        Tick ready = entry.earliest_issue;
+        bool known = true;
+        for (int k = 0; k < 2 && known; ++k) {
+            const int w = entry.producer[k];
+            if (w == kNoProducer)
+                continue;
+            const RobEntry &producer =
+                rob_[static_cast<std::size_t>(w)];
+            if (producer.seq != entry.producer_seq[k])
+                continue;
+            if (!producer.issued)
+                known = false; // depends on a not-yet-issued op
+            else
+                ready = std::max(ready, producer.completion);
+        }
+        if (known)
+            t = std::min(t, ready);
+    }
+    // Functional unit becoming free for a blocked instruction.
+    t = std::min(t, fu_retry_);
+    return t;
+}
+
+SimStats
+OooCore::run(std::uint64_t warmup_instructions)
+{
+    const std::uint64_t total = trace_.size();
+    warmup_instructions = std::min(warmup_instructions, total / 2);
+    bool warm = warmup_instructions == 0;
+
+    // Generous bound: no modeled configuration sustains CPI > ~200.
+    const Tick limit = 500 * static_cast<Tick>(total) + 1000000;
+
+    while (committed_ < total) {
+        progress_ = false;
+        doCommit();
+        doIssue();
+        doDispatch();
+        doFetch();
+
+        if (!warm && committed_ >= warmup_instructions) {
+            warm = true;
+            stat_cycle_base_ = now_;
+            stat_inst_base_ = committed_;
+        }
+        if (committed_ >= total)
+            break;
+
+        if (progress_) {
+            ++now_;
+        } else {
+            const Tick next = nextEventTime();
+            now_ = std::max(now_ + 1, next == kNever ? now_ + 1 : next);
+        }
+        if (now_ > limit)
+            throw std::runtime_error(
+                "OooCore: simulation exceeded cycle bound (deadlock?)");
+    }
+
+    stats_.cycles = now_ - stat_cycle_base_;
+    stats_.instructions = committed_ - stat_inst_base_;
+    stats_.il1 = memory_.il1().stats();
+    stats_.dl1 = memory_.dl1().stats();
+    stats_.l2 = memory_.l2().stats();
+    stats_.branch = predictor_.stats();
+    stats_.memory = memory_.controller().stats();
+    return stats_;
+}
+
+} // namespace ppm::sim

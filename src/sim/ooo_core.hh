@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cycle-level out-of-order superscalar core.
+ *
+ * The core consumes a correct-path instruction trace and computes its
+ * execution time for a given ProcessorConfig. Modeled behaviour:
+ *
+ *  - Fetch through IL1 with a decoupling queue; fetch groups break on
+ *    taken branches; IL1 misses stall fetch until the fill returns.
+ *  - Branch prediction at fetch (gshare + BTB + RAS). Mispredictions
+ *    stall fetch until the branch executes; the refill through the
+ *    front end (pipe_depth - backend_stages stages) forms the
+ *    pipe-depth-dependent part of the penalty. BTB misses with a
+ *    correct direction inject a fixed decode bubble.
+ *  - Dispatch allocates ROB, issue queue and (for memory ops) LSQ
+ *    entries in program order, stalling when any is full.
+ *  - Issue selects up to issue_width ready instructions oldest-first,
+ *    subject to functional unit and cache port availability. Loads
+ *    disambiguate against older stores in the LSQ using trace (oracle)
+ *    addresses: a matching older store forwards its data; a matching
+ *    not-yet-executed store blocks the load.
+ *  - Memory operations walk the DL1/L2/DRAM hierarchy with controller
+ *    queueing and bus contention.
+ *  - Commit retires up to commit_width completed instructions in
+ *    order; stores write the cache at commit.
+ *
+ * Idle stretches (e.g. the whole window waiting on a DRAM access) are
+ * skipped by advancing directly to the next event time, which keeps
+ * long-latency configurations fast to simulate.
+ */
+
+#ifndef PPM_SIM_OOO_CORE_HH
+#define PPM_SIM_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "sim/branch_predictor.hh"
+#include "sim/config.hh"
+#include "sim/functional_units.hh"
+#include "sim/memory_hierarchy.hh"
+#include "sim/stats.hh"
+#include "trace/trace.hh"
+
+namespace ppm::sim {
+
+/**
+ * The core timing model. Construct once per simulation.
+ */
+class OooCore
+{
+  public:
+    /**
+     * @param config Validated processor configuration.
+     * @param trace The instruction trace to time.
+     */
+    OooCore(const ProcessorConfig &config, const trace::Trace &trace);
+
+    /**
+     * Run the whole trace.
+     *
+     * @param warmup_instructions Instructions to execute before
+     *        statistics start counting (caches and predictors stay
+     *        warm; cycle/instruction counters restart).
+     * @return Final statistics over the measured region.
+     */
+    SimStats run(std::uint64_t warmup_instructions = 0);
+
+  private:
+    static constexpr Tick kNever = std::numeric_limits<Tick>::max();
+    static constexpr int kNoProducer = -1;
+
+    struct RobEntry
+    {
+        std::uint64_t seq = 0;       //!< trace index (generation tag)
+        trace::OpClass op = trace::OpClass::IntAlu;
+        std::uint64_t mem_addr = 0;
+        int producer[2] = {kNoProducer, kNoProducer};
+        std::uint64_t producer_seq[2] = {0, 0};
+        Tick earliest_issue = 0;
+        Tick completion = kNever;
+        bool issued = false;
+        bool is_mispredicted_branch = false;
+    };
+
+    struct FetchedInst
+    {
+        std::uint64_t seq = 0;
+        Tick dispatch_ready = 0;
+        /** Branch that will redirect the front end at execute. */
+        bool mispredicted = false;
+    };
+
+    // One pipeline stage step each; called once per simulated cycle.
+    void doFetch();
+    void doDispatch();
+    void doIssue();
+    void doCommit();
+
+    /** True when the producer's result is available at time `now_`. */
+    bool operandReady(const RobEntry &entry, int which) const;
+
+    /** Attempt to issue one entry; returns false if it must wait. */
+    bool tryIssueEntry(int slot);
+
+    /** Compute a load's completion time (forwarding or memory). */
+    Tick loadCompletion(int slot);
+
+    /** Earliest future time at which any state can change. */
+    Tick nextEventTime() const;
+
+    int robNext(int slot) const { return slot + 1 == rob_size_ ? 0 : slot + 1; }
+
+    const ProcessorConfig &config_;
+    const trace::Trace &trace_;
+
+    MemoryHierarchy memory_;
+    BranchPredictor predictor_;
+    FunctionalUnits fus_;
+
+    // --- fetch state -------------------------------------------------
+    std::uint64_t fetch_seq_ = 0;       //!< next trace index to fetch
+    Tick fetch_stall_until_ = 0;        //!< earliest next fetch cycle
+    bool fetch_blocked_on_branch_ = false;
+    std::uint64_t blocking_branch_seq_ = 0;
+    std::uint64_t last_fetch_line_ = ~0ULL;
+    std::deque<FetchedInst> fetch_queue_;
+    std::size_t fetch_queue_capacity_ = 0;
+
+    // --- backend state -----------------------------------------------
+    std::vector<RobEntry> rob_;
+    int rob_size_ = 0;
+    int rob_head_ = 0;
+    int rob_tail_ = 0;
+    int rob_count_ = 0;
+    int iq_count_ = 0;
+    int lsq_count_ = 0;
+    std::vector<int> waiting_;   //!< dispatched, not yet issued (IQ)
+    std::deque<int> lsq_;        //!< memory ops in program order
+
+    /** Rename table: ROB slot of each register's last writer. */
+    int reg_writer_[trace::kNumArchRegs];
+    std::uint64_t reg_writer_seq_[trace::kNumArchRegs];
+
+    Tick now_ = 0;
+    std::uint64_t committed_ = 0;
+    /** Any pipeline activity this cycle (controls event skipping). */
+    bool progress_ = false;
+    /** Earliest retry time for an FU-blocked instruction this cycle. */
+    Tick fu_retry_ = kNever;
+
+    SimStats stats_;
+    std::uint64_t stat_cycle_base_ = 0;
+    std::uint64_t stat_inst_base_ = 0;
+};
+
+} // namespace ppm::sim
+
+#endif // PPM_SIM_OOO_CORE_HH

@@ -1,0 +1,91 @@
+#include "sim/power.hh"
+
+#include <cmath>
+
+namespace ppm::sim {
+
+double
+PowerReport::total() const
+{
+    return fetch + window + execute + dcache + l2 + memory + leakage;
+}
+
+double
+PowerReport::epi(const SimStats &stats) const
+{
+    return stats.instructions
+        ? total() / static_cast<double>(stats.instructions) : 0.0;
+}
+
+double
+PowerReport::ed2p(const SimStats &stats) const
+{
+    const double cpi = stats.cpi();
+    return epi(stats) * cpi * cpi;
+}
+
+double
+cacheAccessEnergy(int size_kb, const PowerParams &params)
+{
+    // Bitline/wordline energy grows roughly with the square root of
+    // capacity for a banked SRAM array.
+    return params.cache_access_base *
+        std::sqrt(static_cast<double>(size_kb));
+}
+
+PowerReport
+computePower(const ProcessorConfig &config, const SimStats &stats,
+             const PowerParams &params)
+{
+    PowerReport r;
+    const double insts = static_cast<double>(stats.instructions);
+    const double cycles = static_cast<double>(stats.cycles);
+
+    // Front end: IL1 reads plus per-instruction pipeline energy that
+    // grows with the front-end depth (more latches and stages).
+    r.fetch = cacheAccessEnergy(config.il1_size_kb, params) *
+            static_cast<double>(stats.il1.accesses) +
+        insts * (params.frontend_per_inst +
+                 params.frontend_per_stage *
+                     static_cast<double>(config.frontEndDepth()));
+
+    // Out-of-order window: CAM/RAM energy proportional to structure
+    // sizes. Every instruction passes the ROB and IQ; memory ops
+    // search the LSQ.
+    const double mem_ops = static_cast<double>(stats.dl1.accesses);
+    r.window = insts * params.rob_per_entry *
+            static_cast<double>(config.rob_size) +
+        insts * params.iq_per_entry *
+            static_cast<double>(config.iq_size) +
+        mem_ops * params.lsq_per_entry *
+            static_cast<double>(config.lsq_size);
+
+    // Execution: one integer-op-equivalent per instruction plus the
+    // branch predictor.
+    r.execute = insts * params.int_op +
+        static_cast<double>(stats.branch.branches) *
+            params.bpred_access;
+
+    // Memory hierarchy.
+    r.dcache = cacheAccessEnergy(config.dl1_size_kb, params) *
+        static_cast<double>(stats.dl1.accesses);
+    r.l2 = cacheAccessEnergy(config.l2_size_kb, params) *
+        static_cast<double>(stats.l2.accesses);
+    const double dram_events =
+        static_cast<double>(stats.memory.requests) +
+        static_cast<double>(stats.memory.writebacks);
+    r.memory = dram_events * (params.dram_access + params.bus_transfer);
+
+    // Leakage: all sized SRAM structures, every cycle.
+    const double sram_kb =
+        static_cast<double>(config.il1_size_kb + config.dl1_size_kb +
+                            config.l2_size_kb) +
+        // Window structures: ~16B per entry.
+        static_cast<double>(config.rob_size + config.iq_size +
+                            config.lsq_size) * 16.0 / 1024.0;
+    r.leakage = cycles * sram_kb * params.leakage_per_kb_cycle;
+
+    return r;
+}
+
+} // namespace ppm::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Activity-based energy model (Wattch-style), implementing the
+ * paper's proposed extension: "similar models can be developed for
+ * other metrics such as power consumption" (Sec 6).
+ *
+ * Dynamic energy is event counts times per-event energies that scale
+ * with the sized structures (caches as capacity^0.5 for bitline/
+ * wordline growth, queues linearly with entries); leakage accrues per
+ * cycle in proportion to total SRAM capacity. The absolute scale is
+ * arbitrary-but-consistent nanojoules: the modeling machinery only
+ * needs a response surface whose shape matches how real energy reacts
+ * to the design parameters.
+ */
+
+#ifndef PPM_SIM_POWER_HH
+#define PPM_SIM_POWER_HH
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace ppm::sim {
+
+/** Technology constants of the energy model (per-event nanojoules). */
+struct PowerParams
+{
+    /** Cache read/write energy at 1KB; scales with sqrt(capacity). */
+    double cache_access_base = 0.10;
+    /** DRAM access energy per line fill (activate + burst). */
+    double dram_access = 8.0;
+    /** Bus energy per line transfer. */
+    double bus_transfer = 2.0;
+    /** Front-end energy per fetched instruction (decode/rename). */
+    double frontend_per_inst = 0.08;
+    /** Extra front-end energy per pipeline stage per instruction. */
+    double frontend_per_stage = 0.012;
+    /** Issue-queue wakeup/select energy per entry per issue. */
+    double iq_per_entry = 0.004;
+    /** LSQ search energy per entry per memory op. */
+    double lsq_per_entry = 0.003;
+    /** ROB read/write energy per entry (per dispatch+commit). */
+    double rob_per_entry = 0.0015;
+    /** Simple-integer op execution energy. */
+    double int_op = 0.06;
+    /** Branch predictor access energy per branch. */
+    double bpred_access = 0.03;
+    /** Leakage per cycle per KB of on-chip SRAM. */
+    double leakage_per_kb_cycle = 0.00010;
+};
+
+/** Energy breakdown of one simulation, in model nanojoules. */
+struct PowerReport
+{
+    double fetch = 0;     //!< IL1 + front-end pipeline
+    double window = 0;    //!< ROB + IQ + LSQ
+    double execute = 0;   //!< functional units + predictor
+    double dcache = 0;    //!< DL1 accesses
+    double l2 = 0;        //!< L2 accesses
+    double memory = 0;    //!< DRAM + bus
+    double leakage = 0;   //!< capacity-proportional static energy
+
+    /** Sum of all components. */
+    double total() const;
+
+    /** Energy per committed instruction. */
+    double epi(const SimStats &stats) const;
+
+    /**
+     * Energy-delay-squared product per instruction:
+     * EPI * CPI^2 (the voltage-independent efficiency metric).
+     */
+    double ed2p(const SimStats &stats) const;
+};
+
+/**
+ * Compute the energy breakdown of a finished simulation.
+ *
+ * @param config The simulated processor configuration.
+ * @param stats Its statistics (event counts and cycle total).
+ * @param params Technology constants.
+ */
+PowerReport computePower(const ProcessorConfig &config,
+                         const SimStats &stats,
+                         const PowerParams &params = {});
+
+/**
+ * Per-access energy of a cache of @p size_kb KB under @p params
+ * (exposed for tests and documentation of the scaling rule).
+ */
+double cacheAccessEnergy(int size_kb, const PowerParams &params);
+
+} // namespace ppm::sim
+
+#endif // PPM_SIM_POWER_HH

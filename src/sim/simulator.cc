@@ -1,0 +1,24 @@
+#include "sim/simulator.hh"
+
+#include "sim/ooo_core.hh"
+
+namespace ppm::sim {
+
+SimStats
+simulate(const trace::Trace &trace, const ProcessorConfig &config,
+         const SimOptions &options)
+{
+    OooCore core(config, trace);
+    return core.run(options.warmup_instructions);
+}
+
+SimStats
+simulate(const trace::Trace &trace, const dspace::DesignSpace &space,
+         const dspace::DesignPoint &point, const SimOptions &options)
+{
+    return simulate(trace,
+                    ProcessorConfig::fromDesignPoint(space, point),
+                    options);
+}
+
+} // namespace ppm::sim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Simulation facade: run a trace on a configuration and get CPI plus
+ * component statistics. This is the "detailed, cycle accurate
+ * simulation" step of the paper's model-building procedure.
+ */
+
+#ifndef PPM_SIM_SIMULATOR_HH
+#define PPM_SIM_SIMULATOR_HH
+
+#include "dspace/design_space.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "trace/trace.hh"
+
+namespace ppm::sim {
+
+/** Options controlling one simulation. */
+struct SimOptions
+{
+    /**
+     * Instructions executed before statistics counting starts (warms
+     * caches and predictors). Capped at half the trace.
+     */
+    std::uint64_t warmup_instructions = 20000;
+};
+
+/**
+ * Simulate @p trace on @p config.
+ *
+ * @return Statistics over the measured (post-warmup) region.
+ * @throws std::invalid_argument for invalid configurations.
+ */
+SimStats simulate(const trace::Trace &trace,
+                  const ProcessorConfig &config,
+                  const SimOptions &options = {});
+
+/**
+ * Convenience overload: configuration from a design point of the
+ * paper's 9-parameter space.
+ */
+SimStats simulate(const trace::Trace &trace,
+                  const dspace::DesignSpace &space,
+                  const dspace::DesignPoint &point,
+                  const SimOptions &options = {});
+
+} // namespace ppm::sim
+
+#endif // PPM_SIM_SIMULATOR_HH

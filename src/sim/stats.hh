@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Simulation statistics. CPI is the paper's response metric; the rest
+ * are the component statistics (cache miss rates, branch misprediction
+ * rates, DRAM behaviour) used to validate trends and debug the model.
+ */
+
+#ifndef PPM_SIM_STATS_HH
+#define PPM_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ppm::sim {
+
+/** Hit/miss counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                static_cast<double>(accesses) : 0.0;
+    }
+};
+
+/** Branch predictor counters. */
+struct BranchStats
+{
+    std::uint64_t branches = 0;       //!< all branch instructions
+    std::uint64_t cond_branches = 0;  //!< conditional branches
+    std::uint64_t mispredicts = 0;    //!< full redirects
+    std::uint64_t btb_bubbles = 0;    //!< right direction, BTB miss
+
+    double
+    mispredictRate() const
+    {
+        return cond_branches ? static_cast<double>(mispredicts) /
+                static_cast<double>(cond_branches) : 0.0;
+    }
+};
+
+/** DRAM/memory controller counters. */
+struct MemoryStats
+{
+    std::uint64_t requests = 0;   //!< demand line fills
+    std::uint64_t row_hits = 0;   //!< open-row accesses
+    std::uint64_t writebacks = 0; //!< dirty evictions to DRAM
+};
+
+/** Full result of one simulation. */
+struct SimStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    CacheStats il1;
+    CacheStats dl1;
+    CacheStats l2;
+    BranchStats branch;
+    MemoryStats memory;
+
+    /** Stall-cycle attribution (cycles with zero dispatch). */
+    std::uint64_t rob_full_stalls = 0;
+    std::uint64_t iq_full_stalls = 0;
+    std::uint64_t lsq_full_stalls = 0;
+    std::uint64_t fetch_empty_stalls = 0;
+
+    /** Cycles per instruction — the modeled response. */
+    double
+    cpi() const
+    {
+        return instructions ? static_cast<double>(cycles) /
+                static_cast<double>(instructions) : 0.0;
+    }
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                static_cast<double>(cycles) : 0.0;
+    }
+};
+
+} // namespace ppm::sim
+
+#endif // PPM_SIM_STATS_HH

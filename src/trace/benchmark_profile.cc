@@ -1,0 +1,258 @@
+#include "trace/benchmark_profile.hh"
+
+#include <stdexcept>
+
+namespace ppm::trace {
+
+namespace {
+
+BenchmarkProfile
+makeMcf()
+{
+    // Memory-bound pointer chaser: small code, huge sparse data
+    // footprint, short dependency chains through loads.
+    BenchmarkProfile p;
+    p.name = "181.mcf";
+    p.seed = 0x181;
+    p.mix.load = 0.31;
+    p.mix.store = 0.09;
+    p.mix.branch = 0.19;
+    p.code.footprint_bytes = 24 * 1024;
+    p.code.block_zipf = 1.5;
+    p.code.predictable_fraction = 0.93;
+    p.data.footprint_bytes = 16ULL * 1024 * 1024;
+    p.data.streaming_fraction = 0.10;
+    p.data.pointer_chase_fraction = 0.20;
+    p.data.num_regions = 128;
+    p.data.region_zipf = 0.9;
+    p.data.temporal_locality = 0.78;
+    p.data.chase_locality = 0.80;
+    p.deps.mean_distance = 3.0;
+    return p;
+}
+
+BenchmarkProfile
+makeCrafty()
+{
+    // Chess search: branchy, large code, small data set that mostly
+    // fits in L2, bit-twiddling integer work.
+    BenchmarkProfile p;
+    p.name = "186.crafty";
+    p.seed = 0x186;
+    p.mix.load = 0.27;
+    p.mix.store = 0.07;
+    p.mix.branch = 0.18;
+    p.mix.int_mul = 0.03;
+    p.code.footprint_bytes = 160 * 1024;
+    p.code.block_zipf = 0.70;
+    p.code.call_locality = 0.55;
+    p.code.predictable_fraction = 0.93;
+    p.code.call_fraction = 0.45;
+    p.data.footprint_bytes = 2ULL * 1024 * 1024;
+    p.data.streaming_fraction = 0.15;
+    p.data.pointer_chase_fraction = 0.03;
+    p.data.num_regions = 48;
+    p.data.region_zipf = 1.2;
+    p.data.temporal_locality = 0.93;
+    p.deps.mean_distance = 5.0;
+    return p;
+}
+
+BenchmarkProfile
+makeParser()
+{
+    // Dictionary/link grammar parser: pointer-ish, medium footprints.
+    BenchmarkProfile p;
+    p.name = "197.parser";
+    p.seed = 0x197;
+    p.mix.load = 0.28;
+    p.mix.store = 0.11;
+    p.mix.branch = 0.17;
+    p.code.footprint_bytes = 96 * 1024;
+    p.code.block_zipf = 0.80;
+    p.code.predictable_fraction = 0.94;
+    p.data.footprint_bytes = 8ULL * 1024 * 1024;
+    p.data.streaming_fraction = 0.15;
+    p.data.pointer_chase_fraction = 0.08;
+    p.data.num_regions = 96;
+    p.data.region_zipf = 1.1;
+    p.data.temporal_locality = 0.92;
+    p.deps.mean_distance = 4.0;
+    return p;
+}
+
+BenchmarkProfile
+makePerlbmk()
+{
+    // Interpreter: very large instruction footprint, indirect-ish
+    // control flow (low predictability), hash-table data.
+    BenchmarkProfile p;
+    p.name = "253.perlbmk";
+    p.seed = 0x253;
+    p.mix.load = 0.26;
+    p.mix.store = 0.13;
+    p.mix.branch = 0.21;
+    p.code.footprint_bytes = 256 * 1024;
+    p.code.block_zipf = 0.80;
+    p.code.predictable_fraction = 0.9;
+    p.code.loop_fraction = 0.25;
+    p.code.call_fraction = 0.45;
+    p.data.footprint_bytes = 8ULL * 1024 * 1024;
+    p.data.streaming_fraction = 0.10;
+    p.data.pointer_chase_fraction = 0.05;
+    p.data.num_regions = 96;
+    p.data.region_zipf = 1.0;
+    p.data.temporal_locality = 0.90;
+    p.deps.mean_distance = 4.5;
+    return p;
+}
+
+BenchmarkProfile
+makeVortex()
+{
+    // Object database: the largest instruction footprint of the suite
+    // (IL1-size sensitive, as in paper Table 5) and random record
+    // accesses over a large store.
+    BenchmarkProfile p;
+    p.name = "255.vortex";
+    p.seed = 0x255;
+    p.mix.load = 0.29;
+    p.mix.store = 0.15;
+    p.mix.branch = 0.16;
+    p.code.footprint_bytes = 384 * 1024;
+    p.code.block_zipf = 0.80;
+    p.code.call_locality = 0.65;
+    p.code.predictable_fraction = 0.96;
+    p.code.loop_fraction = 0.20;
+    p.code.call_fraction = 0.50;
+    p.data.footprint_bytes = 16ULL * 1024 * 1024;
+    p.data.streaming_fraction = 0.12;
+    p.data.pointer_chase_fraction = 0.04;
+    p.data.num_regions = 128;
+    p.data.region_zipf = 1.1;
+    p.data.temporal_locality = 0.88;
+    p.deps.mean_distance = 5.0;
+    return p;
+}
+
+BenchmarkProfile
+makeTwolf()
+{
+    // Place-and-route: moderate footprints, mixed access patterns,
+    // branchy inner loops with data-dependent outcomes.
+    BenchmarkProfile p;
+    p.name = "300.twolf";
+    p.seed = 0x300;
+    p.mix.load = 0.26;
+    p.mix.store = 0.08;
+    p.mix.branch = 0.18;
+    p.mix.int_mul = 0.04;
+    p.code.footprint_bytes = 72 * 1024;
+    p.code.block_zipf = 0.90;
+    p.code.predictable_fraction = 0.92;
+    p.data.footprint_bytes = 3ULL * 1024 * 1024;
+    p.data.streaming_fraction = 0.20;
+    p.data.pointer_chase_fraction = 0.06;
+    p.data.num_regions = 64;
+    p.data.region_zipf = 1.1;
+    p.data.temporal_locality = 0.92;
+    p.deps.mean_distance = 4.5;
+    return p;
+}
+
+BenchmarkProfile
+makeEquake()
+{
+    // FP earthquake simulation: streaming sparse-matrix style access,
+    // long dependency distances (high ILP), few highly biased
+    // branches.
+    BenchmarkProfile p;
+    p.name = "183.equake";
+    p.seed = 0x183;
+    p.mix.load = 0.30;
+    p.mix.store = 0.08;
+    p.mix.branch = 0.08;
+    p.mix.int_alu = 0.5;
+    p.mix.fp_alu = 0.35;
+    p.mix.fp_mul = 0.25;
+    p.mix.fp_div = 0.01;
+    p.code.footprint_bytes = 32 * 1024;
+    p.code.block_zipf = 1.6;
+    p.code.predictable_fraction = 0.99;
+    p.code.mean_loop_trips = 60.0;
+    p.data.footprint_bytes = 16ULL * 1024 * 1024;
+    p.data.streaming_fraction = 0.70;
+    p.data.pointer_chase_fraction = 0.02;
+    p.data.stride_bytes = 8;
+    p.data.num_regions = 32;
+    p.data.region_zipf = 0.8;
+    p.data.temporal_locality = 0.55;
+    p.deps.mean_distance = 9.0;
+    return p;
+}
+
+BenchmarkProfile
+makeAmmp()
+{
+    // FP molecular dynamics: neighbour-list gather (some pointer
+    // indirection) over a large set plus dense FP arithmetic.
+    BenchmarkProfile p;
+    p.name = "188.ammp";
+    p.seed = 0x188;
+    p.mix.load = 0.28;
+    p.mix.store = 0.09;
+    p.mix.branch = 0.10;
+    p.mix.int_alu = 0.5;
+    p.mix.fp_alu = 0.30;
+    p.mix.fp_mul = 0.28;
+    p.mix.fp_div = 0.02;
+    p.code.footprint_bytes = 48 * 1024;
+    p.code.block_zipf = 1.4;
+    p.code.predictable_fraction = 0.985;
+    p.code.mean_loop_trips = 40.0;
+    p.data.footprint_bytes = 16ULL * 1024 * 1024;
+    p.data.streaming_fraction = 0.45;
+    p.data.pointer_chase_fraction = 0.05;
+    p.data.num_regions = 48;
+    p.data.region_zipf = 0.9;
+    p.data.temporal_locality = 0.80;
+    p.deps.mean_distance = 8.0;
+    return p;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+spec2000Profiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = {
+        makeMcf(),    makeCrafty(), makeParser(), makePerlbmk(),
+        makeVortex(), makeTwolf(),  makeEquake(), makeAmmp(),
+    };
+    return profiles;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : spec2000Profiles()) {
+        if (p.name == name)
+            return p;
+        // Accept the bare program name ("mcf" for "181.mcf").
+        const auto dot = p.name.find('.');
+        if (dot != std::string::npos && p.name.substr(dot + 1) == name)
+            return p;
+    }
+    throw std::out_of_range("unknown benchmark profile: " + name);
+}
+
+std::vector<std::string>
+profileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : spec2000Profiles())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace ppm::trace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Statistical workload profiles standing in for SPEC CPU2000 traces.
+ *
+ * The paper drives its simulator with IBM PowerPC traces of SPEC
+ * CPU2000 running MinneSPEC lgred inputs. Those traces are not
+ * redistributable, so this library substitutes a synthetic trace
+ * generator parameterized per benchmark (see DESIGN.md): instruction
+ * mix, code footprint and branch behaviour, data footprint and access
+ * patterns, and register dependency distances. The profiles below are
+ * calibrated qualitatively to the published characteristics of each
+ * program (e.g. mcf = pointer-chasing and memory bound, vortex = large
+ * instruction footprint, equake/ammp = regular floating point).
+ */
+
+#ifndef PPM_TRACE_BENCHMARK_PROFILE_HH
+#define PPM_TRACE_BENCHMARK_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppm::trace {
+
+/**
+ * Fractions of the dynamic instruction mix. Branch/load/store are
+ * explicit; the remainder is split among the compute classes.
+ * All fractions are of the total instruction count and the compute
+ * fractions are normalized internally.
+ */
+struct InstructionMix
+{
+    double load = 0.25;
+    double store = 0.10;
+    double branch = 0.15;
+    // Relative weights among non-memory, non-branch instructions.
+    double int_alu = 1.0;
+    double int_mul = 0.02;
+    double int_div = 0.002;
+    double fp_alu = 0.0;
+    double fp_mul = 0.0;
+    double fp_div = 0.0;
+};
+
+/** Static code structure parameters. */
+struct CodeProfile
+{
+    /** Static code footprint in bytes (drives IL1 behaviour). */
+    std::uint64_t footprint_bytes = 64 * 1024;
+    /**
+     * Zipf skew of block popularity: higher = a few hot loops
+     * dominate (good IL1 locality); near 0 = flat (bad locality).
+     */
+    double block_zipf = 1.1;
+    /** Fraction of block-ending branches that are conditional. */
+    double cond_fraction = 0.80;
+    /** Fraction of the remainder that are calls (matched by returns). */
+    double call_fraction = 0.40;
+    /**
+     * Fraction of conditional branches that are loop back-edges
+     * (biased-taken backward branches). Lower values spread execution
+     * across more code, increasing IL1 pressure.
+     */
+    double loop_fraction = 0.35;
+    /**
+     * Mean loop trip count. Long trips (FP inner loops) make loop
+     * exits rare and branches nearly perfectly predictable.
+     */
+    double mean_loop_trips = 10.0;
+    /**
+     * Fraction of non-loop conditional branches with a strong (easily
+     * predicted) bias; the rest have weak biases a predictor cannot
+     * learn beyond the bias itself.
+     */
+    double predictable_fraction = 0.85;
+    /** Taken probability of strongly biased branches. */
+    double strong_bias = 0.97;
+    /**
+     * Probability that a call targets a recently-called function
+     * instead of a fresh Zipf draw. Creates the phase-like active
+     * function set whose size (relative to IL1 capacity) drives
+     * instruction cache sensitivity.
+     */
+    double call_locality = 0.75;
+};
+
+/** Data-side access pattern parameters. */
+struct DataProfile
+{
+    /** Data footprint in bytes (drives DL1/L2/DRAM behaviour). */
+    std::uint64_t footprint_bytes = 8ULL * 1024 * 1024;
+    /**
+     * Probability that a static memory block uses a strided stream
+     * (arrays); remaining blocks use region-random or pointer-chase.
+     */
+    double streaming_fraction = 0.3;
+    /** Probability mass of pointer-chasing blocks (dependent loads). */
+    double pointer_chase_fraction = 0.0;
+    /** Stride in bytes of streaming accesses. */
+    std::uint64_t stride_bytes = 8;
+    /** Number of Zipf-weighted regions covering the data footprint. */
+    std::size_t num_regions = 64;
+    /** Zipf skew of region popularity (higher = hotter hot set). */
+    double region_zipf = 1.0;
+    /**
+     * Probability that a region access re-uses one of the most
+     * recently touched addresses instead of drawing a fresh one —
+     * the temporal locality real programs get from stack slots, hot
+     * objects and loop-carried values.
+     */
+    double temporal_locality = 0.75;
+    /** Size of the recently-touched address pool. */
+    std::size_t locality_window = 256;
+    /**
+     * Probability that a pointer-chase step stays within the current
+     * 4KB page (linked nodes allocated together) rather than jumping
+     * anywhere in the footprint.
+     */
+    double chase_locality = 0.70;
+};
+
+/** Register dependency structure. */
+struct DependencyProfile
+{
+    /**
+     * Mean distance (in dynamic instructions) from an instruction to
+     * the producer of its first operand; short distances serialize
+     * execution and reduce exploitable ILP.
+     */
+    double mean_distance = 6.0;
+    /** Probability that an instruction has a second source operand. */
+    double second_operand_prob = 0.5;
+};
+
+/**
+ * Complete generator configuration for one benchmark.
+ */
+struct BenchmarkProfile
+{
+    /** SPEC-style name, e.g. "181.mcf". */
+    std::string name;
+    /** Generator seed; fixed per benchmark for reproducibility. */
+    std::uint64_t seed = 1;
+    InstructionMix mix;
+    CodeProfile code;
+    DataProfile data;
+    DependencyProfile deps;
+};
+
+/**
+ * Profiles for the eight SPEC CPU2000 programs of paper Table 3:
+ * 181.mcf, 186.crafty, 197.parser, 253.perlbmk, 255.vortex,
+ * 300.twolf, 183.equake, 188.ammp.
+ */
+const std::vector<BenchmarkProfile> &spec2000Profiles();
+
+/**
+ * Profile by name.
+ * @param name Full name ("181.mcf") or suffix ("mcf").
+ * @throws std::out_of_range if unknown.
+ */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+/** Names of all built-in profiles, in Table 3 order. */
+std::vector<std::string> profileNames();
+
+} // namespace ppm::trace
+
+#endif // PPM_TRACE_BENCHMARK_PROFILE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace instruction record. The simulator is trace driven (as the
+ * paper's was): a trace fixes the dynamic instruction stream — opcodes,
+ * register dependences, memory addresses, branch outcomes — and the
+ * simulator determines its timing for a given processor configuration.
+ */
+
+#ifndef PPM_TRACE_INSTRUCTION_HH
+#define PPM_TRACE_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ppm::trace {
+
+/** Functional classes of instructions the timing model distinguishes. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,       //!< single-cycle integer op
+    IntMul,       //!< integer multiply
+    IntDiv,       //!< integer divide (long latency, unpipelined)
+    FpAlu,        //!< floating point add/sub/compare
+    FpMul,        //!< floating point multiply
+    FpDiv,        //!< floating point divide (long latency, unpipelined)
+    Load,         //!< memory read
+    Store,        //!< memory write
+    BranchCond,   //!< conditional direct branch
+    BranchUncond, //!< unconditional direct jump
+    BranchCall,   //!< call (pushes return address)
+    BranchRet,    //!< return (pops return address)
+};
+
+/** Short mnemonic for an OpClass. */
+std::string opClassName(OpClass op);
+
+/** True for the three branch-y op classes plus conditional branches. */
+constexpr bool
+isBranch(OpClass op)
+{
+    return op == OpClass::BranchCond || op == OpClass::BranchUncond ||
+        op == OpClass::BranchCall || op == OpClass::BranchRet;
+}
+
+/** True for loads and stores. */
+constexpr bool
+isMemory(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+/** Register id type; kNoReg marks an absent operand. */
+using RegId = std::uint16_t;
+inline constexpr RegId kNoReg = 0xffff;
+
+/** Number of architectural registers in the trace ISA. */
+inline constexpr std::size_t kNumArchRegs = 64;
+
+/**
+ * One dynamic instruction.
+ */
+struct TraceInstruction
+{
+    /** Instruction address (4-byte instructions). */
+    std::uint64_t pc = 0;
+    /** Effective address for loads/stores, 0 otherwise. */
+    std::uint64_t mem_addr = 0;
+    /** Target address for taken branches, 0 otherwise. */
+    std::uint64_t branch_target = 0;
+    /** Functional class. */
+    OpClass op = OpClass::IntAlu;
+    /** Source registers; kNoReg when absent. */
+    RegId src[2] = {kNoReg, kNoReg};
+    /** Destination register; kNoReg when absent. */
+    RegId dest = kNoReg;
+    /** Branch outcome (meaningful only for branches). */
+    bool taken = false;
+
+    bool isLoad() const { return op == OpClass::Load; }
+    bool isStore() const { return op == OpClass::Store; }
+    bool isMem() const { return isMemory(op); }
+    bool isBr() const { return isBranch(op); }
+};
+
+} // namespace ppm::trace
+
+#endif // PPM_TRACE_INSTRUCTION_HH

@@ -1,0 +1,70 @@
+#include "trace/trace.hh"
+
+#include <unordered_set>
+
+namespace ppm::trace {
+
+std::string
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+        return "int_alu";
+      case OpClass::IntMul:
+        return "int_mul";
+      case OpClass::IntDiv:
+        return "int_div";
+      case OpClass::FpAlu:
+        return "fp_alu";
+      case OpClass::FpMul:
+        return "fp_mul";
+      case OpClass::FpDiv:
+        return "fp_div";
+      case OpClass::Load:
+        return "load";
+      case OpClass::Store:
+        return "store";
+      case OpClass::BranchCond:
+        return "branch_cond";
+      case OpClass::BranchUncond:
+        return "branch_uncond";
+      case OpClass::BranchCall:
+        return "branch_call";
+      case OpClass::BranchRet:
+        return "branch_ret";
+    }
+    return "unknown";
+}
+
+TraceSummary
+Trace::summarize() const
+{
+    TraceSummary s;
+    s.instructions = insts_.size();
+    std::unordered_set<std::uint64_t> code_lines, data_lines;
+    for (const auto &inst : insts_) {
+        code_lines.insert(inst.pc >> 6);
+        if (inst.isLoad())
+            ++s.loads;
+        if (inst.isStore())
+            ++s.stores;
+        if (inst.isMem())
+            data_lines.insert(inst.mem_addr >> 6);
+        if (inst.isBr()) {
+            ++s.branches;
+            if (inst.op == OpClass::BranchCond)
+                ++s.cond_branches;
+            if (inst.taken)
+                ++s.taken_branches;
+        }
+        if (inst.op == OpClass::FpAlu || inst.op == OpClass::FpMul ||
+            inst.op == OpClass::FpDiv) {
+            ++s.fp_ops;
+        }
+    }
+    s.unique_code_lines = code_lines.size();
+    s.unique_data_lines = data_lines.size();
+    return s;
+}
+
+} // namespace ppm::trace

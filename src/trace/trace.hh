@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Instruction trace container with summary statistics, used by tests
+ * to validate generated workloads against their profiles.
+ */
+
+#ifndef PPM_TRACE_TRACE_HH
+#define PPM_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace ppm::trace {
+
+/** Aggregate statistics over a trace. */
+struct TraceSummary
+{
+    std::size_t instructions = 0;
+    std::size_t loads = 0;
+    std::size_t stores = 0;
+    std::size_t branches = 0;
+    std::size_t cond_branches = 0;
+    std::size_t taken_branches = 0;
+    std::size_t fp_ops = 0;
+    /** Distinct 64-byte instruction lines touched. */
+    std::size_t unique_code_lines = 0;
+    /** Distinct 64-byte data lines touched. */
+    std::size_t unique_data_lines = 0;
+};
+
+/**
+ * A dynamic instruction trace for one benchmark.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** @param benchmark Name of the generating profile. */
+    explicit Trace(std::string benchmark)
+        : benchmark_(std::move(benchmark))
+    {}
+
+    const std::string &benchmark() const { return benchmark_; }
+
+    /** Number of instructions. */
+    std::size_t size() const { return insts_.size(); }
+    bool empty() const { return insts_.empty(); }
+
+    const TraceInstruction &operator[](std::size_t i) const
+    {
+        return insts_[i];
+    }
+
+    /** Append an instruction. */
+    void push(const TraceInstruction &inst) { insts_.push_back(inst); }
+
+    /** Pre-allocate for @p n instructions. */
+    void reserve(std::size_t n) { insts_.reserve(n); }
+
+    const std::vector<TraceInstruction> &instructions() const
+    {
+        return insts_;
+    }
+
+    /** Compute summary statistics (one pass; O(size) memory for sets). */
+    TraceSummary summarize() const;
+
+  private:
+    std::string benchmark_;
+    std::vector<TraceInstruction> insts_;
+};
+
+} // namespace ppm::trace
+
+#endif // PPM_TRACE_TRACE_HH

@@ -1,0 +1,602 @@
+#include "trace/trace_generator.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "math/rng.hh"
+
+namespace ppm::trace {
+
+namespace {
+
+/** Memory access pattern of a static block. */
+enum class MemPattern : std::uint8_t { Region, Stream, Chase };
+
+/** Register dedicated to the pointer-chase chain. */
+constexpr RegId kChaseReg = 1;
+
+/** Maximum modeled call depth; deeper calls degrade to plain jumps. */
+constexpr std::size_t kMaxCallDepth = 64;
+
+/** Static description of one basic block. */
+struct StaticBlock
+{
+    std::uint64_t start_pc = 0;
+    std::uint32_t size = 4;          //!< instructions incl. terminator
+    OpClass terminator = OpClass::BranchCond;
+    double taken_bias = 0.5;         //!< P(taken) for conditionals
+    std::uint32_t taken_target = 0;  //!< block index when taken
+    /**
+     * Loop back-edge: outcomes are counted (taken trips-1 times per
+     * loop entry, then fall through) instead of i.i.d. draws, so
+     * loops have realistic trip counts and learnable exits.
+     */
+    bool is_loop_tail = false;
+    std::uint16_t fixed_trips = 8;   //!< usual iterations per entry
+    /**
+     * Data-dependent branch: outcomes follow a persistent Markov
+     * process (runs of one direction) rather than a fixed bias, so a
+     * history predictor can learn part of the behaviour, as with
+     * real hard-to-predict branches.
+     */
+    bool is_weak = false;
+    std::uint32_t stream_id = 0;     //!< cursor index for Stream accesses
+};
+
+/** Discrete sampler over Zipf-like weights (binary search on a CDF). */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of items.
+     * @param skew Zipf exponent; rank r gets weight (r + 1)^-skew.
+     * @param rng Used to shuffle ranks so hot items are scattered.
+     */
+    ZipfSampler(std::size_t n, double skew, math::Rng &rng)
+    {
+        assert(n > 0);
+        std::vector<std::size_t> ranks(n);
+        for (std::size_t i = 0; i < n; ++i)
+            ranks[i] = i;
+        rng.shuffle(ranks);
+        cdf_.resize(n);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            acc += std::pow(static_cast<double>(ranks[i]) + 1.0, -skew);
+            cdf_[i] = acc;
+        }
+    }
+
+    std::size_t
+    sample(math::Rng &rng) const
+    {
+        const double u = rng.uniform() * cdf_.back();
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<std::size_t>(it - cdf_.begin());
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/**
+ * Holds the static program plus all dynamic generator state.
+ */
+class Generator
+{
+  public:
+    Generator(const BenchmarkProfile &profile, std::size_t n)
+        : profile_(profile), rng_(profile.seed), n_(n)
+    {
+        buildStaticProgram();
+    }
+
+    Trace
+    run()
+    {
+        Trace trace(profile_.name);
+        trace.reserve(n_);
+        std::uint32_t cur = func_heads_.empty() ? 0 : func_heads_[0];
+        while (trace.size() < n_)
+            cur = emitBlock(cur, trace);
+        return trace;
+    }
+
+  private:
+    // --- static program construction -------------------------------
+
+    void
+    buildStaticProgram()
+    {
+        const double branch_frac =
+            std::clamp(profile_.mix.branch, 0.05, 0.33);
+        const double mean_block = 1.0 / branch_frac;
+        const std::uint64_t static_insts =
+            std::max<std::uint64_t>(64, profile_.code.footprint_bytes / 4);
+
+        // Lay out functions of geometrically distributed block counts.
+        std::uint64_t pc = kCodeBase;
+        std::uint64_t insts_laid = 0;
+        while (insts_laid < static_insts) {
+            const std::size_t func_blocks = std::max<std::uint64_t>(
+                4, rng_.geometric(1.0 / 16.0));
+            const std::uint32_t func_start =
+                static_cast<std::uint32_t>(blocks_.size());
+            for (std::size_t b = 0; b < func_blocks; ++b) {
+                StaticBlock blk;
+                blk.start_pc = pc;
+                // Near-constant block sizes keep the dynamic branch
+                // fraction close to the profile even when a few hot
+                // loops dominate execution.
+                blk.size = static_cast<std::uint32_t>(std::clamp(
+                    std::lround(rng_.gaussian(mean_block,
+                                              mean_block / 3.0)),
+                    2L, 24L));
+                pc += blk.size * 4ULL;
+                insts_laid += blk.size;
+                blocks_.push_back(blk);
+            }
+            const std::uint32_t func_end =
+                static_cast<std::uint32_t>(blocks_.size()) - 1;
+            func_heads_.push_back(func_start);
+            func_ends_.push_back(func_end);
+            assignTerminators(func_start, func_end);
+        }
+
+        // Popularity of call targets and data regions.
+        func_sampler_ = std::make_unique<ZipfSampler>(
+            func_heads_.size(), profile_.code.block_zipf, rng_);
+        region_sampler_ = std::make_unique<ZipfSampler>(
+            std::max<std::size_t>(1, profile_.data.num_regions),
+            profile_.data.region_zipf, rng_);
+
+        assignMemPatterns();
+        recent_dests_.assign(256, kNoReg);
+        recent_addrs_.assign(
+            std::max<std::size_t>(1, profile_.data.locality_window), 0);
+        loop_remaining_.assign(blocks_.size(), 0);
+        weak_state_.assign(blocks_.size(), 0);
+        recent_funcs_.assign(48, 0);
+    }
+
+    /** Remember @p addr in the temporal-locality pool. */
+    void
+    recordRecent(std::uint64_t addr)
+    {
+        recent_addrs_[recent_pos_] = addr;
+        recent_pos_ = (recent_pos_ + 1) % recent_addrs_.size();
+        recent_count_ = std::min(recent_count_ + 1,
+                                 recent_addrs_.size());
+    }
+
+    void
+    assignTerminators(std::uint32_t func_start, std::uint32_t func_end)
+    {
+        const auto &code = profile_.code;
+        for (std::uint32_t b = func_start; b <= func_end; ++b) {
+            StaticBlock &blk = blocks_[b];
+            if (b == func_end) {
+                blk.terminator = OpClass::BranchRet;
+                continue;
+            }
+            if (rng_.bernoulli(code.cond_fraction)) {
+                blk.terminator = OpClass::BranchCond;
+                configureCondBranch(blk, b, func_start, func_end);
+            } else if (rng_.bernoulli(code.call_fraction)) {
+                blk.terminator = OpClass::BranchCall;
+            } else {
+                blk.terminator = OpClass::BranchUncond;
+                blk.taken_target = forwardTarget(b, func_end);
+            }
+        }
+    }
+
+    void
+    configureCondBranch(StaticBlock &blk, std::uint32_t b,
+                        std::uint32_t func_start, std::uint32_t func_end)
+    {
+        const auto &code = profile_.code;
+        const bool can_loop = b > func_start;
+        if (can_loop && rng_.bernoulli(code.loop_fraction)) {
+            // Loop tail: counted backward branch to the loop head.
+            const std::uint32_t max_span = std::min<std::uint32_t>(
+                8, b - func_start);
+            std::uint32_t span = 1 +
+                static_cast<std::uint32_t>(
+                    rng_.uniformInt(std::uint64_t(max_span)));
+            // Loops may contain calls and forward branches but not
+            // other loop tails: within-function nests would multiply
+            // trip counts and trap the walk in a few blocks for the
+            // entire trace. (Loops still nest across call boundaries.)
+            for (std::uint32_t body = b - span; body < b; ++body) {
+                if (blocks_[body].is_loop_tail) {
+                    span = b - body - 1;
+                    break;
+                }
+            }
+            if (span == 0) {
+                blk.taken_target = forwardTarget(b, func_end);
+                blk.is_weak = true;
+                blk.taken_bias = 0.5;
+                return;
+            }
+            blk.taken_target = b - span;
+            blk.is_loop_tail = true;
+            // Mostly-fixed trip counts: a gshare with enough history
+            // can learn short loop exits, as it does for real loops.
+            blk.fixed_trips = static_cast<std::uint16_t>(
+                std::clamp(std::lround(rng_.exponential(
+                               code.mean_loop_trips)), 2L, 512L));
+            blk.taken_bias =
+                1.0 - 1.0 / static_cast<double>(blk.fixed_trips);
+            return;
+        }
+        blk.taken_target = forwardTarget(b, func_end);
+        if (rng_.bernoulli(code.predictable_fraction)) {
+            const double strong = code.strong_bias;
+            blk.taken_bias = rng_.bernoulli(0.35) ? strong : 1.0 - strong;
+        } else {
+            blk.is_weak = true;
+            blk.taken_bias = 0.5;
+        }
+    }
+
+    std::uint32_t
+    forwardTarget(std::uint32_t b, std::uint32_t func_end)
+    {
+        const std::uint32_t max_skip =
+            std::min<std::uint32_t>(3, func_end - b);
+        return b + 1 +
+            static_cast<std::uint32_t>(
+                rng_.uniformInt(std::uint64_t(max_skip)));
+    }
+
+    void
+    assignMemPatterns()
+    {
+        const auto &data = profile_.data;
+        // Each static block is tied to one of a small set of stream
+        // cursors; the pattern itself is drawn per access so the
+        // dynamic pattern mix matches the profile regardless of which
+        // blocks run hot.
+        constexpr std::uint32_t kNumStreams = 8;
+        for (std::size_t b = 0; b < blocks_.size(); ++b)
+            blocks_[b].stream_id =
+                static_cast<std::uint32_t>(b) % kNumStreams;
+        stream_cursors_.resize(kNumStreams);
+        for (std::size_t s = 0; s < stream_cursors_.size(); ++s) {
+            const std::uint64_t slice =
+                std::max<std::uint64_t>(4096,
+                                        data.footprint_bytes /
+                                            stream_cursors_.size());
+            stream_cursors_[s] = {kDataBase + s * slice, slice, 0};
+        }
+        chase_addr_ = kDataBase;
+    }
+
+    // --- dynamic walk ----------------------------------------------
+
+    /** Emit one block; returns the next block index. */
+    std::uint32_t
+    emitBlock(std::uint32_t b, Trace &trace)
+    {
+        const StaticBlock &blk = blocks_[b];
+        // Body instructions (all but the terminator).
+        for (std::uint32_t i = 0; i + 1 < blk.size; ++i) {
+            if (trace.size() >= n_)
+                return b;
+            emitBodyInstruction(blk, blk.start_pc + i * 4ULL, trace);
+        }
+        if (trace.size() >= n_)
+            return b;
+        return emitTerminator(b, trace);
+    }
+
+    void
+    emitBodyInstruction(const StaticBlock &blk, std::uint64_t pc,
+                        Trace &trace)
+    {
+        TraceInstruction inst;
+        inst.pc = pc;
+        inst.op = sampleBodyOp();
+        if (inst.op == OpClass::Load || inst.op == OpClass::Store) {
+            fillMemoryOperand(blk, inst);
+        } else {
+            inst.dest = randomDest();
+            inst.src[0] = dependencySource();
+            if (rng_.bernoulli(profile_.deps.second_operand_prob))
+                inst.src[1] = dependencySource();
+        }
+        pushDest(inst.dest);
+        trace.push(inst);
+    }
+
+    std::uint32_t
+    emitTerminator(std::uint32_t b, Trace &trace)
+    {
+        const StaticBlock &blk = blocks_[b];
+        TraceInstruction inst;
+        inst.pc = blk.start_pc + (blk.size - 1) * 4ULL;
+        inst.op = blk.terminator;
+        inst.src[0] = dependencySource();
+        pushDest(kNoReg);
+
+        std::uint32_t next = b;
+        switch (blk.terminator) {
+          case OpClass::BranchCond:
+            if (blk.is_loop_tail) {
+                // Counted loop: taken (trips - 1) times per entry.
+                // Trip counts are usually the block's fixed count
+                // (learnable); occasionally data-dependent.
+                std::uint16_t &rem = loop_remaining_[b];
+                if (rem == 0) {
+                    rem = rng_.bernoulli(0.8)
+                        ? blk.fixed_trips
+                        : static_cast<std::uint16_t>(std::min<
+                              std::uint64_t>(
+                                  rng_.geometric(
+                                      1.0 / blk.fixed_trips), 512));
+                }
+                inst.taken = rem > 1;
+                --rem;
+            } else if (blk.is_weak) {
+                // Persistent Markov outcomes: mostly repeat the last
+                // direction, occasionally flip.
+                std::uint8_t &state = weak_state_[b];
+                if (state == 0)
+                    state = rng_.bernoulli(0.5) ? 1 : 2;
+                else if (rng_.bernoulli(0.18))
+                    state = state == 1 ? 2 : 1;
+                inst.taken = state == 1;
+            } else {
+                inst.taken = rng_.bernoulli(blk.taken_bias);
+            }
+            inst.branch_target = blocks_[blk.taken_target].start_pc;
+            next = inst.taken ? blk.taken_target : b + 1;
+            break;
+          case OpClass::BranchUncond:
+            inst.taken = true;
+            inst.branch_target = blocks_[blk.taken_target].start_pc;
+            next = blk.taken_target;
+            break;
+          case OpClass::BranchCall: {
+            if (call_stack_.size() < kMaxCallDepth) {
+                call_stack_.push_back(b + 1);
+                // Phase behaviour: most calls stay within the active
+                // function set; the rest pull in a fresh function.
+                std::size_t callee;
+                if (recent_func_count_ > 0 &&
+                    rng_.bernoulli(profile_.code.call_locality)) {
+                    callee = recent_funcs_[rng_.uniformInt(
+                        std::uint64_t(recent_func_count_))];
+                } else {
+                    callee = func_sampler_->sample(rng_);
+                }
+                recent_funcs_[recent_func_pos_] = callee;
+                recent_func_pos_ =
+                    (recent_func_pos_ + 1) % recent_funcs_.size();
+                recent_func_count_ = std::min(recent_func_count_ + 1,
+                                              recent_funcs_.size());
+                inst.taken = true;
+                next = func_heads_[callee];
+                inst.branch_target = blocks_[next].start_pc;
+            } else {
+                // Depth cap: degrade to a fall-through jump.
+                inst.op = OpClass::BranchUncond;
+                inst.taken = true;
+                next = b + 1;
+                inst.branch_target = blocks_[next].start_pc;
+            }
+            break;
+          }
+          case OpClass::BranchRet: {
+            inst.taken = true;
+            if (!call_stack_.empty()) {
+                next = call_stack_.back();
+                call_stack_.pop_back();
+            } else {
+                // Start-up underflow: restart in a popular function.
+                next = func_heads_[func_sampler_->sample(rng_)];
+            }
+            inst.branch_target = blocks_[next].start_pc;
+            break;
+          }
+          default:
+            assert(false && "non-branch terminator");
+        }
+        trace.push(inst);
+        assert(next < blocks_.size());
+        return next;
+    }
+
+    OpClass
+    sampleBodyOp()
+    {
+        const auto &mix = profile_.mix;
+        const double non_branch = 1.0 - std::clamp(mix.branch, 0.05,
+                                                   0.33);
+        const double u = rng_.uniform() * non_branch;
+        if (u < mix.load)
+            return OpClass::Load;
+        if (u < mix.load + mix.store)
+            return OpClass::Store;
+        // Compute class by relative weight.
+        const std::vector<double> weights = {
+            mix.int_alu, mix.int_mul, mix.int_div,
+            mix.fp_alu, mix.fp_mul, mix.fp_div,
+        };
+        static const OpClass classes[] = {
+            OpClass::IntAlu, OpClass::IntMul, OpClass::IntDiv,
+            OpClass::FpAlu, OpClass::FpMul, OpClass::FpDiv,
+        };
+        return classes[rng_.weightedIndex(weights)];
+    }
+
+    void
+    fillMemoryOperand(const StaticBlock &blk, TraceInstruction &inst)
+    {
+        const auto &data = profile_.data;
+        MemPattern pattern = MemPattern::Region;
+        const double u = rng_.uniform();
+        if (u < data.streaming_fraction)
+            pattern = MemPattern::Stream;
+        else if (u < data.streaming_fraction +
+                     data.pointer_chase_fraction)
+            pattern = MemPattern::Chase;
+        switch (pattern) {
+          case MemPattern::Stream: {
+            auto &cur = stream_cursors_[blk.stream_id %
+                                        stream_cursors_.size()];
+            inst.mem_addr = cur.base + cur.offset;
+            cur.offset += data.stride_bytes;
+            if (cur.offset >= cur.length)
+                cur.offset = 0;
+            inst.src[0] = dependencySource();
+            break;
+          }
+          case MemPattern::Chase: {
+            // Hash-walk the footprint; each chase load both reads and
+            // writes the chain register, serializing the chain. Most
+            // steps stay on the current page (nodes allocated
+            // together); the rest jump anywhere.
+            std::uint64_t h = chase_addr_ * 0x9e3779b97f4a7c15ULL + 1;
+            h ^= h >> 29;
+            h *= 0xbf58476d1ce4e5b9ULL;
+            h ^= h >> 32;
+            if (rng_.bernoulli(data.chase_locality)) {
+                chase_addr_ = (chase_addr_ & ~std::uint64_t(4095)) +
+                    (h & 4095) / 8 * 8;
+            } else {
+                chase_addr_ = kDataBase +
+                    (h % std::max<std::uint64_t>(64,
+                                                 data.footprint_bytes))
+                        / 8 * 8;
+            }
+            inst.mem_addr = chase_addr_;
+            recordRecent(inst.mem_addr);
+            inst.src[0] = kChaseReg;
+            if (inst.op == OpClass::Load) {
+                inst.dest = kChaseReg;
+                return;
+            }
+            break;
+          }
+          case MemPattern::Region: {
+            if (recent_count_ > 0 &&
+                rng_.bernoulli(data.temporal_locality)) {
+                // Temporal re-use of a recently touched address.
+                inst.mem_addr = recent_addrs_[rng_.uniformInt(
+                    std::uint64_t(recent_count_))];
+            } else if (region_burst_left_ > 0) {
+                // Spatial burst: walk on through the fresh record.
+                region_burst_addr_ += 8;
+                --region_burst_left_;
+                inst.mem_addr = region_burst_addr_;
+            } else {
+                const std::size_t region = region_sampler_->sample(rng_);
+                const std::uint64_t region_size =
+                    std::max<std::uint64_t>(
+                        64, data.footprint_bytes /
+                                std::max<std::size_t>(
+                                    1, data.num_regions));
+                const std::uint64_t offset =
+                    rng_.uniformInt(region_size / 8) * 8;
+                inst.mem_addr =
+                    kDataBase + region * region_size + offset;
+                // Fresh records are read field by field: the next few
+                // fresh draws continue sequentially from here.
+                region_burst_addr_ = inst.mem_addr;
+                region_burst_left_ = rng_.geometric(1.0 / 8.0);
+            }
+            recordRecent(inst.mem_addr);
+            inst.src[0] = dependencySource();
+            break;
+          }
+        }
+        if (inst.op == OpClass::Load)
+            inst.dest = randomDest();
+        else
+            inst.src[1] = dependencySource(); // store data operand
+    }
+
+    RegId
+    randomDest()
+    {
+        // r0 is reserved as "zero", r1 as the chase chain.
+        return static_cast<RegId>(
+            2 + rng_.uniformInt(std::uint64_t(kNumArchRegs - 2)));
+    }
+
+    /**
+     * Pick a source register a geometric distance back in the stream
+     * of recent destinations, falling back to a random register when
+     * the slot holds no writer.
+     */
+    RegId
+    dependencySource()
+    {
+        const std::uint64_t dist = std::min<std::uint64_t>(
+            rng_.geometric(1.0 / profile_.deps.mean_distance),
+            recent_dests_.size());
+        const std::size_t idx =
+            (ring_pos_ + recent_dests_.size() - dist) %
+            recent_dests_.size();
+        const RegId reg = recent_dests_[idx];
+        return reg != kNoReg ? reg : randomDest();
+    }
+
+    void
+    pushDest(RegId dest)
+    {
+        recent_dests_[ring_pos_] = dest;
+        ring_pos_ = (ring_pos_ + 1) % recent_dests_.size();
+    }
+
+    struct StreamCursor
+    {
+        std::uint64_t base = 0;
+        std::uint64_t length = 0;
+        std::uint64_t offset = 0;
+    };
+
+    const BenchmarkProfile &profile_;
+    math::Rng rng_;
+    std::size_t n_;
+
+    std::vector<StaticBlock> blocks_;
+    std::vector<std::uint32_t> func_heads_;
+    std::vector<std::uint32_t> func_ends_;
+    std::unique_ptr<ZipfSampler> func_sampler_;
+    std::unique_ptr<ZipfSampler> region_sampler_;
+
+    std::vector<std::uint32_t> call_stack_;
+    std::vector<StreamCursor> stream_cursors_;
+    std::uint64_t chase_addr_ = kDataBase;
+    std::vector<RegId> recent_dests_;
+    std::size_t ring_pos_ = 0;
+    std::vector<std::uint64_t> recent_addrs_;
+    std::size_t recent_pos_ = 0;
+    std::size_t recent_count_ = 0;
+    std::vector<std::uint16_t> loop_remaining_;
+    std::vector<std::uint8_t> weak_state_;
+    std::uint64_t region_burst_addr_ = kDataBase;
+    std::uint64_t region_burst_left_ = 0;
+    std::vector<std::size_t> recent_funcs_;
+    std::size_t recent_func_pos_ = 0;
+    std::size_t recent_func_count_ = 0;
+};
+
+} // namespace
+
+Trace
+generateTrace(const BenchmarkProfile &profile, std::size_t num_instructions)
+{
+    assert(num_instructions > 0);
+    Generator gen(profile, num_instructions);
+    return gen.run();
+}
+
+} // namespace ppm::trace

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Synthetic instruction-trace generation from a BenchmarkProfile.
+ *
+ * The generator lays out a static program — basic blocks grouped into
+ * functions over the profile's code footprint — and then walks it
+ * dynamically: loops iterate via biased backward branches, calls and
+ * returns maintain a call stack, and each static memory block draws
+ * addresses from a streaming, region-random or pointer-chasing
+ * pattern. Branch outcomes are consistent with the emitted control
+ * flow, so a branch predictor inside the simulator sees realistic,
+ * learnable (or deliberately unlearnable) behaviour.
+ *
+ * Mean basic-block size is derived from the profile's branch fraction
+ * (every block ends in exactly one branch), keeping the dynamic
+ * instruction mix faithful to the profile.
+ */
+
+#ifndef PPM_TRACE_TRACE_GENERATOR_HH
+#define PPM_TRACE_TRACE_GENERATOR_HH
+
+#include <cstddef>
+
+#include "trace/benchmark_profile.hh"
+#include "trace/trace.hh"
+
+namespace ppm::trace {
+
+/** Base virtual address of the synthetic code segment. */
+inline constexpr std::uint64_t kCodeBase = 0x0040'0000ULL;
+
+/** Base virtual address of the synthetic data segment. */
+inline constexpr std::uint64_t kDataBase = 0x1000'0000ULL;
+
+/**
+ * Generate a trace of @p num_instructions instructions.
+ *
+ * Generation is deterministic in (profile.seed, num_instructions):
+ * the same call always yields the same trace.
+ *
+ * @param profile Workload description.
+ * @param num_instructions Trace length (> 0).
+ */
+Trace generateTrace(const BenchmarkProfile &profile,
+                    std::size_t num_instructions);
+
+} // namespace ppm::trace
+
+#endif // PPM_TRACE_TRACE_GENERATOR_HH

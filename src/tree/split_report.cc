@@ -1,0 +1,68 @@
+#include "tree/split_report.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppm::tree {
+
+namespace {
+
+RawSplit
+toRaw(const SplitRecord &rec, const dspace::DesignSpace &space)
+{
+    RawSplit out;
+    out.parameter = space.param(rec.parameter).name();
+    out.parameter_index = rec.parameter;
+    // Boundary values live between levels, so no quantization here.
+    out.raw_value = space.param(rec.parameter).fromUnit(rec.value);
+    out.depth = rec.depth;
+    out.error_reduction = rec.error_reduction;
+    return out;
+}
+
+} // namespace
+
+std::vector<RawSplit>
+significantSplits(const RegressionTree &tree,
+                  const dspace::DesignSpace &space, std::size_t top_n)
+{
+    std::vector<SplitRecord> recs = tree.splits();
+    std::sort(recs.begin(), recs.end(),
+              [](const SplitRecord &a, const SplitRecord &b) {
+                  if (a.error_reduction != b.error_reduction)
+                      return a.error_reduction > b.error_reduction;
+                  return a.depth < b.depth;
+              });
+    if (recs.size() > top_n)
+        recs.resize(top_n);
+
+    std::vector<RawSplit> out;
+    out.reserve(recs.size());
+    for (const auto &rec : recs)
+        out.push_back(toRaw(rec, space));
+    return out;
+}
+
+std::vector<RawSplit>
+allSplits(const RegressionTree &tree, const dspace::DesignSpace &space)
+{
+    std::vector<RawSplit> out;
+    out.reserve(tree.splits().size());
+    for (const auto &rec : tree.splits())
+        out.push_back(toRaw(rec, space));
+    return out;
+}
+
+std::vector<std::size_t>
+splitCountPerParameter(const RegressionTree &tree,
+                       const dspace::DesignSpace &space)
+{
+    std::vector<std::size_t> counts(space.size(), 0);
+    for (const auto &rec : tree.splits()) {
+        assert(rec.parameter < counts.size());
+        ++counts[rec.parameter];
+    }
+    return counts;
+}
+
+} // namespace ppm::tree

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Diagnostics over regression-tree splits: the "most significant
+ * splits" ranking of paper Table 5 and the per-parameter split-value
+ * distribution of paper Fig 5, both reported in raw parameter units.
+ */
+
+#ifndef PPM_TREE_SPLIT_REPORT_HH
+#define PPM_TREE_SPLIT_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "dspace/design_space.hh"
+#include "tree/regression_tree.hh"
+
+namespace ppm::tree {
+
+/** One split rendered in raw parameter units. */
+struct RawSplit
+{
+    /** Parameter name from the design space. */
+    std::string parameter;
+    /** Parameter index. */
+    std::size_t parameter_index = 0;
+    /** Boundary value converted back to raw units. */
+    double raw_value = 0.0;
+    /** Depth of the split (root split = 1, as in Table 5). */
+    int depth = 0;
+    /** SSE reduction achieved (the significance measure). */
+    double error_reduction = 0.0;
+};
+
+/**
+ * The @p top_n most significant splits — ranked by error reduction,
+ * ties broken toward shallower depth — in raw units (Table 5).
+ */
+std::vector<RawSplit> significantSplits(const RegressionTree &tree,
+                                        const dspace::DesignSpace &space,
+                                        std::size_t top_n);
+
+/** All splits of the tree in raw units, in construction order. */
+std::vector<RawSplit> allSplits(const RegressionTree &tree,
+                                const dspace::DesignSpace &space);
+
+/**
+ * Count of splits per parameter (Fig 5's x-axis grouping).
+ * Element i corresponds to space.param(i).
+ */
+std::vector<std::size_t> splitCountPerParameter(
+    const RegressionTree &tree, const dspace::DesignSpace &space);
+
+} // namespace ppm::tree
+
+#endif // PPM_TREE_SPLIT_REPORT_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the adaptive sampler (the paper's proposed
+ * simulation-cost reduction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/adaptive.hh"
+#include "core/model_builder.hh"
+#include "dspace/paper_space.hh"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::core;
+
+/** Smooth nonlinear response over the paper space. */
+double
+response(const dspace::DesignPoint &p)
+{
+    using namespace ppm::dspace;
+    return 0.5 + 25.0 / p[kRobSize] + 0.25 * p[kDl1Lat] +
+        300.0 / (p[kL2SizeKB] + 400.0) +
+        0.003 * p[kL2Lat] * (64.0 / (p[kIl1SizeKB] + 8.0));
+}
+
+AdaptiveOptions
+fastOptions()
+{
+    AdaptiveOptions opts;
+    opts.initial_size = 25;
+    opts.batch_size = 10;
+    opts.max_samples = 95;
+    opts.candidate_pool = 300;
+    opts.num_test_points = 30;
+    opts.lhs_candidates = 10;
+    opts.trainer.p_min_grid = {1};
+    opts.trainer.alpha_grid = {4, 8};
+    return opts;
+}
+
+TEST(Adaptive, ConvergesOnSmoothResponse)
+{
+    FunctionOracle oracle(response);
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    AdaptiveSampler sampler(train, test, oracle);
+    auto opts = fastOptions();
+    opts.target_mean_error = 4.0;
+    auto result = sampler.build(opts);
+    ASSERT_FALSE(result.history.empty());
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.history.back().error.mean_error, 4.0);
+    EXPECT_NE(result.model, nullptr);
+}
+
+TEST(Adaptive, RespectsBudget)
+{
+    FunctionOracle oracle(response);
+    auto train = dspace::paperTrainSpace();
+    AdaptiveSampler sampler(train, train, oracle);
+    auto opts = fastOptions();
+    opts.target_mean_error = 0.0; // unreachable
+    auto result = sampler.build(opts);
+    EXPECT_FALSE(result.converged);
+    EXPECT_LE(static_cast<int>(result.sample.size()),
+              opts.max_samples);
+    EXPECT_EQ(result.sample.size(),
+              static_cast<std::size_t>(opts.max_samples));
+    // Simulations = test points + training points.
+    EXPECT_EQ(result.simulations,
+              static_cast<std::uint64_t>(opts.num_test_points) +
+                  result.sample.size());
+}
+
+TEST(Adaptive, HistoryTracksGrowth)
+{
+    FunctionOracle oracle(response);
+    auto train = dspace::paperTrainSpace();
+    AdaptiveSampler sampler(train, train, oracle);
+    auto opts = fastOptions();
+    opts.target_mean_error = 0.0;
+    auto result = sampler.build(opts);
+    ASSERT_GE(result.history.size(), 2u);
+    EXPECT_EQ(result.history.front().samples, opts.initial_size);
+    for (std::size_t i = 1; i < result.history.size(); ++i)
+        EXPECT_EQ(result.history[i].samples,
+                  result.history[i - 1].samples + opts.batch_size);
+}
+
+TEST(Adaptive, InfillPointsAreDistinctAndInSpace)
+{
+    FunctionOracle oracle(response);
+    auto train = dspace::paperTrainSpace();
+    AdaptiveSampler sampler(train, train, oracle);
+    auto opts = fastOptions();
+    opts.target_mean_error = 0.0;
+    auto result = sampler.build(opts);
+    std::set<std::vector<double>> seen;
+    for (const auto &p : result.sample) {
+        EXPECT_TRUE(train.contains(p)) << train.describe(p);
+        seen.insert(p);
+    }
+    // Essentially all points distinct (level snapping may rarely
+    // collide).
+    EXPECT_GE(seen.size(), result.sample.size() - 3);
+}
+
+TEST(Adaptive, ErrorImprovesOverRounds)
+{
+    FunctionOracle oracle(response);
+    auto train = dspace::paperTrainSpace();
+    AdaptiveSampler sampler(train, train, oracle);
+    auto opts = fastOptions();
+    opts.target_mean_error = 0.0;
+    auto result = sampler.build(opts);
+    ASSERT_GE(result.history.size(), 3u);
+    // Not strictly monotone, but the final model must beat the seed.
+    EXPECT_LT(result.history.back().error.mean_error,
+              result.history.front().error.mean_error);
+}
+
+TEST(Adaptive, RejectsBadOptions)
+{
+    FunctionOracle oracle(response);
+    auto train = dspace::paperTrainSpace();
+    AdaptiveSampler sampler(train, train, oracle);
+    AdaptiveOptions bad = fastOptions();
+    bad.initial_size = 5;
+    EXPECT_THROW(sampler.build(bad), std::invalid_argument);
+    bad = fastOptions();
+    bad.batch_size = 0;
+    EXPECT_THROW(sampler.build(bad), std::invalid_argument);
+    bad = fastOptions();
+    bad.max_samples = bad.initial_size - 1;
+    EXPECT_THROW(sampler.build(bad), std::invalid_argument);
+    bad = fastOptions();
+    bad.num_test_points = 0;
+    EXPECT_THROW(sampler.build(bad), std::invalid_argument);
+}
+
+TEST(Adaptive, MatchesLhsBudgetAccuracy)
+{
+    // At the same simulation budget the adaptive model should be in
+    // the same accuracy class as a one-shot LHS build (usually
+    // better; allow slack for noise).
+    FunctionOracle oracle_a(response);
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    AdaptiveSampler sampler(train, test, oracle_a);
+    auto opts = fastOptions();
+    opts.target_mean_error = 0.0;
+    auto adaptive = sampler.build(opts);
+
+    FunctionOracle oracle_b(response);
+    ModelBuilder builder(train, test, oracle_b);
+    BuildOptions fixed;
+    fixed.sample_sizes = {opts.max_samples};
+    fixed.target_mean_error = 0.0;
+    fixed.num_test_points = opts.num_test_points;
+    fixed.lhs_candidates = opts.lhs_candidates;
+    fixed.trainer = opts.trainer;
+    auto lhs = builder.build(fixed);
+
+    EXPECT_LT(adaptive.history.back().error.mean_error,
+              2.5 * lhs.final().rbf_error.mean_error + 1.0);
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the gshare + BTB + RAS branch predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/branch_predictor.hh"
+
+namespace {
+
+using namespace ppm::sim;
+using ppm::trace::OpClass;
+using ppm::trace::TraceInstruction;
+
+TraceInstruction
+branch(OpClass op, std::uint64_t pc, std::uint64_t target, bool taken)
+{
+    TraceInstruction i;
+    i.op = op;
+    i.pc = pc;
+    i.branch_target = target;
+    i.taken = taken;
+    return i;
+}
+
+/** Run predict+update once; returns the resolution. */
+BranchPredictor::Resolution
+step(BranchPredictor &bp, const TraceInstruction &i)
+{
+    const BranchPrediction p = bp.predict(i);
+    return bp.update(i, p);
+}
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    ProcessorConfig cfg;
+    BranchPredictor bp(cfg);
+    auto b = branch(OpClass::BranchCond, 0x1000, 0x2000, true);
+    std::uint64_t early_mispredicts = 0;
+    for (int k = 0; k < 50; ++k)
+        step(bp, b);
+    early_mispredicts = bp.stats().mispredicts;
+    for (int k = 0; k < 1000; ++k)
+        step(bp, b);
+    // Once warm, no further direction mispredicts.
+    EXPECT_EQ(bp.stats().mispredicts, early_mispredicts);
+    EXPECT_EQ(bp.stats().cond_branches, 1050u);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    ProcessorConfig cfg;
+    BranchPredictor bp(cfg);
+    auto b = branch(OpClass::BranchCond, 0x1000, 0x2000, false);
+    for (int k = 0; k < 50; ++k)
+        step(bp, b);
+    const auto warm = bp.stats().mispredicts;
+    for (int k = 0; k < 500; ++k)
+        step(bp, b);
+    EXPECT_EQ(bp.stats().mispredicts, warm);
+}
+
+TEST(BranchPredictor, LearnsShortLoopPattern)
+{
+    // Trip-count-4 loop (TTTN repeated): gshare history learns it.
+    ProcessorConfig cfg;
+    BranchPredictor bp(cfg);
+    auto b = branch(OpClass::BranchCond, 0x1000, 0x800, true);
+    for (int rep = 0; rep < 300; ++rep) {
+        for (int k = 0; k < 4; ++k) {
+            b.taken = k < 3;
+            step(bp, b);
+        }
+    }
+    const auto warm = bp.stats().mispredicts;
+    for (int rep = 0; rep < 100; ++rep) {
+        for (int k = 0; k < 4; ++k) {
+            b.taken = k < 3;
+            step(bp, b);
+        }
+    }
+    // Warmed-up pattern: essentially no new mispredicts.
+    EXPECT_LE(bp.stats().mispredicts - warm, 4u);
+}
+
+TEST(BranchPredictor, UnconditionalTakenWithBtbHitIsFree)
+{
+    ProcessorConfig cfg;
+    BranchPredictor bp(cfg);
+    auto b = branch(OpClass::BranchUncond, 0x3000, 0x5000, true);
+    auto first = step(bp, b); // BTB cold: decode bubble, not redirect
+    EXPECT_FALSE(first.mispredict);
+    EXPECT_TRUE(first.btb_bubble);
+    auto second = step(bp, b);
+    EXPECT_FALSE(second.mispredict);
+    EXPECT_FALSE(second.btb_bubble);
+    EXPECT_EQ(bp.stats().btb_bubbles, 1u);
+}
+
+TEST(BranchPredictor, StaleBtbTargetIsFullRedirect)
+{
+    ProcessorConfig cfg;
+    BranchPredictor bp(cfg);
+    auto b = branch(OpClass::BranchUncond, 0x3000, 0x5000, true);
+    step(bp, b); // installs target 0x5000
+    step(bp, b);
+    b.branch_target = 0x7000; // target changed (indirect-like)
+    auto res = step(bp, b);
+    EXPECT_TRUE(res.mispredict);
+}
+
+TEST(BranchPredictor, RasPredictsMatchedCallReturn)
+{
+    ProcessorConfig cfg;
+    BranchPredictor bp(cfg);
+    auto call = branch(OpClass::BranchCall, 0x1000, 0x9000, true);
+    auto ret = branch(OpClass::BranchRet, 0x9040, 0x1004, true);
+    step(bp, call);
+    auto res = step(bp, ret);
+    EXPECT_FALSE(res.mispredict);
+    EXPECT_EQ(bp.stats().mispredicts, 0u);
+}
+
+TEST(BranchPredictor, RasUnderflowMispredictsReturn)
+{
+    ProcessorConfig cfg;
+    BranchPredictor bp(cfg);
+    auto ret = branch(OpClass::BranchRet, 0x9040, 0x1234, true);
+    auto res = step(bp, ret);
+    EXPECT_TRUE(res.mispredict);
+}
+
+TEST(BranchPredictor, RasDepthOverflowLosesOldEntries)
+{
+    ProcessorConfig cfg;
+    cfg.ras_entries = 4;
+    BranchPredictor bp(cfg);
+    // 6 nested calls overflow a 4-deep RAS; the two oldest returns
+    // must mispredict.
+    for (int d = 0; d < 6; ++d) {
+        auto call = branch(OpClass::BranchCall,
+                           0x1000 + 0x100 * d, 0x9000 + 0x100 * d,
+                           true);
+        step(bp, call);
+    }
+    std::uint64_t mispredicts = 0;
+    for (int d = 5; d >= 0; --d) {
+        auto ret = branch(OpClass::BranchRet, 0x9040 + 0x100 * d,
+                          0x1004 + 0x100 * d, true);
+        if (step(bp, ret).mispredict)
+            ++mispredicts;
+    }
+    EXPECT_EQ(mispredicts, 2u);
+}
+
+TEST(BranchPredictor, DistinguishesInterleavedBranches)
+{
+    ProcessorConfig cfg;
+    BranchPredictor bp(cfg);
+    auto t = branch(OpClass::BranchCond, 0x1000, 0x800, true);
+    auto n = branch(OpClass::BranchCond, 0x2000, 0x900, false);
+    for (int k = 0; k < 200; ++k) {
+        step(bp, t);
+        step(bp, n);
+    }
+    const auto warm = bp.stats().mispredicts;
+    for (int k = 0; k < 200; ++k) {
+        step(bp, t);
+        step(bp, n);
+    }
+    EXPECT_EQ(bp.stats().mispredicts, warm);
+}
+
+TEST(BranchPredictor, ResetClearsEverything)
+{
+    ProcessorConfig cfg;
+    BranchPredictor bp(cfg);
+    auto b = branch(OpClass::BranchCond, 0x1000, 0x800, true);
+    for (int k = 0; k < 100; ++k)
+        step(bp, b);
+    bp.reset();
+    EXPECT_EQ(bp.stats().branches, 0u);
+    EXPECT_EQ(bp.stats().mispredicts, 0u);
+    // Cold again: the first taken needs the BTB refilled.
+    auto res = step(bp, b);
+    EXPECT_TRUE(res.mispredict || res.btb_bubble);
+}
+
+TEST(BranchPredictor, StatsCountKinds)
+{
+    ProcessorConfig cfg;
+    BranchPredictor bp(cfg);
+    step(bp, branch(OpClass::BranchCond, 0x10, 0x20, true));
+    step(bp, branch(OpClass::BranchUncond, 0x30, 0x40, true));
+    step(bp, branch(OpClass::BranchCall, 0x50, 0x60, true));
+    EXPECT_EQ(bp.stats().branches, 3u);
+    EXPECT_EQ(bp.stats().cond_branches, 1u);
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/cache.hh"
+
+namespace {
+
+using ppm::sim::Cache;
+using ppm::sim::CacheAccessResult;
+
+TEST(Cache, Geometry)
+{
+    Cache c("t", 32 * 1024, 2, 64);
+    EXPECT_EQ(c.numSets(), 256u);
+    EXPECT_EQ(c.assoc(), 2);
+    EXPECT_EQ(c.name(), "t");
+}
+
+TEST(Cache, NonPowerOfTwoCapacity)
+{
+    // Validation design points carry arbitrary sizes; sets need not
+    // be a power of two.
+    Cache c("t", 1396 * 1024, 8, 64);
+    EXPECT_EQ(c.numSets(), 1396u * 1024 / (64 * 8));
+}
+
+TEST(Cache, RejectsTinyCapacity)
+{
+    EXPECT_THROW(Cache("t", 32, 2, 64), std::invalid_argument);
+}
+
+TEST(Cache, RejectsNonPowerOfTwoLine)
+{
+    EXPECT_THROW(Cache("t", 4096, 1, 48), std::invalid_argument);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c("t", 4096, 2, 64);
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x103f, false).hit); // same line
+    EXPECT_FALSE(c.access(0x1040, false).hit); // next line
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c("t", 4096, 2, 64);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(64, false);
+    c.access(64, false);
+    EXPECT_DOUBLE_EQ(c.stats().missRate(), 0.5);
+}
+
+TEST(Cache, LruEviction)
+{
+    // Direct-mapped-like pressure on one set: 1 way, lines that
+    // collide evict each other.
+    Cache c("t", 64, 1, 64); // a single set, single way
+    EXPECT_FALSE(c.access(0, false).hit);
+    EXPECT_FALSE(c.access(64, false).hit);  // evicts line 0
+    EXPECT_FALSE(c.access(0, false).hit);   // miss again
+}
+
+TEST(Cache, LruKeepsMostRecentlyUsed)
+{
+    // 2-way single set: A, B, touch A, insert C -> B evicted.
+    Cache c("t", 128, 2, 64);
+    ASSERT_EQ(c.numSets(), 1u);
+    c.access(0 * 64, false);   // A
+    c.access(1 * 64, false);   // B
+    c.access(0 * 64, false);   // touch A
+    c.access(2 * 64, false);   // C evicts B
+    EXPECT_TRUE(c.probe(0 * 64));
+    EXPECT_FALSE(c.probe(1 * 64));
+    EXPECT_TRUE(c.probe(2 * 64));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c("t", 64, 1, 64);
+    c.access(0, true); // dirty
+    CacheAccessResult r = c.access(64, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victim_addr, 0u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache c("t", 64, 1, 64);
+    c.access(0, false);
+    CacheAccessResult r = c.access(64, false);
+    EXPECT_FALSE(r.writeback);
+    EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache c("t", 64, 1, 64);
+    c.access(0, false); // clean fill
+    c.access(0, true);  // write hit dirties it
+    CacheAccessResult r = c.access(64, false);
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, VictimAddressIsLineAligned)
+{
+    Cache c("t", 64, 1, 64);
+    c.access(0x12345, true);
+    CacheAccessResult r = c.access(0x12345 + 64, false);
+    ASSERT_TRUE(r.writeback);
+    EXPECT_EQ(r.victim_addr % 64, 0u);
+    EXPECT_EQ(r.victim_addr, (0x12345ull / 64) * 64);
+}
+
+TEST(Cache, ProbeDoesNotTouchStateOrStats)
+{
+    Cache c("t", 4096, 2, 64);
+    c.access(0, false);
+    const auto before = c.stats().accesses;
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(0x8000));
+    EXPECT_EQ(c.stats().accesses, before);
+}
+
+TEST(Cache, ResetClearsContentsAndStats)
+{
+    Cache c("t", 4096, 2, 64);
+    c.access(0, true);
+    c.reset();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_FALSE(c.access(0, false).hit);
+}
+
+TEST(Cache, CapacitySweepMonotoneMissRates)
+{
+    // Bigger caches can't miss more on the same address stream.
+    std::vector<std::uint64_t> addrs;
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 20000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        addrs.push_back((x >> 20) % (256 * 1024)); // 256KB footprint
+    }
+    double prev = 1.1;
+    for (std::uint64_t kb : {8, 16, 32, 64, 128}) {
+        Cache c("t", kb * 1024, 2, 64);
+        for (auto a : addrs)
+            c.access(a, false);
+        const double mr = c.stats().missRate();
+        EXPECT_LE(mr, prev + 0.01) << kb;
+        prev = mr;
+    }
+}
+
+TEST(Cache, FullyAssociativeBehaviour)
+{
+    // assoc == #lines: no conflict misses within capacity.
+    Cache c("t", 8 * 64, 8, 64);
+    ASSERT_EQ(c.numSets(), 1u);
+    for (int i = 0; i < 8; ++i)
+        c.access(static_cast<std::uint64_t>(i) * 64, false);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(c.probe(static_cast<std::uint64_t>(i) * 64)) << i;
+}
+
+} // namespace

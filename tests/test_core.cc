@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit tests for the core library: oracles, evaluation, the
+ * BuildRBFmodel driver on analytic responses, and exploration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/explorer.hh"
+#include "core/model_builder.hh"
+#include "dspace/paper_space.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::core;
+
+/** Smooth nonlinear CPI-like response over the paper space. */
+double
+syntheticCpi(const dspace::DesignPoint &p)
+{
+    using namespace ppm::dspace;
+    return 0.6 + 0.02 * p[kPipeDepth] + 30.0 / p[kRobSize] +
+        0.25 * p[kDl1Lat] + 250.0 / (p[kL2SizeKB] + 300.0) +
+        0.004 * p[kL2Lat] * (64.0 / (p[kIl1SizeKB] + 8.0));
+}
+
+TEST(FunctionOracle, CountsEvaluations)
+{
+    FunctionOracle oracle(syntheticCpi);
+    auto space = dspace::paperTrainSpace();
+    math::Rng rng(1);
+    EXPECT_EQ(oracle.evaluations(), 0u);
+    oracle.cpi(space.randomPoint(rng));
+    oracle.cpi(space.randomPoint(rng));
+    EXPECT_EQ(oracle.evaluations(), 2u);
+}
+
+TEST(SimulatorOracle, MemoizesRepeatedPoints)
+{
+    auto space = dspace::paperTrainSpace();
+    auto tr = trace::generateTrace(trace::profileByName("crafty"), 20000);
+    SimulatorOracle oracle(space, tr);
+    dspace::DesignPoint pt{14, 64, 0.5, 0.5, 1024, 12, 32, 32, 2};
+    const double a = oracle.cpi(pt);
+    EXPECT_EQ(oracle.evaluations(), 1u);
+    const double b = oracle.cpi(pt);
+    EXPECT_EQ(oracle.evaluations(), 1u);
+    EXPECT_EQ(oracle.cacheHits(), 1u);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.2);
+}
+
+TEST(SimulatorOracle, DistinctPointsSimulated)
+{
+    auto space = dspace::paperTrainSpace();
+    auto tr = trace::generateTrace(trace::profileByName("crafty"), 20000);
+    SimulatorOracle oracle(space, tr);
+    oracle.cpi({14, 64, 0.5, 0.5, 1024, 12, 32, 32, 2});
+    oracle.cpi({14, 64, 0.5, 0.5, 1024, 12, 32, 32, 3});
+    EXPECT_EQ(oracle.evaluations(), 2u);
+}
+
+TEST(Evaluator, PredictionErrorMetrics)
+{
+    auto report = evaluatePredictions({2.0, 4.0, 5.0},
+                                      {2.2, 4.0, 4.0});
+    EXPECT_NEAR(report.errors[0], 10.0, 1e-9);
+    EXPECT_NEAR(report.errors[1], 0.0, 1e-9);
+    EXPECT_NEAR(report.errors[2], 20.0, 1e-9);
+    EXPECT_NEAR(report.mean_error, 10.0, 1e-9);
+    EXPECT_NEAR(report.max_error, 20.0, 1e-9);
+    EXPECT_GT(report.std_error, 0.0);
+}
+
+TEST(ModelBuilder, ConvergesOnSyntheticResponse)
+{
+    FunctionOracle oracle(syntheticCpi);
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    ModelBuilder builder(train, test, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {30, 50, 90};
+    opts.target_mean_error = 3.0;
+    auto result = builder.build(opts);
+    ASSERT_FALSE(result.history.empty());
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.final().rbf_error.mean_error, 3.0);
+    EXPECT_NE(result.model, nullptr);
+    // Simulations = test set + training samples actually used.
+    std::uint64_t expected = 50;
+    for (const auto &h : result.history)
+        expected += static_cast<std::uint64_t>(h.sample_size);
+    EXPECT_EQ(result.simulations, expected);
+}
+
+TEST(ModelBuilder, StopsEarlyWhenConverged)
+{
+    FunctionOracle oracle(syntheticCpi);
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    ModelBuilder builder(train, test, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {60, 90, 120, 200};
+    opts.target_mean_error = 50.0; // trivially satisfied
+    auto result = builder.build(opts);
+    EXPECT_EQ(result.history.size(), 1u);
+    EXPECT_TRUE(result.converged);
+}
+
+TEST(ModelBuilder, RunsFullScheduleWhenUnconverged)
+{
+    FunctionOracle oracle(syntheticCpi);
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    ModelBuilder builder(train, test, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {20, 30};
+    opts.target_mean_error = 0.0; // unreachable
+    auto result = builder.build(opts);
+    EXPECT_EQ(result.history.size(), 2u);
+    EXPECT_FALSE(result.converged);
+}
+
+TEST(ModelBuilder, DiscrepancyRecordedAndDecreasing)
+{
+    FunctionOracle oracle(syntheticCpi);
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    ModelBuilder builder(train, test, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {20, 200};
+    opts.target_mean_error = 0.0;
+    auto result = builder.build(opts);
+    ASSERT_EQ(result.history.size(), 2u);
+    EXPECT_GT(result.history[0].discrepancy,
+              result.history[1].discrepancy);
+}
+
+TEST(ModelBuilder, LinearBaselineWorseOnCurvedResponse)
+{
+    FunctionOracle oracle(syntheticCpi);
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    ModelBuilder builder(train, test, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {200};
+    opts.target_mean_error = 0.0;
+    opts.fit_linear_baseline = true;
+    auto result = builder.build(opts);
+    ASSERT_NE(result.linear_model, nullptr);
+    const auto &h = result.final();
+    EXPECT_LT(h.rbf_error.mean_error, h.linear_error.mean_error);
+}
+
+TEST(ModelBuilder, RandomSamplingAblationRuns)
+{
+    FunctionOracle oracle(syntheticCpi);
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    ModelBuilder builder(train, test, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {60};
+    opts.target_mean_error = 0.0;
+    opts.use_random_sampling = true;
+    auto result = builder.build(opts);
+    EXPECT_EQ(result.history.size(), 1u);
+    EXPECT_GT(result.final().rbf_error.mean_error, 0.0);
+}
+
+TEST(ModelBuilder, RejectsBadOptions)
+{
+    FunctionOracle oracle(syntheticCpi);
+    auto train = dspace::paperTrainSpace();
+    ModelBuilder builder(train, train, oracle);
+    BuildOptions empty;
+    empty.sample_sizes = {};
+    EXPECT_THROW(builder.build(empty), std::invalid_argument);
+    BuildOptions tiny;
+    tiny.sample_sizes = {5};
+    EXPECT_THROW(builder.build(tiny), std::invalid_argument);
+    BuildOptions no_test;
+    no_test.num_test_points = 0;
+    EXPECT_THROW(builder.build(no_test), std::invalid_argument);
+}
+
+TEST(ModelBuilder, TestPointsExposed)
+{
+    FunctionOracle oracle(syntheticCpi);
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    ModelBuilder builder(train, test, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {30};
+    opts.target_mean_error = 0.0;
+    builder.build(opts);
+    EXPECT_EQ(builder.testPoints().size(), 50u);
+    EXPECT_EQ(builder.testResponses().size(), 50u);
+    for (const auto &pt : builder.testPoints())
+        EXPECT_TRUE(test.contains(pt));
+}
+
+TEST(Predictor, DescribeStrings)
+{
+    FunctionOracle oracle(syntheticCpi);
+    auto train = dspace::paperTrainSpace();
+    ModelBuilder builder(train, train, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {40};
+    opts.target_mean_error = 0.0;
+    opts.fit_linear_baseline = true;
+    auto result = builder.build(opts);
+    EXPECT_NE(result.model->describe().find("rbf"), std::string::npos);
+    EXPECT_NE(result.linear_model->describe().find("linear"),
+              std::string::npos);
+}
+
+// --- exploration -------------------------------------------------------
+
+std::shared_ptr<RbfPerformanceModel>
+buildSyntheticModel()
+{
+    static std::shared_ptr<RbfPerformanceModel> cached;
+    if (cached)
+        return cached;
+    FunctionOracle oracle(syntheticCpi);
+    auto train = dspace::paperTrainSpace();
+    ModelBuilder builder(train, train, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {120};
+    opts.target_mean_error = 0.0;
+    cached = builder.build(opts).model;
+    return cached;
+}
+
+TEST(Explorer, FindsLowCpiConfigurations)
+{
+    auto model = buildSyntheticModel();
+    auto space = dspace::paperTrainSpace();
+    SearchOptions opts;
+    opts.num_candidates = 4000;
+    opts.top_k = 5;
+    auto best = findBestConfigurations(*model, space, opts);
+    ASSERT_EQ(best.size(), 5u);
+    for (std::size_t i = 1; i < best.size(); ++i)
+        EXPECT_LE(best[i - 1].predicted_cpi, best[i].predicted_cpi);
+    // The synthetic response is minimized by big ROB / big caches /
+    // low latencies; the best found point must be clearly better
+    // than a mid one.
+    const double mid = model->predict(
+        {14, 64, 0.5, 0.5, 1024, 12, 32, 32, 2});
+    EXPECT_LT(best.front().predicted_cpi, mid);
+}
+
+TEST(Explorer, ConstraintFiltersCandidates)
+{
+    auto model = buildSyntheticModel();
+    auto space = dspace::paperTrainSpace();
+    SearchOptions opts;
+    opts.num_candidates = 3000;
+    opts.top_k = 5;
+    // Forbid large L2s (area constraint): all results obey it.
+    opts.constraint = [](const dspace::DesignPoint &p) {
+        return p[dspace::kL2SizeKB] <= 1024;
+    };
+    auto best = findBestConfigurations(*model, space, opts);
+    ASSERT_FALSE(best.empty());
+    for (const auto &c : best)
+        EXPECT_LE(c.point[dspace::kL2SizeKB], 1024);
+}
+
+TEST(Explorer, SweepParameterCoversRange)
+{
+    auto model = buildSyntheticModel();
+    auto space = dspace::paperTrainSpace();
+    dspace::DesignPoint base{14, 64, 0.5, 0.5, 1024, 12, 32, 32, 2};
+    auto sweep = sweepParameter(*model, space, base,
+                                dspace::kRobSize, 6);
+    ASSERT_EQ(sweep.size(), 6u);
+    EXPECT_DOUBLE_EQ(sweep.front().point[dspace::kRobSize], 24);
+    EXPECT_DOUBLE_EQ(sweep.back().point[dspace::kRobSize], 128);
+    // Other coordinates unchanged.
+    for (const auto &c : sweep)
+        EXPECT_DOUBLE_EQ(c.point[dspace::kL2Lat], 12);
+    // Synthetic response falls with ROB size.
+    EXPECT_GT(sweep.front().predicted_cpi, sweep.back().predicted_cpi);
+}
+
+TEST(Explorer, SweepInteractionGridShape)
+{
+    auto model = buildSyntheticModel();
+    auto space = dspace::paperTrainSpace();
+    dspace::DesignPoint base{14, 64, 0.5, 0.5, 1024, 12, 32, 32, 2};
+    auto grid = sweepInteraction(*model, space, base,
+                                 dspace::kIl1SizeKB, dspace::kL2Lat,
+                                 4, 6);
+    ASSERT_EQ(grid.size(), 24u);
+    // Row-major layout: entry (i, j) has il1 level i, l2_lat level j.
+    EXPECT_DOUBLE_EQ(grid[0].point[dspace::kIl1SizeKB], 8);
+    EXPECT_DOUBLE_EQ(grid[0].point[dspace::kL2Lat], 5);
+    EXPECT_DOUBLE_EQ(grid[5].point[dspace::kL2Lat], 20);
+    EXPECT_DOUBLE_EQ(grid[23].point[dspace::kIl1SizeKB], 64);
+}
+
+} // namespace

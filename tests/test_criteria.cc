@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the model selection criteria (AIC_c of paper Eq 9,
+ * plus BIC and GCV).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "rbf/criteria.hh"
+
+namespace {
+
+using namespace ppm::rbf;
+
+TEST(Criteria, AiccMatchesEq9)
+{
+    // AICc = p log(sse/p) + 2m + 2m(m+1)/(p - m - 1)
+    const std::size_t p = 100, m = 10;
+    const double sse = 2.5;
+    const double expected = 100.0 * std::log(2.5 / 100.0) + 20.0 +
+        2.0 * 10.0 * 11.0 / (100.0 - 10.0 - 1.0);
+    EXPECT_NEAR(aicc(p, m, sse), expected, 1e-9);
+}
+
+TEST(Criteria, AiccPenalizesModelSize)
+{
+    const double sse = 1.0;
+    EXPECT_LT(aicc(100, 5, sse), aicc(100, 20, sse));
+}
+
+TEST(Criteria, AiccRewardsFitQuality)
+{
+    EXPECT_LT(aicc(100, 10, 0.5), aicc(100, 10, 5.0));
+}
+
+TEST(Criteria, AiccInfiniteWhenOverparameterized)
+{
+    // Correction term requires p - m - 1 > 0.
+    EXPECT_TRUE(std::isinf(aicc(10, 9, 1.0)));
+    EXPECT_TRUE(std::isinf(aicc(10, 10, 1.0)));
+    EXPECT_TRUE(std::isfinite(aicc(10, 8, 1.0)));
+}
+
+TEST(Criteria, AiccCorrectionGrowsNearSaturation)
+{
+    // The small-sample correction dominates as m approaches p.
+    const double sse = 1.0;
+    const double low = aicc(30, 5, sse);
+    const double high = aicc(30, 25, sse);
+    EXPECT_GT(high - low, 30.0);
+}
+
+TEST(Criteria, PerfectFitDoesNotProduceMinusInfinity)
+{
+    EXPECT_TRUE(std::isfinite(aicc(50, 5, 0.0)));
+    EXPECT_TRUE(std::isfinite(bic(50, 5, 0.0)));
+    EXPECT_TRUE(std::isfinite(gcv(50, 5, 0.0)));
+}
+
+TEST(Criteria, BicFormula)
+{
+    const double expected =
+        50.0 * std::log(2.0 / 50.0) + 4.0 * std::log(50.0);
+    EXPECT_NEAR(bic(50, 4, 2.0), expected, 1e-9);
+}
+
+TEST(Criteria, BicPenaltyStrongerThanAicForLargeSamples)
+{
+    // For p with log(p) > 2 the per-parameter BIC penalty exceeds
+    // AIC's 2m (ignoring AICc's small-sample correction).
+    const double sse = 1.0;
+    const double bic_delta = bic(1000, 11, sse) - bic(1000, 10, sse);
+    const double aic_delta = aicc(1000, 11, sse) - aicc(1000, 10, sse);
+    EXPECT_GT(bic_delta, aic_delta);
+}
+
+TEST(Criteria, GcvFormula)
+{
+    EXPECT_NEAR(gcv(40, 10, 3.0), 40.0 * 3.0 / (30.0 * 30.0), 1e-12);
+}
+
+TEST(Criteria, GcvInfiniteAtSaturation)
+{
+    EXPECT_TRUE(std::isinf(gcv(10, 10, 1.0)));
+    EXPECT_TRUE(std::isinf(bic(10, 10, 1.0)));
+}
+
+TEST(Criteria, DispatchMatchesDirectCalls)
+{
+    EXPECT_DOUBLE_EQ(evaluateCriterion(Criterion::AICc, 60, 6, 1.5),
+                     aicc(60, 6, 1.5));
+    EXPECT_DOUBLE_EQ(evaluateCriterion(Criterion::BIC, 60, 6, 1.5),
+                     bic(60, 6, 1.5));
+    EXPECT_DOUBLE_EQ(evaluateCriterion(Criterion::GCV, 60, 6, 1.5),
+                     gcv(60, 6, 1.5));
+}
+
+TEST(Criteria, Names)
+{
+    EXPECT_EQ(criterionName(Criterion::AICc), "AICc");
+    EXPECT_EQ(criterionName(Criterion::BIC), "BIC");
+    EXPECT_EQ(criterionName(Criterion::GCV), "GCV");
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for DesignSpace and the paper's Table 1 / Table 2 spaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dspace/design_space.hh"
+#include "dspace/paper_space.hh"
+#include "math/rng.hh"
+
+namespace {
+
+using namespace ppm::dspace;
+
+DesignSpace
+smallSpace()
+{
+    DesignSpace s;
+    s.add(Parameter("a", 0, 10, 11, Transform::Linear, true));
+    s.add(Parameter("b", 1, 16, 5, Transform::Log, false));
+    return s;
+}
+
+TEST(DesignSpace, SizeAndNames)
+{
+    DesignSpace s = smallSpace();
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.param(0).name(), "a");
+    EXPECT_EQ(s.param(1).name(), "b");
+    EXPECT_EQ(s.indexOf("b"), 1u);
+    EXPECT_EQ(s.indexOf("zzz"), s.size());
+}
+
+TEST(DesignSpace, UnitRoundTrip)
+{
+    DesignSpace s = smallSpace();
+    DesignPoint raw{5, 4};
+    UnitPoint u = s.toUnit(raw);
+    EXPECT_NEAR(u[0], 0.5, 1e-12);
+    EXPECT_NEAR(u[1], 0.5, 1e-12); // log2(4/1)/log2(16/1) = 2/4
+    DesignPoint back = s.fromUnit(u);
+    EXPECT_NEAR(back[0], 5, 1e-9);
+    EXPECT_NEAR(back[1], 4, 1e-9);
+}
+
+TEST(DesignSpace, FromUnitQuantizesIntegers)
+{
+    DesignSpace s = smallSpace();
+    DesignPoint raw = s.fromUnit({0.46, 0.5});
+    EXPECT_DOUBLE_EQ(raw[0], 5.0); // 4.6 rounds to 5
+}
+
+TEST(DesignSpace, SnapToLevels)
+{
+    DesignSpace s = smallSpace();
+    DesignPoint raw{5.2, 3.1};
+    DesignPoint snapped = s.snapToLevels(raw, 50);
+    EXPECT_DOUBLE_EQ(snapped[0], 5.0); // 11 fixed levels, step 1
+    // b has 5 levels: 1, 2, 4, 8, 16 -> 3.1 snaps to 4 (log scale).
+    EXPECT_NEAR(snapped[1], 4.0, 1e-9);
+}
+
+TEST(DesignSpace, RandomPointsInsideSpace)
+{
+    DesignSpace s = smallSpace();
+    ppm::math::Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        DesignPoint p = s.randomPoint(rng);
+        EXPECT_TRUE(s.contains(p)) << s.describe(p);
+    }
+}
+
+TEST(DesignSpace, ContainsRejectsWrongArityAndRange)
+{
+    DesignSpace s = smallSpace();
+    EXPECT_FALSE(s.contains({1.0}));
+    EXPECT_FALSE(s.contains({-1.0, 4.0}));
+    EXPECT_FALSE(s.contains({5.0, 64.0}));
+}
+
+TEST(DesignSpace, DescribeMentionsNamesAndValues)
+{
+    DesignSpace s = smallSpace();
+    const std::string d = s.describe({3, 8});
+    EXPECT_NE(d.find("a=3"), std::string::npos);
+    EXPECT_NE(d.find("b=8"), std::string::npos);
+}
+
+// --- paper spaces ----------------------------------------------------
+
+TEST(PaperSpace, TrainSpaceHasNineParameters)
+{
+    DesignSpace s = paperTrainSpace();
+    ASSERT_EQ(s.size(), static_cast<std::size_t>(kNumPaperParams));
+    EXPECT_EQ(s.param(kPipeDepth).name(), "pipe_depth");
+    EXPECT_EQ(s.param(kRobSize).name(), "ROB_size");
+    EXPECT_EQ(s.param(kIqFrac).name(), "IQ_frac");
+    EXPECT_EQ(s.param(kLsqFrac).name(), "LSQ_frac");
+    EXPECT_EQ(s.param(kL2SizeKB).name(), "L2_size");
+    EXPECT_EQ(s.param(kL2Lat).name(), "L2_lat");
+    EXPECT_EQ(s.param(kIl1SizeKB).name(), "il1_size");
+    EXPECT_EQ(s.param(kDl1SizeKB).name(), "dl1_size");
+    EXPECT_EQ(s.param(kDl1Lat).name(), "dl1_lat");
+}
+
+TEST(PaperSpace, Table1Ranges)
+{
+    DesignSpace s = paperTrainSpace();
+    EXPECT_DOUBLE_EQ(s.param(kPipeDepth).minValue(), 7);
+    EXPECT_DOUBLE_EQ(s.param(kPipeDepth).maxValue(), 24);
+    EXPECT_DOUBLE_EQ(s.param(kRobSize).minValue(), 24);
+    EXPECT_DOUBLE_EQ(s.param(kRobSize).maxValue(), 128);
+    EXPECT_DOUBLE_EQ(s.param(kIqFrac).minValue(), 0.25);
+    EXPECT_DOUBLE_EQ(s.param(kIqFrac).maxValue(), 0.75);
+    EXPECT_DOUBLE_EQ(s.param(kL2SizeKB).minValue(), 256);
+    EXPECT_DOUBLE_EQ(s.param(kL2SizeKB).maxValue(), 8192);
+    EXPECT_DOUBLE_EQ(s.param(kL2Lat).minValue(), 5);
+    EXPECT_DOUBLE_EQ(s.param(kL2Lat).maxValue(), 20);
+    EXPECT_DOUBLE_EQ(s.param(kDl1Lat).minValue(), 1);
+    EXPECT_DOUBLE_EQ(s.param(kDl1Lat).maxValue(), 4);
+}
+
+TEST(PaperSpace, Table1LevelsAndTransforms)
+{
+    DesignSpace s = paperTrainSpace();
+    EXPECT_EQ(s.param(kPipeDepth).levels(), 18);
+    EXPECT_TRUE(s.param(kRobSize).sampleSizeLevels());
+    EXPECT_TRUE(s.param(kIqFrac).sampleSizeLevels());
+    EXPECT_TRUE(s.param(kLsqFrac).sampleSizeLevels());
+    EXPECT_EQ(s.param(kL2SizeKB).levels(), 6);
+    EXPECT_EQ(s.param(kL2SizeKB).transform(), Transform::Log);
+    EXPECT_EQ(s.param(kL2Lat).levels(), 16);
+    EXPECT_EQ(s.param(kIl1SizeKB).levels(), 4);
+    EXPECT_EQ(s.param(kIl1SizeKB).transform(), Transform::Log);
+    EXPECT_EQ(s.param(kDl1SizeKB).levels(), 4);
+    EXPECT_EQ(s.param(kDl1Lat).levels(), 4);
+    EXPECT_EQ(s.param(kPipeDepth).transform(), Transform::Linear);
+}
+
+TEST(PaperSpace, TestSpaceIsRestricted)
+{
+    DesignSpace train = paperTrainSpace();
+    DesignSpace test = paperTestSpace();
+    ASSERT_EQ(test.size(), train.size());
+    // Table 2 narrows pipe depth, ROB, fractions and L2 latency.
+    EXPECT_DOUBLE_EQ(test.param(kPipeDepth).minValue(), 9);
+    EXPECT_DOUBLE_EQ(test.param(kPipeDepth).maxValue(), 22);
+    EXPECT_DOUBLE_EQ(test.param(kRobSize).minValue(), 37);
+    EXPECT_DOUBLE_EQ(test.param(kRobSize).maxValue(), 115);
+    EXPECT_DOUBLE_EQ(test.param(kIqFrac).minValue(), 0.31);
+    EXPECT_DOUBLE_EQ(test.param(kIqFrac).maxValue(), 0.69);
+    EXPECT_DOUBLE_EQ(test.param(kL2Lat).minValue(), 7);
+    EXPECT_DOUBLE_EQ(test.param(kL2Lat).maxValue(), 18);
+    // Every test-space point lies within the training space.
+    ppm::math::Rng rng(4);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(train.contains(test.randomPoint(rng)));
+}
+
+} // namespace

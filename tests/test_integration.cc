@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Integration tests: the full pipeline — synthetic trace, cycle-level
+ * simulation, LHS sampling, tree/RBF model construction, validation —
+ * run end to end on real (if shortened) workloads. These are the
+ * miniature versions of the paper's experiments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/explorer.hh"
+#include "core/model_builder.hh"
+#include "dspace/paper_space.hh"
+#include "math/rng.hh"
+#include "sampling/sample_gen.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+#include "tree/split_report.hh"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::core;
+
+constexpr std::size_t kTraceLength = 40000;
+
+/** Shared fixture: one trace + oracle per benchmark, reused. */
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    static SimulatorOracle &
+    oracleFor(const std::string &name)
+    {
+        static std::map<std::string,
+                        std::unique_ptr<trace::Trace>> traces;
+        static std::map<std::string,
+                        std::unique_ptr<SimulatorOracle>> oracles;
+        auto it = oracles.find(name);
+        if (it == oracles.end()) {
+            auto trace = std::make_unique<trace::Trace>(
+                trace::generateTrace(trace::profileByName(name),
+                                     kTraceLength));
+            static dspace::DesignSpace space =
+                dspace::paperTrainSpace();
+            sim::SimOptions opts;
+            opts.warmup_instructions = 5000;
+            auto oracle = std::make_unique<SimulatorOracle>(
+                space, *trace, opts);
+            traces.emplace(name, std::move(trace));
+            it = oracles.emplace(name, std::move(oracle)).first;
+        }
+        return *it->second;
+    }
+};
+
+TEST_F(IntegrationTest, SimulatedCpiInPlausibleRange)
+{
+    auto space = dspace::paperTrainSpace();
+    math::Rng rng(1);
+    auto &oracle = oracleFor("twolf");
+    for (int i = 0; i < 5; ++i) {
+        const double cpi = oracle.cpi(space.randomPoint(rng));
+        EXPECT_GT(cpi, 0.2);
+        EXPECT_LT(cpi, 40.0);
+    }
+}
+
+TEST_F(IntegrationTest, BetterMachineNeverSlower)
+{
+    // A strictly better configuration in every parameter must not
+    // have (meaningfully) higher CPI.
+    auto &oracle = oracleFor("parser");
+    const double worst =
+        oracle.cpi({24, 24, 0.25, 0.25, 256, 20, 8, 8, 4});
+    const double best =
+        oracle.cpi({7, 128, 0.75, 0.75, 8192, 5, 64, 64, 1});
+    EXPECT_LT(best, worst);
+}
+
+TEST_F(IntegrationTest, BuildSmallRbfModelOnRealSimulator)
+{
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    auto &oracle = oracleFor("twolf");
+    ModelBuilder builder(train, test, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {40};
+    opts.target_mean_error = 0.0;
+    opts.num_test_points = 20;
+    opts.lhs_candidates = 20;
+    opts.trainer.p_min_grid = {1, 2};
+    opts.trainer.alpha_grid = {4, 8};
+    auto result = builder.build(opts);
+    ASSERT_NE(result.model, nullptr);
+    // Small sample on a real simulator: generous bound, but the model
+    // must clearly beat a wild guess.
+    EXPECT_LT(result.final().rbf_error.mean_error, 25.0);
+    EXPECT_GT(result.final().num_centers, 0u);
+}
+
+TEST_F(IntegrationTest, RbfBeatsLinearOnRealResponse)
+{
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    auto &oracle = oracleFor("mcf");
+    ModelBuilder builder(train, test, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {60};
+    opts.target_mean_error = 0.0;
+    opts.num_test_points = 25;
+    opts.lhs_candidates = 20;
+    opts.fit_linear_baseline = true;
+    opts.trainer.p_min_grid = {1, 2};
+    opts.trainer.alpha_grid = {4, 8, 12};
+    auto result = builder.build(opts);
+    const auto &h = result.final();
+    // The paper's central comparison (Fig 7): nonlinear wins.
+    EXPECT_LT(h.rbf_error.mean_error, h.linear_error.mean_error * 1.1);
+}
+
+TEST_F(IntegrationTest, TreeSplitsIdentifyMemoryParamsForMcf)
+{
+    // Paper Table 5: mcf's most significant splits are memory-system
+    // parameters (L2_lat, dl1_lat, L2_size). Build a tree on real
+    // simulation data and check the top split is one of them.
+    auto space = dspace::paperTrainSpace();
+    auto &oracle = oracleFor("mcf");
+    math::Rng rng(3);
+    auto sample = sampling::bestLatinHypercube(space, 60, 10, rng);
+    auto ys = oracle.cpiAll(sample.points);
+    std::vector<dspace::UnitPoint> unit;
+    for (const auto &p : sample.points)
+        unit.push_back(space.toUnit(p));
+    tree::RegressionTree t(unit, ys, 2);
+    auto top = tree::significantSplits(t, space, 4);
+    ASSERT_GE(top.size(), 3u);
+    auto is_memory = [](const std::string &p) {
+        return p == "L2_lat" || p == "dl1_lat" || p == "L2_size" ||
+            p == "dl1_size";
+    };
+    int memory_splits = 0;
+    for (const auto &split : top)
+        memory_splits += is_memory(split.parameter);
+    // Paper Table 5: L2_lat is mcf's most significant split and
+    // memory-system parameters dominate the early tree.
+    EXPECT_TRUE(is_memory(top.front().parameter) || memory_splits >= 2)
+        << "top splits: " << top[0].parameter << ", "
+        << top[1].parameter << ", " << top[2].parameter;
+}
+
+TEST_F(IntegrationTest, ModelPredictsHeldOutTrend)
+{
+    // Sweep dl1_lat through the model and through the simulator:
+    // both must rise, and the model must get the direction right.
+    auto train = dspace::paperTrainSpace();
+    auto &oracle = oracleFor("twolf");
+    ModelBuilder builder(train, train, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {90};
+    opts.target_mean_error = 0.0;
+    opts.num_test_points = 15;
+    opts.lhs_candidates = 20;
+    auto result = builder.build(opts);
+
+    dspace::DesignPoint base{14, 64, 0.5, 0.5, 1024, 12, 32, 32, 2};
+    // L2 latency has a strong monotone effect: the model must get
+    // the direction strictly right.
+    auto sweep = sweepParameter(*result.model, train, base,
+                                dspace::kL2Lat, 4);
+    EXPECT_LT(sweep.front().predicted_cpi, sweep.back().predicted_cpi);
+    // The weaker dl1_lat trend must at least not be inverted.
+    auto dl1_sweep = sweepParameter(*result.model, train, base,
+                                    dspace::kDl1Lat, 4);
+    EXPECT_LE(dl1_sweep.front().predicted_cpi,
+              dl1_sweep.back().predicted_cpi + 0.05);
+
+    dspace::DesignPoint lo = base, hi = base;
+    lo[dspace::kDl1Lat] = 1;
+    hi[dspace::kDl1Lat] = 4;
+    EXPECT_LT(oracle.cpi(lo), oracle.cpi(hi));
+}
+
+TEST_F(IntegrationTest, OracleCacheMakesRepeatBuildsCheap)
+{
+    auto train = dspace::paperTrainSpace();
+    auto &oracle = oracleFor("twolf");
+    ModelBuilder builder(train, train, oracle);
+    BuildOptions opts;
+    opts.sample_sizes = {30};
+    opts.target_mean_error = 0.0;
+    opts.num_test_points = 10;
+    opts.lhs_candidates = 5;
+    opts.seed = 77;
+    auto first = builder.build(opts);
+    const auto evals_after_first = oracle.evaluations();
+    auto second = builder.build(opts); // same seed: identical points
+    EXPECT_EQ(oracle.evaluations(), evals_after_first);
+    EXPECT_NEAR(first.final().rbf_error.mean_error,
+                second.final().rbf_error.mean_error, 1e-9);
+}
+
+} // namespace

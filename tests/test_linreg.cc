@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the linear baseline: term construction, fitting, and
+ * AIC backward elimination (paper Sec 4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linreg/model_selection.hh"
+#include "math/rng.hh"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::linreg;
+
+TEST(Term, Values)
+{
+    dspace::UnitPoint x{0.5, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(Term{}.value(x), 1.0);
+    EXPECT_DOUBLE_EQ((Term{1, Term::kNone}).value(x), 2.0);
+    EXPECT_DOUBLE_EQ((Term{0, 2}).value(x), 1.5);
+}
+
+TEST(Term, Kinds)
+{
+    EXPECT_TRUE(Term{}.isIntercept());
+    EXPECT_TRUE((Term{2, Term::kNone}).isMainEffect());
+    EXPECT_TRUE((Term{0, 1}).isInteraction());
+    EXPECT_FALSE((Term{0, 1}).isMainEffect());
+}
+
+TEST(Term, ToString)
+{
+    EXPECT_EQ(Term{}.toString(), "1");
+    EXPECT_EQ((Term{3, Term::kNone}).toString(), "x3");
+    EXPECT_EQ((Term{1, 4}).toString(), "x1*x4");
+}
+
+TEST(FullTwoFactorTerms, CountFormula)
+{
+    // 1 + n + n(n-1)/2 terms.
+    for (std::size_t n : {2u, 5u, 9u}) {
+        auto terms = fullTwoFactorTerms(n);
+        EXPECT_EQ(terms.size(), 1 + n + n * (n - 1) / 2);
+        EXPECT_TRUE(terms.front().isIntercept());
+    }
+}
+
+TEST(FullTwoFactorTerms, NoDuplicateInteractions)
+{
+    auto terms = fullTwoFactorTerms(4);
+    for (std::size_t a = 0; a < terms.size(); ++a)
+        for (std::size_t b = a + 1; b < terms.size(); ++b)
+            EXPECT_FALSE(terms[a] == terms[b]);
+}
+
+TEST(LinearModel, RecoversExactLinearFunction)
+{
+    math::Rng rng(1);
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 40; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(2.0 + 3.0 * xs.back()[0] - 1.0 * xs.back()[1]);
+    }
+    LinearModel m(fullTwoFactorTerms(2), xs, ys);
+    EXPECT_NEAR(m.trainSse(), 0.0, 1e-15);
+    EXPECT_NEAR(m.predict({0.5, 0.5}), 2.0 + 1.5 - 0.5, 1e-9);
+}
+
+TEST(LinearModel, RecoversInteraction)
+{
+    math::Rng rng(2);
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 40; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(1.0 + 4.0 * xs.back()[0] * xs.back()[1]);
+    }
+    LinearModel m(fullTwoFactorTerms(2), xs, ys);
+    EXPECT_NEAR(m.predict({0.5, 0.8}), 1.0 + 4.0 * 0.4, 1e-8);
+}
+
+TEST(LinearModel, BatchPrediction)
+{
+    math::Rng rng(3);
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(xs.back()[0]);
+    }
+    LinearModel m(fullTwoFactorTerms(2), xs, ys);
+    auto preds = m.predict(xs);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_DOUBLE_EQ(preds[i], m.predict(xs[i]));
+}
+
+TEST(LinearModel, CannotFitQuadraticExactly)
+{
+    // The defining limitation vs RBF networks (paper Sec 1): pure
+    // curvature in one variable is invisible to main effects and
+    // cross terms.
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 30; ++i) {
+        const double x = i / 29.0;
+        xs.push_back({x, 0.5});
+        ys.push_back((x - 0.5) * (x - 0.5));
+    }
+    LinearModel m(fullTwoFactorTerms(2), xs, ys);
+    EXPECT_GT(m.trainSse(), 1e-3);
+}
+
+TEST(LinearAic, Formula)
+{
+    const double expected = 50.0 * std::log(2.0 / 50.0) + 2.0 * 7.0;
+    EXPECT_NEAR(linearAic(50, 7, 2.0), expected, 1e-9);
+}
+
+TEST(LinearAic, InfiniteWhenSaturated)
+{
+    EXPECT_TRUE(std::isinf(linearAic(10, 10, 1.0)));
+}
+
+TEST(Selection, DropsIrrelevantTerms)
+{
+    // Response uses only x0; elimination should drop most of the
+    // other terms.
+    math::Rng rng(4);
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 80; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        ys.push_back(1.0 + 2.0 * xs.back()[0] +
+                     0.01 * rng.gaussian());
+    }
+    auto sel = fitSelectedLinearModel(xs, ys);
+    const std::size_t full = fullTwoFactorTerms(3).size();
+    EXPECT_LT(sel.model.numTerms(), full);
+    EXPECT_GT(sel.eliminated, 0u);
+    // Still predicts well.
+    EXPECT_NEAR(sel.model.predict({0.5, 0.1, 0.9}), 2.0, 0.1);
+}
+
+TEST(Selection, KeepsIntercept)
+{
+    math::Rng rng(5);
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(7.0); // constant response
+    }
+    auto sel = fitSelectedLinearModel(xs, ys);
+    bool has_intercept = false;
+    for (const auto &t : sel.model.terms())
+        has_intercept |= t.isIntercept();
+    EXPECT_TRUE(has_intercept);
+    EXPECT_NEAR(sel.model.predict({0.3, 0.3}), 7.0, 1e-6);
+}
+
+TEST(Selection, SmallSampleTruncatesTerms)
+{
+    // 9-dim full model has 46 terms; with 20 samples the selector
+    // must fit a reduced model rather than a singular one.
+    math::Rng rng(6);
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 20; ++i) {
+        dspace::UnitPoint x(9);
+        for (auto &v : x)
+            v = rng.uniform();
+        xs.push_back(x);
+        ys.push_back(x[0] + 0.5 * x[3]);
+    }
+    auto sel = fitSelectedLinearModel(xs, ys);
+    EXPECT_LE(sel.model.numTerms(), 15u);
+    EXPECT_FALSE(sel.model.empty());
+}
+
+TEST(Selection, AicReportedMatchesModel)
+{
+    math::Rng rng(7);
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 60; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(xs.back()[0] + rng.gaussian(0, 0.05));
+    }
+    auto sel = fitSelectedLinearModel(xs, ys);
+    const double recomputed =
+        linearAic(xs.size(), sel.model.numTerms(), sel.model.trainSse());
+    EXPECT_NEAR(sel.aic, recomputed, 1e-6);
+}
+
+} // namespace

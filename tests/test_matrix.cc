@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Unit tests for the dense matrix/vector utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "math/matrix.hh"
+
+namespace {
+
+using ppm::math::Matrix;
+using ppm::math::Vector;
+
+TEST(Matrix, DefaultConstructedIsEmpty)
+{
+    Matrix m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, SizedConstructionFills)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(Matrix, InitializerListLayout)
+{
+    Matrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(0, 0), 1);
+    EXPECT_DOUBLE_EQ(m(0, 2), 3);
+    EXPECT_DOUBLE_EQ(m(1, 0), 4);
+    EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, ElementWrite)
+{
+    Matrix m(2, 2);
+    m(0, 1) = 7.0;
+    m(1, 0) = -2.0;
+    EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), -2.0);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, RowAndColExtraction)
+{
+    Matrix m{{1, 2}, {3, 4}, {5, 6}};
+    EXPECT_EQ(m.row(1), (Vector{3, 4}));
+    EXPECT_EQ(m.col(0), (Vector{1, 3, 5}));
+    EXPECT_EQ(m.col(1), (Vector{2, 4, 6}));
+}
+
+TEST(Matrix, SetRowAndCol)
+{
+    Matrix m(2, 2);
+    m.setRow(0, {1, 2});
+    m.setCol(1, {9, 8});
+    EXPECT_DOUBLE_EQ(m(0, 0), 1);
+    EXPECT_DOUBLE_EQ(m(0, 1), 9);
+    EXPECT_DOUBLE_EQ(m(1, 1), 8);
+}
+
+TEST(Matrix, Transpose)
+{
+    Matrix m{{1, 2, 3}, {4, 5, 6}};
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(0, 1), 4);
+    EXPECT_DOUBLE_EQ(t(2, 0), 3);
+}
+
+TEST(Matrix, Product)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{5, 6}, {7, 8}};
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, ProductWithRectangularShapes)
+{
+    Matrix a{{1, 0, 2}, {0, 3, 0}};  // 2x3
+    Matrix b{{1, 4}, {2, 5}, {3, 6}}; // 3x2
+    Matrix c = a * b;                 // 2x2
+    EXPECT_EQ(c.rows(), 2u);
+    EXPECT_EQ(c.cols(), 2u);
+    EXPECT_DOUBLE_EQ(c(0, 0), 7);
+    EXPECT_DOUBLE_EQ(c(0, 1), 16);
+    EXPECT_DOUBLE_EQ(c(1, 0), 6);
+    EXPECT_DOUBLE_EQ(c(1, 1), 15);
+}
+
+TEST(Matrix, MatrixVectorProduct)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Vector v{1, -1};
+    Vector out = a * v;
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], -1);
+    EXPECT_DOUBLE_EQ(out[1], -1);
+}
+
+TEST(Matrix, AddSubtractScale)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{4, 3}, {2, 1}};
+    Matrix sum = a + b;
+    Matrix diff = a - b;
+    Matrix scaled = a.scaled(2.0);
+    EXPECT_DOUBLE_EQ(sum(0, 0), 5);
+    EXPECT_DOUBLE_EQ(sum(1, 1), 5);
+    EXPECT_DOUBLE_EQ(diff(0, 0), -3);
+    EXPECT_DOUBLE_EQ(diff(1, 1), 3);
+    EXPECT_DOUBLE_EQ(scaled(1, 0), 6);
+}
+
+TEST(Matrix, GramEqualsTransposeTimesSelf)
+{
+    Matrix a{{1, 2}, {3, 4}, {5, 6}};
+    Matrix g = a.gram();
+    Matrix expected = a.transposed() * a;
+    ASSERT_EQ(g.rows(), 2u);
+    ASSERT_EQ(g.cols(), 2u);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            EXPECT_NEAR(g(i, j), expected(i, j), 1e-12);
+}
+
+TEST(Matrix, GramIsSymmetric)
+{
+    Matrix a{{1, 2, 0.5}, {3, -4, 2}, {0, 6, -1}, {2, 2, 2}};
+    Matrix g = a.gram();
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+}
+
+TEST(Matrix, TransposeTimesVector)
+{
+    Matrix a{{1, 2}, {3, 4}, {5, 6}};
+    Vector y{1, 1, 1};
+    Vector aty = a.transposeTimes(y);
+    ASSERT_EQ(aty.size(), 2u);
+    EXPECT_DOUBLE_EQ(aty[0], 9);
+    EXPECT_DOUBLE_EQ(aty[1], 12);
+}
+
+TEST(Matrix, Identity)
+{
+    Matrix id = Matrix::identity(3);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, FromColumns)
+{
+    Matrix m = Matrix::fromColumns({{1, 2, 3}, {4, 5, 6}});
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(0, 1), 4);
+    EXPECT_DOUBLE_EQ(m(2, 0), 3);
+}
+
+TEST(Matrix, FromColumnsEmpty)
+{
+    Matrix m = Matrix::fromColumns({});
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ToStringMentionsShape)
+{
+    Matrix m(2, 3);
+    EXPECT_NE(m.toString().find("2x3"), std::string::npos);
+}
+
+TEST(VectorOps, Dot)
+{
+    EXPECT_DOUBLE_EQ(ppm::math::dot({1, 2, 3}, {4, 5, 6}), 32.0);
+    EXPECT_DOUBLE_EQ(ppm::math::dot({}, {}), 0.0);
+}
+
+TEST(VectorOps, Norm)
+{
+    EXPECT_DOUBLE_EQ(ppm::math::norm({3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(ppm::math::norm({}), 0.0);
+}
+
+TEST(VectorOps, AddSubtractScale)
+{
+    EXPECT_EQ(ppm::math::add({1, 2}, {3, 4}), (Vector{4, 6}));
+    EXPECT_EQ(ppm::math::subtract({1, 2}, {3, 4}), (Vector{-2, -2}));
+    EXPECT_EQ(ppm::math::scale({1, -2}, 3.0), (Vector{3, -6}));
+}
+
+} // namespace

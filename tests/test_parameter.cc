@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for Parameter: transforms, level structure, quantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dspace/parameter.hh"
+
+namespace {
+
+using namespace ppm::dspace;
+
+TEST(Parameter, LinearUnitMapping)
+{
+    Parameter p("lat", 1, 5, 4, Transform::Linear, true);
+    EXPECT_DOUBLE_EQ(p.toUnit(1), 0.0);
+    EXPECT_DOUBLE_EQ(p.toUnit(5), 1.0);
+    EXPECT_DOUBLE_EQ(p.toUnit(3), 0.5);
+    EXPECT_DOUBLE_EQ(p.fromUnit(0.5), 3.0);
+}
+
+TEST(Parameter, LinearClampsOutOfRange)
+{
+    Parameter p("lat", 1, 5, 4, Transform::Linear, true);
+    EXPECT_DOUBLE_EQ(p.toUnit(0), 0.0);
+    EXPECT_DOUBLE_EQ(p.toUnit(99), 1.0);
+    EXPECT_DOUBLE_EQ(p.fromUnit(-1), 1.0);
+    EXPECT_DOUBLE_EQ(p.fromUnit(2), 5.0);
+}
+
+TEST(Parameter, LogUnitMapping)
+{
+    Parameter p("l2", 256, 8192, 6, Transform::Log, true);
+    EXPECT_DOUBLE_EQ(p.toUnit(256), 0.0);
+    EXPECT_DOUBLE_EQ(p.toUnit(8192), 1.0);
+    // Geometric midpoint: sqrt(256 * 8192) = 1448.15...
+    EXPECT_NEAR(p.toUnit(std::sqrt(256.0 * 8192.0)), 0.5, 1e-12);
+    EXPECT_NEAR(p.fromUnit(0.5), std::sqrt(256.0 * 8192.0), 1e-6);
+}
+
+TEST(Parameter, RoundTripLinear)
+{
+    Parameter p("x", 7, 24, 18, Transform::Linear, false);
+    for (double v : {7.0, 10.3, 15.5, 24.0})
+        EXPECT_NEAR(p.fromUnit(p.toUnit(v)), v, 1e-12);
+}
+
+TEST(Parameter, RoundTripLog)
+{
+    Parameter p("x", 8, 64, 4, Transform::Log, false);
+    for (double v : {8.0, 11.3, 32.0, 64.0})
+        EXPECT_NEAR(p.fromUnit(p.toUnit(v)), v, 1e-9);
+}
+
+TEST(Parameter, LevelValuesLinearEvenlySpaced)
+{
+    Parameter p("lat", 1, 4, 4, Transform::Linear, true);
+    EXPECT_DOUBLE_EQ(p.levelValue(0, 4), 1.0);
+    EXPECT_DOUBLE_EQ(p.levelValue(1, 4), 2.0);
+    EXPECT_DOUBLE_EQ(p.levelValue(2, 4), 3.0);
+    EXPECT_DOUBLE_EQ(p.levelValue(3, 4), 4.0);
+}
+
+TEST(Parameter, LevelValuesLogArePowersOfTwo)
+{
+    Parameter p("il1", 8, 64, 4, Transform::Log, true);
+    EXPECT_DOUBLE_EQ(p.levelValue(0, 4), 8.0);
+    EXPECT_DOUBLE_EQ(p.levelValue(1, 4), 16.0);
+    EXPECT_DOUBLE_EQ(p.levelValue(2, 4), 32.0);
+    EXPECT_DOUBLE_EQ(p.levelValue(3, 4), 64.0);
+}
+
+TEST(Parameter, PaperL2LevelsArePowersOfTwo)
+{
+    Parameter p("L2", 256, 8192, 6, Transform::Log, true);
+    const double expected[] = {256, 512, 1024, 2048, 4096, 8192};
+    for (int i = 0; i < 6; ++i)
+        EXPECT_DOUBLE_EQ(p.levelValue(i, 6), expected[i]);
+}
+
+TEST(Parameter, SnapToNearestLevel)
+{
+    Parameter p("lat", 1, 4, 4, Transform::Linear, true);
+    EXPECT_DOUBLE_EQ(p.snapToLevel(1.4, 4), 1.0);
+    EXPECT_DOUBLE_EQ(p.snapToLevel(1.6, 4), 2.0);
+    EXPECT_DOUBLE_EQ(p.snapToLevel(4.0, 4), 4.0);
+    EXPECT_DOUBLE_EQ(p.snapToLevel(0.0, 4), 1.0); // clamped
+}
+
+TEST(Parameter, EffectiveLevelsFixed)
+{
+    Parameter p("lat", 1, 4, 4, Transform::Linear, true);
+    EXPECT_EQ(p.effectiveLevels(100), 4);
+    EXPECT_FALSE(p.sampleSizeLevels());
+}
+
+TEST(Parameter, EffectiveLevelsSampleSizeDependent)
+{
+    Parameter p("rob", 24, 128, kSampleSizeLevels, Transform::Linear,
+                true);
+    EXPECT_TRUE(p.sampleSizeLevels());
+    EXPECT_EQ(p.effectiveLevels(90), 90);
+    EXPECT_EQ(p.effectiveLevels(1), 2); // floor at 2 levels
+}
+
+TEST(Parameter, IntegerQuantization)
+{
+    Parameter p("rob", 24, 128, kSampleSizeLevels, Transform::Linear,
+                true);
+    EXPECT_DOUBLE_EQ(p.quantize(56.4), 56.0);
+    EXPECT_DOUBLE_EQ(p.quantize(56.6), 57.0);
+}
+
+TEST(Parameter, FractionalNotQuantized)
+{
+    Parameter p("frac", 0.25, 0.75, kSampleSizeLevels,
+                Transform::Linear, false);
+    EXPECT_DOUBLE_EQ(p.quantize(0.314), 0.314);
+}
+
+TEST(Parameter, Contains)
+{
+    Parameter p("lat", 1, 4, 4, Transform::Linear, true);
+    EXPECT_TRUE(p.contains(1));
+    EXPECT_TRUE(p.contains(4));
+    EXPECT_TRUE(p.contains(2.5));
+    EXPECT_FALSE(p.contains(0.5));
+    EXPECT_FALSE(p.contains(4.5));
+}
+
+TEST(Parameter, TransformNames)
+{
+    EXPECT_EQ(transformName(Transform::Linear), "linear");
+    EXPECT_EQ(transformName(Transform::Log), "log");
+}
+
+} // namespace

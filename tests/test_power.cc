@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the activity-based energy model and the
+ * energy-metric oracles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/model_builder.hh"
+#include "dspace/paper_space.hh"
+#include "sim/power.hh"
+#include "sim/simulator.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::sim;
+
+SimStats
+statsFor(const ProcessorConfig &cfg, const std::string &bench = "twolf")
+{
+    static const trace::Trace tr =
+        trace::generateTrace(trace::profileByName(bench), 30000);
+    SimOptions opts;
+    opts.warmup_instructions = 0;
+    return simulate(tr, cfg, opts);
+}
+
+TEST(PowerModel, BreakdownSumsToTotal)
+{
+    ProcessorConfig cfg;
+    const auto stats = statsFor(cfg);
+    const auto report = computePower(cfg, stats);
+    const double sum = report.fetch + report.window + report.execute +
+        report.dcache + report.l2 + report.memory + report.leakage;
+    EXPECT_NEAR(report.total(), sum, 1e-9);
+    EXPECT_GT(report.total(), 0.0);
+}
+
+TEST(PowerModel, AllComponentsPositiveOnRealWorkload)
+{
+    ProcessorConfig cfg;
+    const auto stats = statsFor(cfg);
+    const auto report = computePower(cfg, stats);
+    EXPECT_GT(report.fetch, 0.0);
+    EXPECT_GT(report.window, 0.0);
+    EXPECT_GT(report.execute, 0.0);
+    EXPECT_GT(report.dcache, 0.0);
+    EXPECT_GT(report.l2, 0.0);
+    EXPECT_GT(report.memory, 0.0);
+    EXPECT_GT(report.leakage, 0.0);
+}
+
+TEST(PowerModel, CacheEnergyScalesWithSqrtCapacity)
+{
+    PowerParams params;
+    const double e8 = cacheAccessEnergy(8, params);
+    const double e32 = cacheAccessEnergy(32, params);
+    EXPECT_NEAR(e32 / e8, 2.0, 1e-9); // sqrt(32/8) = 2
+}
+
+TEST(PowerModel, BiggerCachesCostMoreEnergyPerAccessAndLeakage)
+{
+    ProcessorConfig small;
+    small.l2_size_kb = 256;
+    ProcessorConfig big;
+    big.l2_size_kb = 8192;
+    const auto s_stats = statsFor(small);
+    const auto b_stats = statsFor(big);
+    const auto s_rep = computePower(small, s_stats);
+    const auto b_rep = computePower(big, b_stats);
+    // Leakage per cycle is much larger for the big L2.
+    EXPECT_GT(b_rep.leakage / static_cast<double>(b_stats.cycles),
+              s_rep.leakage / static_cast<double>(s_stats.cycles) * 4);
+}
+
+TEST(PowerModel, BiggerWindowCostsMoreWindowEnergy)
+{
+    ProcessorConfig small;
+    small.rob_size = 24;
+    small.iq_size = 8;
+    small.lsq_size = 8;
+    ProcessorConfig big;
+    big.rob_size = 128;
+    big.iq_size = 96;
+    big.lsq_size = 96;
+    const auto s = computePower(small, statsFor(small));
+    const auto b = computePower(big, statsFor(big));
+    const auto s_stats = statsFor(small);
+    const auto b_stats = statsFor(big);
+    EXPECT_GT(b.window / static_cast<double>(b_stats.instructions),
+              s.window / static_cast<double>(s_stats.instructions));
+}
+
+TEST(PowerModel, DeeperPipeCostsMoreFetchEnergy)
+{
+    ProcessorConfig shallow;
+    shallow.pipe_depth = 7;
+    ProcessorConfig deep;
+    deep.pipe_depth = 24;
+    const auto s_stats = statsFor(shallow);
+    const auto d_stats = statsFor(deep);
+    const auto s = computePower(shallow, s_stats);
+    const auto d = computePower(deep, d_stats);
+    EXPECT_GT(d.fetch / static_cast<double>(d_stats.instructions),
+              s.fetch / static_cast<double>(s_stats.instructions));
+}
+
+TEST(PowerModel, MemoryBoundWorkloadSpendsMoreInMemory)
+{
+    ProcessorConfig cfg;
+    static const trace::Trace mcf =
+        trace::generateTrace(trace::profileByName("mcf"), 30000);
+    static const trace::Trace crafty =
+        trace::generateTrace(trace::profileByName("crafty"), 30000);
+    SimOptions opts;
+    opts.warmup_instructions = 0;
+    const auto mcf_stats = simulate(mcf, cfg, opts);
+    const auto crafty_stats = simulate(crafty, cfg, opts);
+    const auto mcf_rep = computePower(cfg, mcf_stats);
+    const auto crafty_rep = computePower(cfg, crafty_stats);
+    EXPECT_GT(mcf_rep.memory / mcf_rep.total(),
+              crafty_rep.memory / crafty_rep.total());
+}
+
+TEST(PowerModel, EpiAndEd2pDefinitions)
+{
+    ProcessorConfig cfg;
+    const auto stats = statsFor(cfg);
+    const auto rep = computePower(cfg, stats);
+    EXPECT_NEAR(rep.epi(stats),
+                rep.total() / static_cast<double>(stats.instructions),
+                1e-12);
+    EXPECT_NEAR(rep.ed2p(stats),
+                rep.epi(stats) * stats.cpi() * stats.cpi(), 1e-12);
+}
+
+// --- metric oracles ------------------------------------------------------
+
+TEST(MetricOracle, Names)
+{
+    EXPECT_EQ(core::metricName(core::Metric::Cpi), "CPI");
+    EXPECT_EQ(core::metricName(core::Metric::EnergyPerInst), "EPI");
+    EXPECT_EQ(core::metricName(core::Metric::EnergyDelaySquared),
+              "ED2P");
+}
+
+TEST(MetricOracle, EpiOracleReportsEnergy)
+{
+    auto space = dspace::paperTrainSpace();
+    static const trace::Trace tr =
+        trace::generateTrace(trace::profileByName("twolf"), 20000);
+    core::SimulatorOracle cpi_oracle(space, tr);
+    core::SimulatorOracle epi_oracle(space, tr, {},
+                                     core::Metric::EnergyPerInst);
+    dspace::DesignPoint pt{14, 64, 0.5, 0.5, 1024, 12, 32, 32, 2};
+    const double cpi = cpi_oracle.cpi(pt);
+    const double epi = epi_oracle.cpi(pt);
+    EXPECT_GT(epi, 0.0);
+    EXPECT_NE(epi, cpi);
+    EXPECT_EQ(epi_oracle.metric(), core::Metric::EnergyPerInst);
+}
+
+TEST(MetricOracle, EpiModelBuilds)
+{
+    // The paper's extension: the same BuildRBFmodel machinery models
+    // energy instead of CPI.
+    auto train = dspace::paperTrainSpace();
+    auto test = dspace::paperTestSpace();
+    static const trace::Trace tr =
+        trace::generateTrace(trace::profileByName("twolf"), 20000);
+    core::SimulatorOracle oracle(train, tr, {},
+                                 core::Metric::EnergyPerInst);
+    core::ModelBuilder builder(train, test, oracle);
+    core::BuildOptions opts;
+    opts.sample_sizes = {40};
+    opts.target_mean_error = 0.0;
+    opts.num_test_points = 15;
+    opts.lhs_candidates = 10;
+    opts.trainer.p_min_grid = {1};
+    opts.trainer.alpha_grid = {6, 10};
+    auto result = builder.build(opts);
+    EXPECT_LT(result.final().rbf_error.mean_error, 30.0);
+}
+
+TEST(MetricOracle, Ed2pCombinesBothMetrics)
+{
+    auto space = dspace::paperTrainSpace();
+    static const trace::Trace tr =
+        trace::generateTrace(trace::profileByName("parser"), 20000);
+    core::SimulatorOracle cpi_o(space, tr);
+    core::SimulatorOracle epi_o(space, tr, {},
+                                core::Metric::EnergyPerInst);
+    core::SimulatorOracle ed2p_o(space, tr, {},
+                                 core::Metric::EnergyDelaySquared);
+    dspace::DesignPoint pt{14, 64, 0.5, 0.5, 1024, 12, 32, 32, 2};
+    const double cpi = cpi_o.cpi(pt);
+    const double epi = epi_o.cpi(pt);
+    const double ed2p = ed2p_o.cpi(pt);
+    EXPECT_NEAR(ed2p, epi * cpi * cpi, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Property-based tests: invariants that must hold across swept
+ * parameter ranges, expressed with parameterized gtest suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dspace/paper_space.hh"
+#include "math/rng.hh"
+#include "rbf/criteria.hh"
+#include "rbf/rbf_rt.hh"
+#include "sampling/discrepancy.hh"
+#include "sampling/latin_hypercube.hh"
+#include "sampling/sample_gen.hh"
+#include "sim/cache.hh"
+#include "sim/simulator.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+#include "tree/regression_tree.hh"
+
+namespace {
+
+using namespace ppm;
+
+// --- LHS stratification holds for every sample size --------------------
+
+class LhsSizeProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LhsSizeProperty, EveryDimensionStratified)
+{
+    const int p = GetParam();
+    dspace::DesignSpace space;
+    for (int k = 0; k < 5; ++k)
+        space.add(dspace::Parameter("p" + std::to_string(k), 0, 1,
+                                    dspace::kSampleSizeLevels,
+                                    dspace::Transform::Linear, false));
+    math::Rng rng(100 + static_cast<std::uint64_t>(p));
+    sampling::LhsOptions opts;
+    opts.snap_to_levels = false;
+    auto sample = sampling::latinHypercubeSample(space, p, rng, opts);
+    ASSERT_EQ(sample.size(), static_cast<std::size_t>(p));
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        std::vector<bool> hit(static_cast<std::size_t>(p), false);
+        for (const auto &pt : sample) {
+            const int stratum = std::min(
+                p - 1, static_cast<int>(pt[k] * p));
+            hit[static_cast<std::size_t>(stratum)] = true;
+        }
+        for (int s = 0; s < p; ++s)
+            EXPECT_TRUE(hit[static_cast<std::size_t>(s)])
+                << "size " << p << " dim " << k << " stratum " << s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LhsSizeProperty,
+                         ::testing::Values(10, 30, 50, 90, 110, 200));
+
+// --- tree invariants hold for every p_min -------------------------------
+
+class TreePminProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        math::Rng rng(7);
+        for (int i = 0; i < 120; ++i) {
+            xs_.push_back({rng.uniform(), rng.uniform(),
+                           rng.uniform()});
+            ys_.push_back(std::sin(4 * xs_.back()[0]) +
+                          xs_.back()[1] * xs_.back()[2]);
+        }
+    }
+
+    std::vector<dspace::UnitPoint> xs_;
+    std::vector<double> ys_;
+};
+
+TEST_P(TreePminProperty, LeavesRespectPmin)
+{
+    tree::RegressionTree t(xs_, ys_, GetParam());
+    for (const auto &node : t.nodes()) {
+        if (node.is_leaf) {
+            EXPECT_LE(node.count,
+                      static_cast<std::size_t>(GetParam()));
+        }
+    }
+}
+
+TEST_P(TreePminProperty, NodeCountConsistency)
+{
+    tree::RegressionTree t(xs_, ys_, GetParam());
+    // Binary tree: nodes = 2 * splits + 1, leaves = splits + 1.
+    EXPECT_EQ(t.nodeCount(), 2 * t.splits().size() + 1);
+    EXPECT_EQ(t.leafCount(), t.splits().size() + 1);
+}
+
+TEST_P(TreePminProperty, PredictionWithinResponseRange)
+{
+    tree::RegressionTree t(xs_, ys_, GetParam());
+    const double lo = *std::min_element(ys_.begin(), ys_.end());
+    const double hi = *std::max_element(ys_.begin(), ys_.end());
+    math::Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        const dspace::UnitPoint x{rng.uniform(), rng.uniform(),
+                                  rng.uniform()};
+        const double pred = t.predict(x);
+        EXPECT_GE(pred, lo - 1e-12);
+        EXPECT_LE(pred, hi + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pmins, TreePminProperty,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+// --- training error shrinks as p_min shrinks ----------------------------
+
+TEST(TreeProperty, TrainSseMonotoneInPmin)
+{
+    math::Rng rng(13);
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 150; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(std::cos(5 * xs.back()[0]) + xs.back()[1]);
+    }
+    double prev = -1.0;
+    for (int p_min : {1, 4, 16, 64}) {
+        tree::RegressionTree t(xs, ys, p_min);
+        double sse = 0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            const double e = ys[i] - t.predict(xs[i]);
+            sse += e * e;
+        }
+        if (prev >= 0) {
+            EXPECT_GE(sse, prev - 1e-9) << p_min;
+        }
+        prev = sse;
+    }
+}
+
+// --- RBF invariants hold across alpha ------------------------------------
+
+class RbfAlphaProperty : public ::testing::TestWithParam<double>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        math::Rng rng(17);
+        for (int i = 0; i < 80; ++i) {
+            xs_.push_back({rng.uniform(), rng.uniform()});
+            ys_.push_back(2.0 + xs_.back()[0] +
+                          std::sin(3 * xs_.back()[1]));
+        }
+    }
+
+    std::vector<dspace::UnitPoint> xs_;
+    std::vector<double> ys_;
+};
+
+TEST_P(RbfAlphaProperty, BuildsFiniteGeneralizingModel)
+{
+    tree::RegressionTree t(xs_, ys_, 2);
+    rbf::RbfRtOptions opts;
+    opts.alpha = GetParam();
+    auto result = rbf::buildRbfFromTree(t, xs_, ys_, opts);
+    ASSERT_FALSE(result.network.empty());
+    EXPECT_GE(result.train_sse, 0.0);
+    math::Rng rng(19);
+    for (int i = 0; i < 30; ++i) {
+        const double pred = result.network.predict(
+            {rng.uniform(), rng.uniform()});
+        EXPECT_TRUE(std::isfinite(pred));
+        // Sane extrapolation bound: within 5x the response spread.
+        EXPECT_LT(std::fabs(pred), 50.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, RbfAlphaProperty,
+                         ::testing::Values(1.0, 2.0, 5.0, 8.0, 12.0));
+
+// --- criteria monotone in fit quality for all criteria -------------------
+
+class CriterionProperty
+    : public ::testing::TestWithParam<rbf::Criterion>
+{
+};
+
+TEST_P(CriterionProperty, MonotoneInSse)
+{
+    const auto c = GetParam();
+    double prev = -1e300;
+    for (double sse : {0.1, 1.0, 10.0, 100.0}) {
+        const double v = rbf::evaluateCriterion(c, 100, 10, sse);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST_P(CriterionProperty, PenalizesParametersAtFixedSse)
+{
+    const auto c = GetParam();
+    const double small = rbf::evaluateCriterion(c, 100, 5, 3.0);
+    const double large = rbf::evaluateCriterion(c, 100, 50, 3.0);
+    EXPECT_LT(small, large);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CriterionProperty,
+                         ::testing::Values(rbf::Criterion::AICc,
+                                           rbf::Criterion::BIC,
+                                           rbf::Criterion::GCV));
+
+// --- cache miss rate monotone in capacity for several workloads ----------
+
+class CacheCapacityProperty
+    : public ::testing::TestWithParam<int> // associativity
+{
+};
+
+TEST_P(CacheCapacityProperty, MissRateNonIncreasingWithCapacity)
+{
+    const int assoc = GetParam();
+    // A mixed streaming + looping address pattern.
+    std::vector<std::uint64_t> addrs;
+    std::uint64_t x = 5;
+    for (int i = 0; i < 30000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        if (i % 3 == 0)
+            addrs.push_back((x >> 16) % (512 * 1024));
+        else
+            addrs.push_back((i % 2048) * 64);
+    }
+    double prev = 1.1;
+    for (std::uint64_t kb : {4, 8, 16, 32, 64, 128, 256}) {
+        sim::Cache c("t", kb * 1024, assoc, 64);
+        for (auto a : addrs)
+            c.access(a, false);
+        EXPECT_LE(c.stats().missRate(), prev + 0.02)
+            << kb << "KB assoc " << assoc;
+        prev = c.stats().missRate();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheCapacityProperty,
+                         ::testing::Values(1, 2, 4, 8));
+
+// --- simulator invariants across random configurations -------------------
+
+class SimConfigProperty
+    : public ::testing::TestWithParam<std::uint64_t> // seed
+{
+};
+
+TEST_P(SimConfigProperty, EveryConfigCommitsEverythingWithSaneCpi)
+{
+    static trace::Trace tr =
+        trace::generateTrace(trace::profileByName("twolf"), 15000);
+    auto space = dspace::paperTrainSpace();
+    math::Rng rng(GetParam());
+    const auto pt = space.randomPoint(rng);
+    sim::SimOptions opts;
+    opts.warmup_instructions = 0;
+    const auto stats = sim::simulate(tr, space, pt, opts);
+    EXPECT_EQ(stats.instructions, tr.size());
+    EXPECT_GT(stats.cpi(), 0.2) << space.describe(pt);
+    EXPECT_LT(stats.cpi(), 60.0) << space.describe(pt);
+    EXPECT_LE(stats.dl1.misses, stats.dl1.accesses);
+    EXPECT_LE(stats.il1.misses, stats.il1.accesses);
+    EXPECT_LE(stats.l2.misses, stats.l2.accesses);
+    EXPECT_LE(stats.branch.mispredicts,
+              stats.branch.branches);
+    EXPECT_GE(stats.memory.requests, stats.memory.row_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimConfigProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- discrepancy invariance properties -----------------------------------
+
+class DiscrepancyDimProperty
+    : public ::testing::TestWithParam<int> // dimensionality
+{
+};
+
+TEST_P(DiscrepancyDimProperty, BestOfNNeverWorseThanSingle)
+{
+    const int d = GetParam();
+    dspace::DesignSpace space;
+    for (int k = 0; k < d; ++k)
+        space.add(dspace::Parameter("p" + std::to_string(k), 0, 1,
+                                    dspace::kSampleSizeLevels,
+                                    dspace::Transform::Linear, false));
+    math::Rng a(500 + static_cast<std::uint64_t>(d));
+    math::Rng b(500 + static_cast<std::uint64_t>(d));
+    auto one = sampling::bestLatinHypercube(space, 25, 1, a);
+    auto ten = sampling::bestLatinHypercube(space, 25, 10, b);
+    EXPECT_LE(ten.discrepancy, one.discrepancy);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DiscrepancyDimProperty,
+                         ::testing::Values(2, 4, 6, 9));
+
+} // namespace

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit tests for the Gaussian basis, RBF networks, the rbf_rt
+ * construction from regression trees, and the (p_min, alpha) trainer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hh"
+#include "rbf/rbf_rt.hh"
+#include "rbf/trainer.hh"
+#include "tree/regression_tree.hh"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::rbf;
+
+/** Disambiguates predict() calls on brace-initialized points. */
+double
+at(const RbfNetwork &net, std::initializer_list<double> v)
+{
+    return net.predict(dspace::UnitPoint(v));
+}
+
+TEST(GaussianBasis, PeakAtCenter)
+{
+    GaussianBasis h({0.3, 0.7}, {0.5, 0.5});
+    EXPECT_DOUBLE_EQ(h.evaluate({0.3, 0.7}), 1.0);
+}
+
+TEST(GaussianBasis, Eq2Form)
+{
+    // h(x) = exp(-sum (x_k - c_k)^2 / r_k^2)
+    GaussianBasis h({0.0, 0.0}, {1.0, 2.0});
+    const double expected = std::exp(-(0.25 / 1.0 + 1.0 / 4.0));
+    EXPECT_NEAR(h.evaluate({0.5, 1.0}), expected, 1e-12);
+}
+
+TEST(GaussianBasis, DecaysWithDistance)
+{
+    GaussianBasis h({0.5}, {0.2});
+    const double near = h.evaluate({0.55});
+    const double far = h.evaluate({0.9});
+    EXPECT_GT(near, far);
+    EXPECT_GT(far, 0.0);
+}
+
+TEST(GaussianBasis, AnisotropicRadii)
+{
+    // Larger radius in dim 0 means slower decay along dim 0.
+    GaussianBasis h({0.5, 0.5}, {1.0, 0.1});
+    EXPECT_GT(h.evaluate({0.8, 0.5}), h.evaluate({0.5, 0.8}));
+}
+
+TEST(RbfNetwork, SingleBasisPrediction)
+{
+    std::vector<GaussianBasis> bases;
+    bases.emplace_back(dspace::UnitPoint{0.5}, std::vector<double>{0.3});
+    RbfNetwork net(std::move(bases), {2.0});
+    EXPECT_DOUBLE_EQ(at(net, {0.5}), 2.0);
+    EXPECT_NEAR(at(net, {0.8}), 2.0 * std::exp(-1.0), 1e-12);
+}
+
+TEST(RbfNetwork, SumsWeightedBases)
+{
+    std::vector<GaussianBasis> bases;
+    bases.emplace_back(dspace::UnitPoint{0.0}, std::vector<double>{1.0});
+    bases.emplace_back(dspace::UnitPoint{1.0}, std::vector<double>{1.0});
+    RbfNetwork net(std::move(bases), {3.0, -1.0});
+    const double at0 = 3.0 * 1.0 - 1.0 * std::exp(-1.0);
+    EXPECT_NEAR(at(net, {0.0}), at0, 1e-12);
+    EXPECT_EQ(net.numBases(), 2u);
+    EXPECT_EQ(net.dimensions(), 1u);
+}
+
+TEST(RbfNetwork, BatchMatchesScalar)
+{
+    std::vector<GaussianBasis> bases;
+    bases.emplace_back(dspace::UnitPoint{0.4, 0.6},
+                       std::vector<double>{0.5, 0.5});
+    RbfNetwork net(std::move(bases), {1.7});
+    std::vector<dspace::UnitPoint> xs{{0, 0}, {0.4, 0.6}, {1, 1}};
+    auto batch = net.predict(xs);
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        EXPECT_DOUBLE_EQ(batch[i], net.predict(xs[i]));
+}
+
+TEST(RbfNetwork, DesignMatrixEntries)
+{
+    std::vector<GaussianBasis> bases;
+    bases.emplace_back(dspace::UnitPoint{0.0}, std::vector<double>{1.0});
+    bases.emplace_back(dspace::UnitPoint{1.0}, std::vector<double>{1.0});
+    std::vector<dspace::UnitPoint> xs{{0.0}, {1.0}};
+    auto h = designMatrix(bases, xs);
+    EXPECT_DOUBLE_EQ(h(0, 0), 1.0);
+    EXPECT_NEAR(h(0, 1), std::exp(-1.0), 1e-12);
+    EXPECT_NEAR(h(1, 0), std::exp(-1.0), 1e-12);
+    EXPECT_DOUBLE_EQ(h(1, 1), 1.0);
+}
+
+TEST(RbfNetwork, FitWeightsInterpolatesExactly)
+{
+    // Two bases, two points: exact interpolation.
+    std::vector<GaussianBasis> bases;
+    bases.emplace_back(dspace::UnitPoint{0.0}, std::vector<double>{0.7});
+    bases.emplace_back(dspace::UnitPoint{1.0}, std::vector<double>{0.7});
+    std::vector<dspace::UnitPoint> xs{{0.0}, {1.0}};
+    std::vector<double> ys{2.0, 5.0};
+    RbfNetwork net = fitWeights(std::move(bases), xs, ys);
+    EXPECT_NEAR(at(net, {0.0}), 2.0, 1e-9);
+    EXPECT_NEAR(at(net, {1.0}), 5.0, 1e-9);
+}
+
+// --- rbf_rt construction ----------------------------------------------
+
+/** Smooth 2-D test function on the unit square. */
+double
+testFunction(const dspace::UnitPoint &x)
+{
+    return 1.0 + std::sin(3.0 * x[0]) + 0.5 * x[1] * x[1];
+}
+
+struct TrainingData
+{
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+};
+
+TrainingData
+makeData(std::size_t n, std::uint64_t seed)
+{
+    math::Rng rng(seed);
+    TrainingData d;
+    for (std::size_t i = 0; i < n; ++i) {
+        d.xs.push_back({rng.uniform(), rng.uniform()});
+        d.ys.push_back(testFunction(d.xs.back()));
+    }
+    return d;
+}
+
+TEST(RbfRt, CandidateBasesMatchTreeNodes)
+{
+    auto d = makeData(40, 1);
+    tree::RegressionTree t(d.xs, d.ys, 4);
+    auto nodes = t.nodes();
+    auto bases = candidateBases(nodes, 2.0, 1e-3);
+    ASSERT_EQ(bases.size(), nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        EXPECT_EQ(bases[i].center(), nodes[i].center);
+        for (std::size_t k = 0; k < 2; ++k)
+            EXPECT_NEAR(bases[i].radius()[k],
+                        std::max(2.0 * nodes[i].size[k], 1e-3), 1e-12);
+    }
+}
+
+TEST(RbfRt, RadiusFloorApplied)
+{
+    tree::NodeInfo node;
+    node.center = {0.5};
+    node.size = {0.0}; // degenerate region
+    auto bases = candidateBases({node}, 5.0, 1e-2);
+    EXPECT_DOUBLE_EQ(bases[0].radius()[0], 1e-2);
+}
+
+TEST(RbfRt, FitsSmoothFunctionWell)
+{
+    auto train = makeData(120, 2);
+    tree::RegressionTree t(train.xs, train.ys, 2);
+    RbfRtOptions opts;
+    opts.alpha = 6.0;
+    auto result = buildRbfFromTree(t, train.xs, train.ys, opts);
+    ASSERT_FALSE(result.network.empty());
+
+    auto test = makeData(200, 99);
+    double max_err = 0;
+    for (std::size_t i = 0; i < test.xs.size(); ++i) {
+        const double pred = result.network.predict(test.xs[i]);
+        max_err = std::max(max_err,
+                           std::fabs(pred - test.ys[i]) /
+                               std::fabs(test.ys[i]));
+    }
+    EXPECT_LT(max_err, 0.25);
+    EXPECT_GT(result.num_candidates, 0u);
+    EXPECT_LT(result.network.numBases(), train.xs.size());
+}
+
+TEST(RbfRt, SelectionKeepsFarFewerCentersThanSamples)
+{
+    // Paper Sec 4: centers are typically much less than half the
+    // sample size.
+    auto train = makeData(100, 3);
+    tree::RegressionTree t(train.xs, train.ys, 1);
+    RbfRtOptions opts;
+    opts.alpha = 7.0;
+    auto result = buildRbfFromTree(t, train.xs, train.ys, opts);
+    EXPECT_LE(result.network.numBases(), train.xs.size() / 2);
+}
+
+TEST(RbfRt, GreedySelectionAlsoWorks)
+{
+    auto train = makeData(60, 4);
+    tree::RegressionTree t(train.xs, train.ys, 4);
+    RbfRtOptions opts;
+    opts.alpha = 5.0;
+    opts.selection = Selection::GreedyForward;
+    auto result = buildRbfFromTree(t, train.xs, train.ys, opts);
+    ASSERT_FALSE(result.network.empty());
+    auto test = makeData(100, 98);
+    double mean_err = 0;
+    for (std::size_t i = 0; i < test.xs.size(); ++i)
+        mean_err += std::fabs(result.network.predict(test.xs[i]) -
+                              test.ys[i]);
+    EXPECT_LT(mean_err / test.xs.size(), 0.3);
+}
+
+TEST(RbfRt, MaxCentersRespected)
+{
+    auto train = makeData(80, 5);
+    tree::RegressionTree t(train.xs, train.ys, 1);
+    RbfRtOptions opts;
+    opts.alpha = 6.0;
+    opts.max_centers = 5;
+    auto result = buildRbfFromTree(t, train.xs, train.ys, opts);
+    EXPECT_LE(result.network.numBases(), 5u);
+}
+
+TEST(RbfRt, CriterionValueFinite)
+{
+    auto train = makeData(50, 6);
+    tree::RegressionTree t(train.xs, train.ys, 2);
+    auto result = buildRbfFromTree(t, train.xs, train.ys, {});
+    EXPECT_TRUE(std::isfinite(result.criterion_value));
+    EXPECT_GE(result.train_sse, 0.0);
+}
+
+TEST(RbfRt, SelectionNames)
+{
+    EXPECT_EQ(selectionName(Selection::TreeOrdered), "tree-ordered");
+    EXPECT_EQ(selectionName(Selection::GreedyForward),
+              "greedy-forward");
+}
+
+// --- trainer -----------------------------------------------------------
+
+TEST(Trainer, PicksFromGrids)
+{
+    auto train = makeData(60, 7);
+    TrainerOptions opts;
+    opts.p_min_grid = {1, 3};
+    opts.alpha_grid = {4, 8};
+    TrainedRbf model = trainRbfModel(train.xs, train.ys, opts);
+    EXPECT_TRUE(model.p_min == 1 || model.p_min == 3);
+    EXPECT_TRUE(model.alpha == 4 || model.alpha == 8);
+    EXPECT_GT(model.num_centers, 0u);
+    EXPECT_EQ(model.num_centers, model.network.numBases());
+}
+
+TEST(Trainer, ChoosesLowestCriterion)
+{
+    auto train = makeData(70, 8);
+    TrainerOptions grid;
+    grid.p_min_grid = {1, 2, 4};
+    grid.alpha_grid = {2, 6, 10};
+    TrainedRbf best = trainRbfModel(train.xs, train.ys, grid);
+    // Re-running any single grid point cannot beat the chosen one.
+    for (int p_min : grid.p_min_grid) {
+        for (double alpha : grid.alpha_grid) {
+            TrainerOptions single;
+            single.p_min_grid = {p_min};
+            single.alpha_grid = {alpha};
+            TrainedRbf m = trainRbfModel(train.xs, train.ys, single);
+            EXPECT_GE(m.criterion_value, best.criterion_value - 1e-9);
+        }
+    }
+}
+
+TEST(Trainer, GeneralizesOnHeldOutData)
+{
+    auto train = makeData(100, 9);
+    TrainedRbf model = trainRbfModel(train.xs, train.ys, {});
+    auto test = makeData(200, 1000);
+    double mean_pct = 0;
+    for (std::size_t i = 0; i < test.xs.size(); ++i)
+        mean_pct += 100.0 *
+            std::fabs(model.network.predict(test.xs[i]) - test.ys[i]) /
+            std::fabs(test.ys[i]);
+    EXPECT_LT(mean_pct / test.xs.size(), 6.0);
+}
+
+TEST(Trainer, TinySampleStillYieldsModel)
+{
+    auto train = makeData(10, 10);
+    TrainedRbf model = trainRbfModel(train.xs, train.ys, {});
+    EXPECT_FALSE(model.network.empty());
+}
+
+TEST(Trainer, BicCriterionSelectsSmallerModels)
+{
+    auto train = makeData(90, 11);
+    TrainerOptions aic_opts;
+    aic_opts.criterion = Criterion::AICc;
+    TrainerOptions bic_opts;
+    bic_opts.criterion = Criterion::BIC;
+    TrainedRbf aic_model = trainRbfModel(train.xs, train.ys, aic_opts);
+    TrainedRbf bic_model = trainRbfModel(train.xs, train.ys, bic_opts);
+    // BIC penalizes parameters more heavily for n >= 8.
+    EXPECT_LE(bic_model.num_centers, aic_model.num_centers + 2);
+}
+
+} // namespace

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the deterministic random number generator, including
+ * distributional sanity checks (these use fixed seeds, so they are
+ * exact regressions, not flaky statistical tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "math/rng.hh"
+
+namespace {
+
+using ppm::math::Rng;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(6);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 2.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 2.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(8);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(std::uint64_t(10));
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // all values hit in 1000 draws
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(9);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(std::int64_t(-2), std::int64_t(2));
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        hit_lo |= v == -2;
+        hit_hi |= v == 2;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformIntSingleValue)
+{
+    Rng rng(10);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(std::int64_t(5), std::int64_t(5)), 5);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    const int n = 200000;
+    double sum = 0, sq = 0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted)
+{
+    Rng rng(12);
+    double acc = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(acc / n, 10.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(13);
+    double acc = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.exponential(4.0);
+    EXPECT_NEAR(acc / n, 4.0, 0.1);
+}
+
+TEST(Rng, GeometricMeanAndSupport)
+{
+    Rng rng(14);
+    const double p = 0.25;
+    double acc = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const auto k = rng.geometric(p);
+        EXPECT_GE(k, 1u);
+        acc += static_cast<double>(k);
+    }
+    EXPECT_NEAR(acc / n, 1.0 / p, 0.1);
+}
+
+TEST(Rng, GeometricCertainSuccess)
+{
+    Rng rng(15);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(1.0), 1u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(16);
+    std::vector<double> w{1, 0, 3};
+    int counts[3] = {0, 0, 0};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedIndex(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[0] / double(n), 0.25, 0.02);
+    EXPECT_NEAR(counts[2] / double(n), 0.75, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(17);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ShuffleActuallyPermutes)
+{
+    Rng rng(18);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i;
+    rng.shuffle(v);
+    int moved = 0;
+    for (int i = 0; i < 100; ++i)
+        moved += v[i] != i;
+    EXPECT_GT(moved, 50);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(20);
+    Rng child = a.split();
+    // Parent and child streams should not be identical.
+    Rng b(20);
+    (void)b.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == child.next();
+    EXPECT_LT(same, 2);
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for latin hypercube sampling and the sample generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "dspace/paper_space.hh"
+#include "sampling/discrepancy.hh"
+#include "sampling/latin_hypercube.hh"
+#include "sampling/sample_gen.hh"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::sampling;
+
+dspace::DesignSpace
+continuousSpace(std::size_t dims)
+{
+    dspace::DesignSpace s;
+    for (std::size_t i = 0; i < dims; ++i)
+        s.add(dspace::Parameter("p" + std::to_string(i), 0, 1,
+                                dspace::kSampleSizeLevels,
+                                dspace::Transform::Linear, false));
+    return s;
+}
+
+TEST(LatinHypercube, ProducesRequestedSize)
+{
+    auto space = continuousSpace(3);
+    math::Rng rng(1);
+    auto sample = latinHypercubeSample(space, 20, rng);
+    EXPECT_EQ(sample.size(), 20u);
+    for (const auto &p : sample)
+        EXPECT_TRUE(space.contains(p));
+}
+
+TEST(LatinHypercube, StratificationOneValuePerStratum)
+{
+    // Without snapping, each dimension must have exactly one point in
+    // each of the p strata — the defining LHS property.
+    auto space = continuousSpace(4);
+    math::Rng rng(2);
+    LhsOptions opts;
+    opts.snap_to_levels = false;
+    const int p = 16;
+    auto sample = latinHypercubeSample(space, p, rng, opts);
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        std::set<int> strata;
+        for (const auto &pt : sample)
+            strata.insert(static_cast<int>(pt[k] * p));
+        EXPECT_EQ(strata.size(), static_cast<std::size_t>(p))
+            << "dimension " << k;
+    }
+}
+
+TEST(LatinHypercube, CenteredStrataHitStratumMidpoints)
+{
+    auto space = continuousSpace(2);
+    math::Rng rng(3);
+    LhsOptions opts;
+    opts.center_strata = true;
+    opts.snap_to_levels = false;
+    const int p = 8;
+    auto sample = latinHypercubeSample(space, p, rng, opts);
+    for (const auto &pt : sample)
+        for (double v : pt) {
+            const double scaled = v * p - 0.5;
+            EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+        }
+}
+
+TEST(LatinHypercube, SnapsToDiscreteLevels)
+{
+    dspace::DesignSpace space;
+    space.add(dspace::Parameter("lat", 1, 4, 4,
+                                dspace::Transform::Linear, true));
+    math::Rng rng(4);
+    auto sample = latinHypercubeSample(space, 40, rng);
+    std::set<double> values;
+    for (const auto &pt : sample)
+        values.insert(pt[0]);
+    // Only the 4 levels appear, and all of them appear.
+    EXPECT_EQ(values.size(), 4u);
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        EXPECT_TRUE(values.count(v));
+}
+
+TEST(LatinHypercube, CoversAllLevelsRoughlyEqually)
+{
+    // The paper's variant: a sample has points for all settings of
+    // each parameter. With 40 points and 4 levels, each level should
+    // be used about 10 times.
+    dspace::DesignSpace space;
+    space.add(dspace::Parameter("lat", 1, 4, 4,
+                                dspace::Transform::Linear, true));
+    math::Rng rng(5);
+    auto sample = latinHypercubeSample(space, 40, rng);
+    int counts[4] = {0, 0, 0, 0};
+    for (const auto &pt : sample)
+        ++counts[static_cast<int>(pt[0]) - 1];
+    for (int c : counts) {
+        EXPECT_GE(c, 6);
+        EXPECT_LE(c, 14);
+    }
+}
+
+TEST(LatinHypercube, PaperSpaceSampleIsValid)
+{
+    auto space = dspace::paperTrainSpace();
+    math::Rng rng(6);
+    auto sample = latinHypercubeSample(space, 50, rng);
+    EXPECT_EQ(sample.size(), 50u);
+    for (const auto &pt : sample) {
+        EXPECT_TRUE(space.contains(pt)) << space.describe(pt);
+        // Integer parameters must be integral.
+        EXPECT_DOUBLE_EQ(pt[dspace::kPipeDepth],
+                         std::round(pt[dspace::kPipeDepth]));
+        EXPECT_DOUBLE_EQ(pt[dspace::kRobSize],
+                         std::round(pt[dspace::kRobSize]));
+    }
+}
+
+TEST(LatinHypercube, ToUnitSampleMatchesSpace)
+{
+    auto space = continuousSpace(2);
+    math::Rng rng(7);
+    auto sample = latinHypercubeSample(space, 10, rng);
+    auto unit = toUnitSample(space, sample);
+    ASSERT_EQ(unit.size(), sample.size());
+    for (std::size_t i = 0; i < unit.size(); ++i)
+        for (std::size_t k = 0; k < 2; ++k)
+            EXPECT_NEAR(unit[i][k], sample[i][k], 1e-12);
+}
+
+TEST(BestLatinHypercube, PicksLowestDiscrepancyCandidate)
+{
+    auto space = continuousSpace(3);
+    math::Rng rng_a(8), rng_b(8);
+    // best-of-1 vs best-of-20 from the same stream start: the
+    // optimized sample can only be better or equal.
+    auto one = bestLatinHypercube(space, 30, 1, rng_a);
+    auto many = bestLatinHypercube(space, 30, 20, rng_b);
+    EXPECT_LE(many.discrepancy, one.discrepancy);
+    EXPECT_EQ(many.candidates_evaluated, 20);
+    EXPECT_EQ(many.points.size(), 30u);
+}
+
+TEST(BestLatinHypercube, DiscrepancyMatchesRecomputation)
+{
+    auto space = continuousSpace(2);
+    math::Rng rng(9);
+    auto best = bestLatinHypercube(space, 25, 5, rng);
+    const double recomputed =
+        centeredL2Discrepancy(toUnitSample(space, best.points));
+    EXPECT_NEAR(best.discrepancy, recomputed, 1e-12);
+}
+
+TEST(RandomSample, SizesAndContainment)
+{
+    auto space = dspace::paperTrainSpace();
+    math::Rng rng(10);
+    auto sample = randomSample(space, 25, rng);
+    EXPECT_EQ(sample.size(), 25u);
+    for (const auto &pt : sample)
+        EXPECT_TRUE(space.contains(pt));
+}
+
+TEST(RandomTestSet, DrawsFromRestrictedSpace)
+{
+    auto test_space = dspace::paperTestSpace();
+    math::Rng rng(11);
+    auto pts = randomTestSet(test_space, 50, rng);
+    EXPECT_EQ(pts.size(), 50u);
+    for (const auto &pt : pts) {
+        EXPECT_TRUE(test_space.contains(pt));
+        EXPECT_GE(pt[dspace::kPipeDepth], 9);
+        EXPECT_LE(pt[dspace::kPipeDepth], 22);
+    }
+}
+
+TEST(RandomTestSet, IndependentOfTrainingStream)
+{
+    // Different seeds give different test sets.
+    auto space = dspace::paperTestSpace();
+    math::Rng a(1), b(2);
+    auto pa = randomTestSet(space, 10, a);
+    auto pb = randomTestSet(space, 10, b);
+    EXPECT_NE(pa, pb);
+}
+
+} // namespace

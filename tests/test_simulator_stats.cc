@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Deeper out-of-order core invariants: determinism, statistics
+ * consistency, warmup semantics, and quantified penalties on
+ * hand-built traces where the expected timing is known.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dspace/paper_space.hh"
+#include "sim/power.hh"
+#include "sim/simulator.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+namespace {
+
+using namespace ppm;
+using namespace ppm::sim;
+
+const trace::Trace &
+sharedTrace()
+{
+    static const trace::Trace t =
+        trace::generateTrace(trace::profileByName("parser"), 30000);
+    return t;
+}
+
+SimStats
+run(const ProcessorConfig &cfg, std::uint64_t warmup = 0)
+{
+    SimOptions opts;
+    opts.warmup_instructions = warmup;
+    return simulate(sharedTrace(), cfg, opts);
+}
+
+TEST(SimulatorStats, DeterministicAcrossRuns)
+{
+    ProcessorConfig cfg;
+    const auto a = run(cfg);
+    const auto b = run(cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.dl1.misses, b.dl1.misses);
+    EXPECT_EQ(a.il1.misses, b.il1.misses);
+    EXPECT_EQ(a.l2.misses, b.l2.misses);
+    EXPECT_EQ(a.branch.mispredicts, b.branch.mispredicts);
+    EXPECT_EQ(a.memory.requests, b.memory.requests);
+}
+
+TEST(SimulatorStats, CommitsWholeTrace)
+{
+    ProcessorConfig cfg;
+    const auto stats = run(cfg);
+    EXPECT_EQ(stats.instructions, sharedTrace().size());
+}
+
+TEST(SimulatorStats, WarmupReducesMeasuredInstructions)
+{
+    ProcessorConfig cfg;
+    const auto warm = run(cfg, 10000);
+    // Commit retires up to commit_width per cycle, so the snapshot
+    // can overshoot the warmup boundary by a few instructions.
+    EXPECT_LE(warm.instructions, sharedTrace().size() - 10000);
+    EXPECT_GE(warm.instructions,
+              sharedTrace().size() - 10000 -
+                  static_cast<std::uint64_t>(cfg.commit_width));
+    EXPECT_GT(warm.cycles, 0u);
+}
+
+TEST(SimulatorStats, WarmupCappedAtHalfTrace)
+{
+    ProcessorConfig cfg;
+    const auto stats = run(cfg, 1000000000);
+    EXPECT_EQ(stats.instructions, sharedTrace().size() / 2);
+}
+
+TEST(SimulatorStats, CacheAccessHierarchyConsistent)
+{
+    ProcessorConfig cfg;
+    const auto stats = run(cfg);
+    // L2 traffic comes only from L1 misses (plus DL1 victim
+    // writebacks which also access the L2).
+    EXPECT_GE(stats.l2.accesses,
+              stats.il1.misses + stats.dl1.misses);
+    EXPECT_LE(stats.l2.accesses,
+              stats.il1.misses + stats.dl1.misses +
+                  stats.dl1.writebacks);
+    // DRAM accesses = demand fills (L2 misses) + dirty L2 victims.
+    EXPECT_EQ(stats.memory.requests,
+              stats.l2.misses + stats.l2.writebacks);
+}
+
+TEST(SimulatorStats, BranchCountsMatchTrace)
+{
+    ProcessorConfig cfg;
+    const auto stats = run(cfg);
+    const auto summary = sharedTrace().summarize();
+    EXPECT_EQ(stats.branch.branches, summary.branches);
+    EXPECT_EQ(stats.branch.cond_branches, summary.cond_branches);
+}
+
+TEST(SimulatorStats, StallCountersBounded)
+{
+    ProcessorConfig cfg;
+    const auto stats = run(cfg);
+    // Each stall counter increments at most once per cycle.
+    EXPECT_LE(stats.rob_full_stalls, stats.cycles);
+    EXPECT_LE(stats.iq_full_stalls, stats.cycles);
+    EXPECT_LE(stats.lsq_full_stalls, stats.cycles);
+    EXPECT_LE(stats.fetch_empty_stalls, stats.cycles);
+}
+
+TEST(SimulatorStats, TinyWindowShiftsStallsToRob)
+{
+    ProcessorConfig tiny;
+    tiny.rob_size = 8;
+    tiny.iq_size = 8;
+    tiny.lsq_size = 8;
+    ProcessorConfig big;
+    big.rob_size = 256;
+    big.iq_size = 128;
+    big.lsq_size = 128;
+    const auto tiny_stats = run(tiny);
+    const auto big_stats = run(big);
+    EXPECT_GT(tiny_stats.rob_full_stalls + tiny_stats.iq_full_stalls,
+              big_stats.rob_full_stalls + big_stats.iq_full_stalls);
+    EXPECT_GT(tiny_stats.cpi(), big_stats.cpi());
+}
+
+TEST(SimulatorStats, CpiMonotoneInL2Latency)
+{
+    ProcessorConfig lo;
+    lo.l2_lat = 5;
+    ProcessorConfig hi;
+    hi.l2_lat = 20;
+    EXPECT_LT(run(lo).cycles, run(hi).cycles);
+}
+
+TEST(SimulatorStats, CpiMonotoneInDl1Latency)
+{
+    ProcessorConfig lo;
+    lo.dl1_lat = 1;
+    ProcessorConfig hi;
+    hi.dl1_lat = 4;
+    EXPECT_LT(run(lo).cycles, run(hi).cycles);
+}
+
+TEST(SimulatorStats, DeeperPipeNeverFaster)
+{
+    ProcessorConfig shallow;
+    shallow.pipe_depth = 7;
+    ProcessorConfig deep;
+    deep.pipe_depth = 24;
+    EXPECT_LE(run(shallow).cycles, run(deep).cycles);
+}
+
+TEST(SimulatorStats, BiggerDl1ReducesMisses)
+{
+    ProcessorConfig small;
+    small.dl1_size_kb = 8;
+    ProcessorConfig large;
+    large.dl1_size_kb = 64;
+    EXPECT_GT(run(small).dl1.misses, run(large).dl1.misses);
+}
+
+TEST(SimulatorStats, BiggerL2ReducesDramTraffic)
+{
+    ProcessorConfig small;
+    small.l2_size_kb = 256;
+    ProcessorConfig large;
+    large.l2_size_kb = 8192;
+    EXPECT_GT(run(small).memory.requests,
+              run(large).memory.requests);
+}
+
+TEST(SimulatorStats, RowHitsNeverExceedRequests)
+{
+    ProcessorConfig cfg;
+    const auto stats = run(cfg);
+    EXPECT_LE(stats.memory.row_hits, stats.memory.requests);
+}
+
+TEST(SimulatorStats, PowerScalesWithActivity)
+{
+    // The same configuration on a longer measured region must consume
+    // proportionally more total energy (same EPI ballpark).
+    ProcessorConfig cfg;
+    SimOptions opts;
+    opts.warmup_instructions = 0;
+    const auto trace_long =
+        trace::generateTrace(trace::profileByName("parser"), 30000);
+    const auto trace_short =
+        trace::generateTrace(trace::profileByName("parser"), 10000);
+    const auto long_stats = simulate(trace_long, cfg, opts);
+    const auto short_stats = simulate(trace_short, cfg, opts);
+    const auto long_rep = computePower(cfg, long_stats);
+    const auto short_rep = computePower(cfg, short_stats);
+    EXPECT_GT(long_rep.total(), short_rep.total() * 2);
+    EXPECT_NEAR(long_rep.epi(long_stats) / short_rep.epi(short_stats),
+                1.0, 0.35);
+}
+
+TEST(SimulatorStats, EventSkippingPreservesLongLatencyTiming)
+{
+    // A trace of one dependent cold load chain: the cycle count must
+    // reflect full DRAM latency per load even though the simulator
+    // skips idle cycles internally.
+    trace::Trace t("chain");
+    std::uint64_t pc = 0x400000;
+    const int n = 50;
+    for (int i = 0; i < n; ++i) {
+        trace::TraceInstruction inst;
+        inst.pc = pc;
+        inst.op = trace::OpClass::Load;
+        inst.dest = 5;
+        inst.src[0] = 5;
+        inst.mem_addr = 0x10000000 +
+            static_cast<std::uint64_t>(i) * (1 << 20); // all cold
+        t.push(inst);
+        pc += 4;
+    }
+    ProcessorConfig cfg;
+    SimOptions opts;
+    opts.warmup_instructions = 0;
+    const auto stats = simulate(t, cfg, opts);
+    // Each chained load costs at least the uncontended DRAM round
+    // trip (dl1 + l2 + controller + activate + cas + burst).
+    const std::uint64_t per_load = static_cast<std::uint64_t>(
+        cfg.dl1_lat + cfg.l2_lat + cfg.memctrl_overhead +
+        cfg.dram_trcd + cfg.dram_tcas + cfg.bus_burst_cycles);
+    EXPECT_GE(stats.cycles, per_load * (n - 1));
+    // And not wildly more (no lost cycles from skipping).
+    EXPECT_LE(stats.cycles, per_load * n + 2000);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for summary statistics and the error metrics the paper
+ * reports (mean/std/max absolute percentage CPI error).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/stats.hh"
+
+namespace {
+
+using namespace ppm::math;
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({5}), 5.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, VarianceIsSampleVariance)
+{
+    // Var of {2,4,4,4,5,5,7,9} about mean 5: ss=32, n-1=7.
+    EXPECT_NEAR(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(variance({3}), 0.0);
+    EXPECT_DOUBLE_EQ(variance({}), 0.0);
+}
+
+TEST(Stats, StddevIsRootOfVariance)
+{
+    const std::vector<double> v{1, 2, 3, 4, 5};
+    EXPECT_NEAR(stddev(v), std::sqrt(variance(v)), 1e-14);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minValue({3, -1, 2}), -1.0);
+    EXPECT_DOUBLE_EQ(maxValue({3, -1, 2}), 3.0);
+    EXPECT_DOUBLE_EQ(minValue({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxValue({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> v{10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+    EXPECT_DOUBLE_EQ(percentile({7}, 50), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, PercentileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({40, 10, 30, 20}, 50), 25.0);
+}
+
+TEST(Stats, SummarizeAllFields)
+{
+    Summary s = summarize({1, 2, 3, 4, 5});
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummarizeEmptyAndSingle)
+{
+    Summary e = summarize({});
+    EXPECT_EQ(e.count, 0u);
+    EXPECT_DOUBLE_EQ(e.mean, 0.0);
+    Summary one = summarize({4.0});
+    EXPECT_EQ(one.count, 1u);
+    EXPECT_DOUBLE_EQ(one.mean, 4.0);
+    EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(one.min, 4.0);
+    EXPECT_DOUBLE_EQ(one.max, 4.0);
+}
+
+TEST(ErrorMetrics, AbsolutePercentageErrors)
+{
+    auto errs = absolutePercentageErrors({2.0, 4.0}, {2.2, 3.0});
+    ASSERT_EQ(errs.size(), 2u);
+    EXPECT_NEAR(errs[0], 10.0, 1e-9);
+    EXPECT_NEAR(errs[1], 25.0, 1e-9);
+}
+
+TEST(ErrorMetrics, ZeroActualContributesZero)
+{
+    auto errs = absolutePercentageErrors({0.0, 1.0}, {5.0, 1.1});
+    EXPECT_DOUBLE_EQ(errs[0], 0.0);
+    EXPECT_NEAR(errs[1], 10.0, 1e-9);
+}
+
+TEST(ErrorMetrics, MapeIsMeanOfErrors)
+{
+    EXPECT_NEAR(meanAbsolutePercentageError({2.0, 4.0}, {2.2, 3.0}),
+                17.5, 1e-9);
+}
+
+TEST(ErrorMetrics, PerfectPredictionIsZeroError)
+{
+    const std::vector<double> v{1.5, 2.5, 3.5};
+    EXPECT_DOUBLE_EQ(meanAbsolutePercentageError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(rmsError(v, v), 0.0);
+    EXPECT_DOUBLE_EQ(rSquared(v, v), 1.0);
+}
+
+TEST(ErrorMetrics, RmsError)
+{
+    EXPECT_NEAR(rmsError({0, 0}, {3, 4}), std::sqrt(12.5), 1e-12);
+    EXPECT_DOUBLE_EQ(rmsError({}, {}), 0.0);
+}
+
+TEST(ErrorMetrics, RSquaredKnownValue)
+{
+    // Predicting the mean gives R^2 = 0.
+    const std::vector<double> actual{1, 2, 3};
+    const std::vector<double> mean_pred{2, 2, 2};
+    EXPECT_NEAR(rSquared(actual, mean_pred), 0.0, 1e-12);
+}
+
+TEST(ErrorMetrics, RSquaredConstantActual)
+{
+    EXPECT_DOUBLE_EQ(rSquared({2, 2}, {2, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(rSquared({2, 2}, {3, 1}), 0.0);
+}
+
+TEST(ErrorMetrics, ErrorsAreSymmetricInMagnitudeOnly)
+{
+    // Over- and under-prediction by the same ratio give the same
+    // absolute percentage error.
+    auto over = absolutePercentageErrors({2.0}, {2.4});
+    auto under = absolutePercentageErrors({2.0}, {1.6});
+    EXPECT_NEAR(over[0], under[0], 1e-12);
+}
+
+} // namespace

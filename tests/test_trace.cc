@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload substrate: profiles, trace
+ * generation determinism, mix fidelity, control-flow consistency and
+ * footprint behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+namespace {
+
+using namespace ppm::trace;
+
+TEST(Profiles, EightPaperBenchmarks)
+{
+    const auto &profiles = spec2000Profiles();
+    ASSERT_EQ(profiles.size(), 8u);
+    const std::vector<std::string> expected = {
+        "181.mcf",    "186.crafty", "197.parser", "253.perlbmk",
+        "255.vortex", "300.twolf",  "183.equake", "188.ammp",
+    };
+    EXPECT_EQ(profileNames(), expected);
+}
+
+TEST(Profiles, LookupByFullAndShortName)
+{
+    EXPECT_EQ(profileByName("181.mcf").name, "181.mcf");
+    EXPECT_EQ(profileByName("mcf").name, "181.mcf");
+    EXPECT_EQ(profileByName("vortex").name, "255.vortex");
+    EXPECT_THROW(profileByName("gcc"), std::out_of_range);
+}
+
+TEST(Profiles, SeedsAreDistinct)
+{
+    std::unordered_set<std::uint64_t> seeds;
+    for (const auto &p : spec2000Profiles())
+        seeds.insert(p.seed);
+    EXPECT_EQ(seeds.size(), spec2000Profiles().size());
+}
+
+TEST(Profiles, FractionsAreSane)
+{
+    for (const auto &p : spec2000Profiles()) {
+        EXPECT_GT(p.mix.load, 0.0) << p.name;
+        EXPECT_LT(p.mix.load + p.mix.store + p.mix.branch, 1.0)
+            << p.name;
+        EXPECT_GE(p.data.streaming_fraction +
+                      p.data.pointer_chase_fraction, 0.0);
+        EXPECT_LE(p.data.streaming_fraction +
+                      p.data.pointer_chase_fraction, 1.0)
+            << p.name;
+        EXPECT_GT(p.code.footprint_bytes, 0u);
+        EXPECT_GT(p.data.footprint_bytes, 0u);
+    }
+}
+
+TEST(Generator, Deterministic)
+{
+    const auto &p = profileByName("mcf");
+    Trace a = generateTrace(p, 5000);
+    Trace b = generateTrace(p, 5000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].op, b[i].op);
+        EXPECT_EQ(a[i].mem_addr, b[i].mem_addr);
+        EXPECT_EQ(a[i].taken, b[i].taken);
+    }
+}
+
+TEST(Generator, PrefixStability)
+{
+    // A longer trace starts with the shorter trace.
+    const auto &p = profileByName("twolf");
+    Trace small = generateTrace(p, 2000);
+    Trace big = generateTrace(p, 4000);
+    for (std::size_t i = 0; i < small.size(); ++i)
+        EXPECT_EQ(small[i].pc, big[i].pc) << i;
+}
+
+TEST(Generator, RequestedLength)
+{
+    for (std::size_t n : {1u, 100u, 12345u})
+        EXPECT_EQ(generateTrace(profileByName("parser"), n).size(), n);
+}
+
+TEST(Generator, MixMatchesProfile)
+{
+    for (const auto &p : spec2000Profiles()) {
+        Trace t = generateTrace(p, 100000);
+        TraceSummary s = t.summarize();
+        const double n = static_cast<double>(s.instructions);
+        EXPECT_NEAR(s.loads / n, p.mix.load, 0.05) << p.name;
+        EXPECT_NEAR(s.stores / n, p.mix.store, 0.04) << p.name;
+        EXPECT_NEAR(s.branches / n, p.mix.branch, 0.08) << p.name;
+    }
+}
+
+TEST(Generator, FpBenchmarksHaveFpOps)
+{
+    Trace eq = generateTrace(profileByName("equake"), 50000);
+    Trace mcf = generateTrace(profileByName("mcf"), 50000);
+    EXPECT_GT(eq.summarize().fp_ops, 10000u);
+    EXPECT_EQ(mcf.summarize().fp_ops, 0u);
+}
+
+TEST(Generator, BranchOutcomesConsistentWithControlFlow)
+{
+    // For every branch: taken -> next PC equals branch_target;
+    // not taken -> next PC is the fall-through (pc + 4).
+    Trace t = generateTrace(profileByName("vortex"), 50000);
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        const auto &inst = t[i];
+        if (!inst.isBr())
+            continue;
+        const auto &next = t[i + 1];
+        if (inst.taken)
+            EXPECT_EQ(next.pc, inst.branch_target) << "at " << i;
+        else
+            EXPECT_EQ(next.pc, inst.pc + 4) << "at " << i;
+    }
+}
+
+TEST(Generator, NonBranchesFallThrough)
+{
+    Trace t = generateTrace(profileByName("crafty"), 20000);
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (!t[i].isBr()) {
+            EXPECT_EQ(t[i + 1].pc, t[i].pc + 4) << "at " << i;
+        }
+    }
+}
+
+TEST(Generator, MemoryOpsHaveAddressesInDataSegment)
+{
+    Trace t = generateTrace(profileByName("ammp"), 30000);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const auto &inst = t[i];
+        if (inst.isMem()) {
+            EXPECT_GE(inst.mem_addr, kDataBase) << i;
+        } else {
+            EXPECT_EQ(inst.mem_addr, 0u) << i;
+        }
+    }
+}
+
+TEST(Generator, PcsInCodeSegment)
+{
+    Trace t = generateTrace(profileByName("parser"), 10000);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t[i].pc, kCodeBase);
+        EXPECT_LT(t[i].pc, kDataBase);
+        EXPECT_EQ(t[i].pc % 4, 0u);
+    }
+}
+
+TEST(Generator, CodeFootprintScalesWithProfile)
+{
+    // vortex (384KB static) must touch far more code than mcf (24KB).
+    const auto mcf = generateTrace(profileByName("mcf"), 100000)
+                         .summarize().unique_code_lines;
+    const auto vortex = generateTrace(profileByName("vortex"), 100000)
+                            .summarize().unique_code_lines;
+    EXPECT_GT(vortex, 4 * mcf);
+}
+
+TEST(Generator, DataFootprintScalesWithProfile)
+{
+    const auto crafty = generateTrace(profileByName("crafty"), 100000)
+                            .summarize().unique_data_lines;
+    const auto mcf = generateTrace(profileByName("mcf"), 100000)
+                         .summarize().unique_data_lines;
+    EXPECT_GT(mcf, 2 * crafty);
+}
+
+TEST(Generator, ChaseLoadsAreSerialized)
+{
+    // mcf must contain load-to-load chains through the chase register.
+    Trace t = generateTrace(profileByName("mcf"), 50000);
+    std::size_t chained = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const auto &inst = t[i];
+        if (inst.isLoad() && inst.dest == 1 && inst.src[0] == 1)
+            ++chained;
+    }
+    EXPECT_GT(chained, 500u);
+}
+
+TEST(Generator, RegistersWithinBounds)
+{
+    Trace t = generateTrace(profileByName("perlbmk"), 20000);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const auto &inst = t[i];
+        for (RegId r : inst.src)
+            EXPECT_TRUE(r == kNoReg || r < kNumArchRegs);
+        EXPECT_TRUE(inst.dest == kNoReg || inst.dest < kNumArchRegs);
+    }
+}
+
+TEST(Generator, BranchPredictabilityOrdering)
+{
+    // FP codes (long, counted loops; few weak branches) must have a
+    // higher fraction of taken branches from loops than perlbmk.
+    Trace eq = generateTrace(profileByName("equake"), 100000);
+    Trace pb = generateTrace(profileByName("perlbmk"), 100000);
+    const auto se = eq.summarize();
+    const auto sp = pb.summarize();
+    const double eq_taken =
+        static_cast<double>(se.taken_branches) / se.branches;
+    EXPECT_GT(eq_taken, 0.4);
+    EXPECT_GT(sp.cond_branches, 0u);
+}
+
+TEST(TraceSummary, CountsAddUp)
+{
+    Trace t = generateTrace(profileByName("twolf"), 30000);
+    TraceSummary s = t.summarize();
+    EXPECT_EQ(s.instructions, 30000u);
+    EXPECT_LE(s.cond_branches, s.branches);
+    EXPECT_LE(s.taken_branches, s.branches);
+    EXPECT_GT(s.unique_code_lines, 0u);
+    EXPECT_GT(s.unique_data_lines, 0u);
+}
+
+TEST(OpClassNames, AllDistinct)
+{
+    std::unordered_set<std::string> names;
+    for (int op = 0; op <= static_cast<int>(OpClass::BranchRet); ++op)
+        names.insert(opClassName(static_cast<OpClass>(op)));
+    EXPECT_EQ(names.size(), 12u);
+}
+
+} // namespace
