@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_sampling.dir/ext_adaptive_sampling.cc.o"
+  "CMakeFiles/ext_adaptive_sampling.dir/ext_adaptive_sampling.cc.o.d"
+  "ext_adaptive_sampling"
+  "ext_adaptive_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_power_model.dir/ext_power_model.cc.o"
+  "CMakeFiles/ext_power_model.dir/ext_power_model.cc.o.d"
+  "ext_power_model"
+  "ext_power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

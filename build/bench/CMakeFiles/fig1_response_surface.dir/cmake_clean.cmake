@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_response_surface.dir/fig1_response_surface.cc.o"
+  "CMakeFiles/fig1_response_surface.dir/fig1_response_surface.cc.o.d"
+  "fig1_response_surface"
+  "fig1_response_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_response_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_discrepancy.dir/fig2_discrepancy.cc.o"
+  "CMakeFiles/fig2_discrepancy.dir/fig2_discrepancy.cc.o.d"
+  "fig2_discrepancy"
+  "fig2_discrepancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_discrepancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_error_vs_samples.dir/fig4_error_vs_samples.cc.o"
+  "CMakeFiles/fig4_error_vs_samples.dir/fig4_error_vs_samples.cc.o.d"
+  "fig4_error_vs_samples"
+  "fig4_error_vs_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_error_vs_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

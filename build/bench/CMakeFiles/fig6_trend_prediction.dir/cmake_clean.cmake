@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_trend_prediction.dir/fig6_trend_prediction.cc.o"
+  "CMakeFiles/fig6_trend_prediction.dir/fig6_trend_prediction.cc.o.d"
+  "fig6_trend_prediction"
+  "fig6_trend_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_trend_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_linear_vs_rbf.dir/fig7_linear_vs_rbf.cc.o"
+  "CMakeFiles/fig7_linear_vs_rbf.dir/fig7_linear_vs_rbf.cc.o.d"
+  "fig7_linear_vs_rbf"
+  "fig7_linear_vs_rbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_linear_vs_rbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

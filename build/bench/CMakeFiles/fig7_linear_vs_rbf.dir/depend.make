@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_linear_vs_rbf.
+# This may be replaced when dependencies are built.

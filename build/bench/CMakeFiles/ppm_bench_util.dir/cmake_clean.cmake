@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/ppm_bench_util.dir/bench_util.cc.o.d"
+  "libppm_bench_util.a"
+  "libppm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_diagnostics.dir/table4_diagnostics.cc.o"
+  "CMakeFiles/table4_diagnostics.dir/table4_diagnostics.cc.o.d"
+  "table4_diagnostics"
+  "table4_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_splits.dir/table5_splits.cc.o"
+  "CMakeFiles/table5_splits.dir/table5_splits.cc.o.d"
+  "table5_splits"
+  "table5_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

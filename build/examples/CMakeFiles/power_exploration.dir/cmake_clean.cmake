@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_exploration.dir/power_exploration.cc.o"
+  "CMakeFiles/power_exploration.dir/power_exploration.cc.o.d"
+  "power_exploration"
+  "power_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/ppm_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/ppm_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/ppm_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/ppm_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/explorer.cc" "src/core/CMakeFiles/ppm_core.dir/explorer.cc.o" "gcc" "src/core/CMakeFiles/ppm_core.dir/explorer.cc.o.d"
+  "/root/repo/src/core/knn_model.cc" "src/core/CMakeFiles/ppm_core.dir/knn_model.cc.o" "gcc" "src/core/CMakeFiles/ppm_core.dir/knn_model.cc.o.d"
+  "/root/repo/src/core/model_builder.cc" "src/core/CMakeFiles/ppm_core.dir/model_builder.cc.o" "gcc" "src/core/CMakeFiles/ppm_core.dir/model_builder.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/ppm_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/ppm_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/ppm_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/ppm_core.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ppm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ppm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbf/CMakeFiles/ppm_rbf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linreg/CMakeFiles/ppm_linreg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/ppm_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/ppm_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/dspace/CMakeFiles/ppm_dspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ppm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

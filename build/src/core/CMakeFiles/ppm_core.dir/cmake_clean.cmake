@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_core.dir/adaptive.cc.o"
+  "CMakeFiles/ppm_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/ppm_core.dir/evaluator.cc.o"
+  "CMakeFiles/ppm_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/ppm_core.dir/explorer.cc.o"
+  "CMakeFiles/ppm_core.dir/explorer.cc.o.d"
+  "CMakeFiles/ppm_core.dir/knn_model.cc.o"
+  "CMakeFiles/ppm_core.dir/knn_model.cc.o.d"
+  "CMakeFiles/ppm_core.dir/model_builder.cc.o"
+  "CMakeFiles/ppm_core.dir/model_builder.cc.o.d"
+  "CMakeFiles/ppm_core.dir/oracle.cc.o"
+  "CMakeFiles/ppm_core.dir/oracle.cc.o.d"
+  "CMakeFiles/ppm_core.dir/predictor.cc.o"
+  "CMakeFiles/ppm_core.dir/predictor.cc.o.d"
+  "libppm_core.a"
+  "libppm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

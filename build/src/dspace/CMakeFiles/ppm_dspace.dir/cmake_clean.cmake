@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_dspace.dir/design_space.cc.o"
+  "CMakeFiles/ppm_dspace.dir/design_space.cc.o.d"
+  "CMakeFiles/ppm_dspace.dir/paper_space.cc.o"
+  "CMakeFiles/ppm_dspace.dir/paper_space.cc.o.d"
+  "CMakeFiles/ppm_dspace.dir/parameter.cc.o"
+  "CMakeFiles/ppm_dspace.dir/parameter.cc.o.d"
+  "libppm_dspace.a"
+  "libppm_dspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_dspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

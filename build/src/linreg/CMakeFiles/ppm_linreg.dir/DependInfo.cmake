@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linreg/linear_model.cc" "src/linreg/CMakeFiles/ppm_linreg.dir/linear_model.cc.o" "gcc" "src/linreg/CMakeFiles/ppm_linreg.dir/linear_model.cc.o.d"
+  "/root/repo/src/linreg/model_selection.cc" "src/linreg/CMakeFiles/ppm_linreg.dir/model_selection.cc.o" "gcc" "src/linreg/CMakeFiles/ppm_linreg.dir/model_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dspace/CMakeFiles/ppm_dspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ppm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

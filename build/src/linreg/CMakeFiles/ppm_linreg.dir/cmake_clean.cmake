@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_linreg.dir/linear_model.cc.o"
+  "CMakeFiles/ppm_linreg.dir/linear_model.cc.o.d"
+  "CMakeFiles/ppm_linreg.dir/model_selection.cc.o"
+  "CMakeFiles/ppm_linreg.dir/model_selection.cc.o.d"
+  "libppm_linreg.a"
+  "libppm_linreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_linreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/linalg.cc" "src/math/CMakeFiles/ppm_math.dir/linalg.cc.o" "gcc" "src/math/CMakeFiles/ppm_math.dir/linalg.cc.o.d"
+  "/root/repo/src/math/matrix.cc" "src/math/CMakeFiles/ppm_math.dir/matrix.cc.o" "gcc" "src/math/CMakeFiles/ppm_math.dir/matrix.cc.o.d"
+  "/root/repo/src/math/rng.cc" "src/math/CMakeFiles/ppm_math.dir/rng.cc.o" "gcc" "src/math/CMakeFiles/ppm_math.dir/rng.cc.o.d"
+  "/root/repo/src/math/stats.cc" "src/math/CMakeFiles/ppm_math.dir/stats.cc.o" "gcc" "src/math/CMakeFiles/ppm_math.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

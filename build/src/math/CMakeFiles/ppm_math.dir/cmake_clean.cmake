@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_math.dir/linalg.cc.o"
+  "CMakeFiles/ppm_math.dir/linalg.cc.o.d"
+  "CMakeFiles/ppm_math.dir/matrix.cc.o"
+  "CMakeFiles/ppm_math.dir/matrix.cc.o.d"
+  "CMakeFiles/ppm_math.dir/rng.cc.o"
+  "CMakeFiles/ppm_math.dir/rng.cc.o.d"
+  "CMakeFiles/ppm_math.dir/stats.cc.o"
+  "CMakeFiles/ppm_math.dir/stats.cc.o.d"
+  "libppm_math.a"
+  "libppm_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rbf/basis.cc" "src/rbf/CMakeFiles/ppm_rbf.dir/basis.cc.o" "gcc" "src/rbf/CMakeFiles/ppm_rbf.dir/basis.cc.o.d"
+  "/root/repo/src/rbf/criteria.cc" "src/rbf/CMakeFiles/ppm_rbf.dir/criteria.cc.o" "gcc" "src/rbf/CMakeFiles/ppm_rbf.dir/criteria.cc.o.d"
+  "/root/repo/src/rbf/network.cc" "src/rbf/CMakeFiles/ppm_rbf.dir/network.cc.o" "gcc" "src/rbf/CMakeFiles/ppm_rbf.dir/network.cc.o.d"
+  "/root/repo/src/rbf/rbf_rt.cc" "src/rbf/CMakeFiles/ppm_rbf.dir/rbf_rt.cc.o" "gcc" "src/rbf/CMakeFiles/ppm_rbf.dir/rbf_rt.cc.o.d"
+  "/root/repo/src/rbf/serialize.cc" "src/rbf/CMakeFiles/ppm_rbf.dir/serialize.cc.o" "gcc" "src/rbf/CMakeFiles/ppm_rbf.dir/serialize.cc.o.d"
+  "/root/repo/src/rbf/trainer.cc" "src/rbf/CMakeFiles/ppm_rbf.dir/trainer.cc.o" "gcc" "src/rbf/CMakeFiles/ppm_rbf.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tree/CMakeFiles/ppm_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/dspace/CMakeFiles/ppm_dspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ppm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

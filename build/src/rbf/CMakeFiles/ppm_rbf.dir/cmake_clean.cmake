@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_rbf.dir/basis.cc.o"
+  "CMakeFiles/ppm_rbf.dir/basis.cc.o.d"
+  "CMakeFiles/ppm_rbf.dir/criteria.cc.o"
+  "CMakeFiles/ppm_rbf.dir/criteria.cc.o.d"
+  "CMakeFiles/ppm_rbf.dir/network.cc.o"
+  "CMakeFiles/ppm_rbf.dir/network.cc.o.d"
+  "CMakeFiles/ppm_rbf.dir/rbf_rt.cc.o"
+  "CMakeFiles/ppm_rbf.dir/rbf_rt.cc.o.d"
+  "CMakeFiles/ppm_rbf.dir/serialize.cc.o"
+  "CMakeFiles/ppm_rbf.dir/serialize.cc.o.d"
+  "CMakeFiles/ppm_rbf.dir/trainer.cc.o"
+  "CMakeFiles/ppm_rbf.dir/trainer.cc.o.d"
+  "libppm_rbf.a"
+  "libppm_rbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_rbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/discrepancy.cc" "src/sampling/CMakeFiles/ppm_sampling.dir/discrepancy.cc.o" "gcc" "src/sampling/CMakeFiles/ppm_sampling.dir/discrepancy.cc.o.d"
+  "/root/repo/src/sampling/latin_hypercube.cc" "src/sampling/CMakeFiles/ppm_sampling.dir/latin_hypercube.cc.o" "gcc" "src/sampling/CMakeFiles/ppm_sampling.dir/latin_hypercube.cc.o.d"
+  "/root/repo/src/sampling/sample_gen.cc" "src/sampling/CMakeFiles/ppm_sampling.dir/sample_gen.cc.o" "gcc" "src/sampling/CMakeFiles/ppm_sampling.dir/sample_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dspace/CMakeFiles/ppm_dspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ppm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

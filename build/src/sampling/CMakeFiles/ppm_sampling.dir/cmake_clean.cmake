@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_sampling.dir/discrepancy.cc.o"
+  "CMakeFiles/ppm_sampling.dir/discrepancy.cc.o.d"
+  "CMakeFiles/ppm_sampling.dir/latin_hypercube.cc.o"
+  "CMakeFiles/ppm_sampling.dir/latin_hypercube.cc.o.d"
+  "CMakeFiles/ppm_sampling.dir/sample_gen.cc.o"
+  "CMakeFiles/ppm_sampling.dir/sample_gen.cc.o.d"
+  "libppm_sampling.a"
+  "libppm_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_predictor.cc" "src/sim/CMakeFiles/ppm_sim.dir/branch_predictor.cc.o" "gcc" "src/sim/CMakeFiles/ppm_sim.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/ppm_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/ppm_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/ppm_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/ppm_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/ppm_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/ppm_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/functional_units.cc" "src/sim/CMakeFiles/ppm_sim.dir/functional_units.cc.o" "gcc" "src/sim/CMakeFiles/ppm_sim.dir/functional_units.cc.o.d"
+  "/root/repo/src/sim/memory_controller.cc" "src/sim/CMakeFiles/ppm_sim.dir/memory_controller.cc.o" "gcc" "src/sim/CMakeFiles/ppm_sim.dir/memory_controller.cc.o.d"
+  "/root/repo/src/sim/memory_hierarchy.cc" "src/sim/CMakeFiles/ppm_sim.dir/memory_hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/ppm_sim.dir/memory_hierarchy.cc.o.d"
+  "/root/repo/src/sim/ooo_core.cc" "src/sim/CMakeFiles/ppm_sim.dir/ooo_core.cc.o" "gcc" "src/sim/CMakeFiles/ppm_sim.dir/ooo_core.cc.o.d"
+  "/root/repo/src/sim/power.cc" "src/sim/CMakeFiles/ppm_sim.dir/power.cc.o" "gcc" "src/sim/CMakeFiles/ppm_sim.dir/power.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/ppm_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/ppm_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ppm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dspace/CMakeFiles/ppm_dspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ppm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_sim.dir/branch_predictor.cc.o"
+  "CMakeFiles/ppm_sim.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/ppm_sim.dir/cache.cc.o"
+  "CMakeFiles/ppm_sim.dir/cache.cc.o.d"
+  "CMakeFiles/ppm_sim.dir/config.cc.o"
+  "CMakeFiles/ppm_sim.dir/config.cc.o.d"
+  "CMakeFiles/ppm_sim.dir/dram.cc.o"
+  "CMakeFiles/ppm_sim.dir/dram.cc.o.d"
+  "CMakeFiles/ppm_sim.dir/functional_units.cc.o"
+  "CMakeFiles/ppm_sim.dir/functional_units.cc.o.d"
+  "CMakeFiles/ppm_sim.dir/memory_controller.cc.o"
+  "CMakeFiles/ppm_sim.dir/memory_controller.cc.o.d"
+  "CMakeFiles/ppm_sim.dir/memory_hierarchy.cc.o"
+  "CMakeFiles/ppm_sim.dir/memory_hierarchy.cc.o.d"
+  "CMakeFiles/ppm_sim.dir/ooo_core.cc.o"
+  "CMakeFiles/ppm_sim.dir/ooo_core.cc.o.d"
+  "CMakeFiles/ppm_sim.dir/power.cc.o"
+  "CMakeFiles/ppm_sim.dir/power.cc.o.d"
+  "CMakeFiles/ppm_sim.dir/simulator.cc.o"
+  "CMakeFiles/ppm_sim.dir/simulator.cc.o.d"
+  "libppm_sim.a"
+  "libppm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

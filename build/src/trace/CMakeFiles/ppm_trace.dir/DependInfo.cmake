@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/benchmark_profile.cc" "src/trace/CMakeFiles/ppm_trace.dir/benchmark_profile.cc.o" "gcc" "src/trace/CMakeFiles/ppm_trace.dir/benchmark_profile.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/ppm_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/ppm_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/trace_generator.cc" "src/trace/CMakeFiles/ppm_trace.dir/trace_generator.cc.o" "gcc" "src/trace/CMakeFiles/ppm_trace.dir/trace_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/ppm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_trace.dir/benchmark_profile.cc.o"
+  "CMakeFiles/ppm_trace.dir/benchmark_profile.cc.o.d"
+  "CMakeFiles/ppm_trace.dir/trace.cc.o"
+  "CMakeFiles/ppm_trace.dir/trace.cc.o.d"
+  "CMakeFiles/ppm_trace.dir/trace_generator.cc.o"
+  "CMakeFiles/ppm_trace.dir/trace_generator.cc.o.d"
+  "libppm_trace.a"
+  "libppm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/regression_tree.cc" "src/tree/CMakeFiles/ppm_tree.dir/regression_tree.cc.o" "gcc" "src/tree/CMakeFiles/ppm_tree.dir/regression_tree.cc.o.d"
+  "/root/repo/src/tree/split_report.cc" "src/tree/CMakeFiles/ppm_tree.dir/split_report.cc.o" "gcc" "src/tree/CMakeFiles/ppm_tree.dir/split_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dspace/CMakeFiles/ppm_dspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ppm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

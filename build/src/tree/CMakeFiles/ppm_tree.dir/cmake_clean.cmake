@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppm_tree.dir/regression_tree.cc.o"
+  "CMakeFiles/ppm_tree.dir/regression_tree.cc.o.d"
+  "CMakeFiles/ppm_tree.dir/split_report.cc.o"
+  "CMakeFiles/ppm_tree.dir/split_report.cc.o.d"
+  "libppm_tree.a"
+  "libppm_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppm_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_criteria.dir/test_criteria.cc.o"
+  "CMakeFiles/test_criteria.dir/test_criteria.cc.o.d"
+  "test_criteria"
+  "test_criteria.pdb"
+  "test_criteria[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_criteria.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_discrepancy.dir/test_discrepancy.cc.o"
+  "CMakeFiles/test_discrepancy.dir/test_discrepancy.cc.o.d"
+  "test_discrepancy"
+  "test_discrepancy.pdb"
+  "test_discrepancy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_discrepancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

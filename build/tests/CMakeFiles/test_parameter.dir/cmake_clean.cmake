@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parameter.dir/test_parameter.cc.o"
+  "CMakeFiles/test_parameter.dir/test_parameter.cc.o.d"
+  "test_parameter"
+  "test_parameter.pdb"
+  "test_parameter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rbf.dir/test_rbf.cc.o"
+  "CMakeFiles/test_rbf.dir/test_rbf.cc.o.d"
+  "test_rbf"
+  "test_rbf.pdb"
+  "test_rbf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/test_rng.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_rng.dir/test_rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ppm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ppm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ppm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbf/CMakeFiles/ppm_rbf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linreg/CMakeFiles/ppm_linreg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/ppm_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/ppm_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/dspace/CMakeFiles/ppm_dspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ppm_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

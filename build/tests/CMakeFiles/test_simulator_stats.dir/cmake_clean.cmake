@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulator_stats.dir/test_simulator_stats.cc.o"
+  "CMakeFiles/test_simulator_stats.dir/test_simulator_stats.cc.o.d"
+  "test_simulator_stats"
+  "test_simulator_stats.pdb"
+  "test_simulator_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulator_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

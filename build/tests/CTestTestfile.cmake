@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_parameter[1]_include.cmake")
+include("/root/repo/build/tests/test_design_space[1]_include.cmake")
+include("/root/repo/build/tests/test_sampling[1]_include.cmake")
+include("/root/repo/build/tests/test_discrepancy[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_rbf[1]_include.cmake")
+include("/root/repo/build/tests/test_criteria[1]_include.cmake")
+include("/root/repo/build/tests/test_linreg[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_branch_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_knn_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator_stats[1]_include.cmake")
