@@ -30,6 +30,16 @@ main()
         std::printf(" %7d", lat);
     std::printf("\n");
 
+    // Simulate the whole grid as one batch across the thread pool;
+    // printing below then reads from the (now warm) memo cache.
+    std::vector<dspace::DesignPoint> grid;
+    for (int il1 : il1_levels)
+        for (int lat : l2_lats)
+            grid.push_back({14, 64, 0.5, 0.5, 1024,
+                            static_cast<double>(lat),
+                            static_cast<double>(il1), 32, 2});
+    oracle.evaluateAll(grid);
+
     double low_corner = 0, high_corner = 0;
     double big_il1_low = 0, big_il1_high = 0;
     for (int il1 : il1_levels) {

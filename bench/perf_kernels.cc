@@ -12,10 +12,12 @@
 
 #include "bench_util.hh"
 #include "core/evaluator.hh"
+#include "core/oracle.hh"
 #include "sampling/discrepancy.hh"
 #include "sampling/sample_gen.hh"
 #include "sim/simulator.hh"
 #include "tree/regression_tree.hh"
+#include "util/thread_pool.hh"
 
 using namespace ppm;
 
@@ -134,6 +136,55 @@ BM_RbfTraining(benchmark::State &state)
 }
 BENCHMARK(BM_RbfTraining)->Unit(benchmark::kMillisecond)
     ->Arg(50)->Arg(90);
+
+/**
+ * The headline parallel-engine benchmark: a 200-point oracle batch
+ * (the paper's largest sample size) swept over pool sizes. Argument =
+ * thread count; compare threads=1 vs threads=N wall clock for the
+ * parallel speedup. A fresh oracle per iteration keeps every
+ * simulation uncached.
+ */
+void
+BM_OracleBatch200(benchmark::State &state)
+{
+    const auto threads = static_cast<unsigned>(state.range(0));
+    util::setGlobalThreads(threads);
+    static const trace::Trace tr =
+        trace::generateTrace(trace::profileByName("mcf"), 4000);
+    auto space = dspace::paperTrainSpace();
+    math::Rng rng(5);
+    std::vector<dspace::DesignPoint> points;
+    for (int i = 0; i < 200; ++i)
+        points.push_back(space.randomPoint(rng));
+    sim::SimOptions opts;
+    opts.warmup_instructions = 0;
+    for (auto _ : state) {
+        core::SimulatorOracle oracle(space, tr, opts);
+        auto ys = oracle.evaluateAll(points);
+        benchmark::DoNotOptimize(ys.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 200);
+    util::setGlobalThreads(0);
+}
+BENCHMARK(BM_OracleBatch200)->Unit(benchmark::kMillisecond)
+    ->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/** (p_min, alpha) grid training under the same thread sweep. */
+void
+BM_RbfTrainingThreads(benchmark::State &state)
+{
+    const auto d = fitData(90);
+    auto opts = bench::benchTrainerOptions();
+    util::setGlobalThreads(static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        auto model = rbf::trainRbfModel(d.xs, d.ys, opts);
+        benchmark::DoNotOptimize(model.num_centers);
+    }
+    util::setGlobalThreads(0);
+}
+BENCHMARK(BM_RbfTrainingThreads)->Unit(benchmark::kMillisecond)
+    ->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void
 BM_RbfPrediction(benchmark::State &state)

@@ -95,9 +95,9 @@ main()
     math::Rng rng(bench::masterSeed() + 17);
     auto sample = sampling::bestLatinHypercube(wl.trainSpace(), 90, 50,
                                                rng).points;
-    auto ys = wl.oracle().cpiAll(sample);
+    auto ys = wl.oracle().evaluateAll(sample);
     auto test_pts = sampling::randomTestSet(wl.testSpace(), 50, rng);
-    auto test_ys = wl.oracle().cpiAll(test_pts);
+    auto test_ys = wl.oracle().evaluateAll(test_pts);
 
     bench::CsvWriter acsv("table4_ablations",
                           {"variant", "centers", "mean_err"});

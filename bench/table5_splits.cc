@@ -23,7 +23,7 @@ reportBenchmark(const std::string &name, bench::CsvWriter &csv)
     math::Rng rng(bench::masterSeed());
     auto sample = sampling::bestLatinHypercube(wl.trainSpace(), 200, 50,
                                                rng).points;
-    auto ys = wl.oracle().cpiAll(sample);
+    auto ys = wl.oracle().evaluateAll(sample);
     std::vector<dspace::UnitPoint> unit;
     for (const auto &p : sample)
         unit.push_back(wl.trainSpace().toUnit(p));

@@ -6,6 +6,7 @@
 
 #include "sampling/sample_gen.hh"
 #include "tree/regression_tree.hh"
+#include "util/thread_pool.hh"
 
 namespace ppm::core {
 
@@ -103,7 +104,7 @@ AdaptiveSampler::build(const AdaptiveOptions &options)
     math::Rng test_rng = rng.split();
     const auto test_points = sampling::randomTestSet(
         test_space_, options.num_test_points, test_rng);
-    const auto test_ys = oracle_.cpiAll(test_points);
+    const auto test_ys = oracle_.evaluateAll(test_points);
 
     AdaptiveResult result;
 
@@ -111,7 +112,7 @@ AdaptiveSampler::build(const AdaptiveOptions &options)
     result.sample = sampling::bestLatinHypercube(
         train_space_, options.initial_size, options.lhs_candidates,
         rng).points;
-    std::vector<double> ys = oracle_.cpiAll(result.sample);
+    std::vector<double> ys = oracle_.evaluateAll(result.sample);
     std::vector<dspace::UnitPoint> unit;
     for (const auto &p : result.sample)
         unit.push_back(train_space_.toUnit(p));
@@ -146,31 +147,43 @@ AdaptiveSampler::build(const AdaptiveOptions &options)
         std::vector<dspace::UnitPoint> batch_unit;
         std::vector<dspace::UnitPoint> occupied = unit;
 
+        const auto pool =
+            static_cast<std::size_t>(options.candidate_pool);
+        std::vector<dspace::DesignPoint> cand_raw(pool);
+        std::vector<dspace::UnitPoint> cand_unit(pool);
+        std::vector<double> cand_score(pool);
+
         for (int picked = 0; picked < want; ++picked) {
-            double best_score = -1;
-            dspace::DesignPoint best_raw;
-            dspace::UnitPoint best_unit;
-            for (int c = 0; c < options.candidate_pool; ++c) {
-                auto raw = train_space_.randomPoint(rng);
-                auto u = train_space_.toUnit(raw);
-                const double d = nearestDistance(u, occupied);
-                const double score =
+            // Candidates are scored in parallel; each derives its RNG
+            // stream from (base, index) so the pool is identical for
+            // every thread count. Picks stay sequential because each
+            // depends on the previously occupied points.
+            const std::uint64_t base = rng.next();
+            util::parallelFor(pool, [&](std::size_t c) {
+                math::Rng crng = math::Rng::stream(base, c);
+                cand_raw[c] = train_space_.randomPoint(crng);
+                cand_unit[c] = train_space_.toUnit(cand_raw[c]);
+                const double d = nearestDistance(cand_unit[c], occupied);
+                cand_score[c] =
                     std::pow(d, options.distance_weight) *
-                    (1.0 + leaf_std(u));
-                if (score > best_score) {
-                    best_score = score;
-                    best_raw = std::move(raw);
-                    best_unit = std::move(u);
-                }
-            }
-            occupied.push_back(best_unit);
-            batch_raw.push_back(std::move(best_raw));
-            batch_unit.push_back(std::move(best_unit));
+                    (1.0 + leaf_std(cand_unit[c]));
+            });
+            // First strict maximum: the same winner the serial scan
+            // would pick.
+            std::size_t best_c = 0;
+            for (std::size_t c = 1; c < pool; ++c)
+                if (cand_score[c] > cand_score[best_c])
+                    best_c = c;
+            occupied.push_back(cand_unit[best_c]);
+            batch_raw.push_back(std::move(cand_raw[best_c]));
+            batch_unit.push_back(std::move(cand_unit[best_c]));
         }
 
-        // Simulate the batch and refit.
+        // Simulate the batch across the pool and refit.
+        const std::vector<double> batch_ys =
+            oracle_.evaluateAll(batch_raw);
         for (std::size_t i = 0; i < batch_raw.size(); ++i) {
-            ys.push_back(oracle_.cpi(batch_raw[i]));
+            ys.push_back(batch_ys[i]);
             result.sample.push_back(batch_raw[i]);
             unit.push_back(batch_unit[i]);
         }

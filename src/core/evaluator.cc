@@ -28,4 +28,13 @@ evaluateModel(const PerformanceModel &model,
     return evaluatePredictions(actual, model.predictAll(points));
 }
 
+ErrorReport
+evaluateModel(const PerformanceModel &model,
+              const std::vector<dspace::DesignPoint> &points,
+              CpiOracle &oracle)
+{
+    return evaluatePredictions(oracle.evaluateAll(points),
+                               model.predictAll(points));
+}
+
 } // namespace ppm::core

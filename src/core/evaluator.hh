@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "core/oracle.hh"
 #include "core/predictor.hh"
 #include "dspace/design_space.hh"
 
@@ -38,6 +39,15 @@ struct ErrorReport
 ErrorReport evaluateModel(const PerformanceModel &model,
                           const std::vector<dspace::DesignPoint> &points,
                           const std::vector<double> &actual);
+
+/**
+ * Evaluate a model against an oracle: the reference responses are
+ * obtained through the oracle's batched (possibly parallel) API, so
+ * uncached test points simulate across the thread pool.
+ */
+ErrorReport evaluateModel(const PerformanceModel &model,
+                          const std::vector<dspace::DesignPoint> &points,
+                          CpiOracle &oracle);
 
 /** Same metrics for precomputed predictions. */
 ErrorReport evaluatePredictions(const std::vector<double> &actual,

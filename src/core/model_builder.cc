@@ -37,7 +37,7 @@ ModelBuilder::build(const BuildOptions &options)
     math::Rng test_rng = rng.split();
     test_points_ = sampling::randomTestSet(
         test_space_, options.num_test_points, test_rng);
-    test_responses_ = oracle_.cpiAll(test_points_);
+    test_responses_ = oracle_.evaluateAll(test_points_);
 
     BuildResult result;
     for (int size : options.sample_sizes) {
@@ -58,7 +58,7 @@ ModelBuilder::build(const BuildOptions &options)
         }
 
         // Step 3: detailed simulation at the sample.
-        const std::vector<double> responses = oracle_.cpiAll(sample);
+        const std::vector<double> responses = oracle_.evaluateAll(sample);
 
         // Step 4: fit the RBF network.
         std::vector<dspace::UnitPoint> unit;

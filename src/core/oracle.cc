@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/power.hh"
+#include "util/thread_pool.hh"
 
 namespace ppm::core {
 
@@ -38,33 +39,65 @@ SimulatorOracle::cpi(const dspace::DesignPoint &point)
     for (double v : point)
         key.push_back(static_cast<std::int64_t>(std::llround(v * 1e6)));
 
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++cache_hits_;
-        return it->second;
+    std::promise<double> promise;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const auto [it, inserted] = cache_.try_emplace(key);
+        if (!inserted) {
+            // Completed or still in flight: either way this request
+            // costs no simulation. get() blocks until the owner of
+            // the entry fulfils it.
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            const std::shared_future<double> ready = it->second;
+            lock.unlock();
+            return ready.get();
+        }
+        it->second = promise.get_future().share();
     }
 
+    // This thread owns the entry; simulate outside the lock so other
+    // points proceed concurrently.
     const auto config =
         sim::ProcessorConfig::fromDesignPoint(space_, point);
-    last_stats_ = sim::simulate(trace_, config, options_);
-    ++evaluations_;
-
-    double value = 0.0;
-    switch (metric_) {
-      case Metric::Cpi:
-        value = last_stats_.cpi();
-        break;
-      case Metric::EnergyPerInst:
-        value = sim::computePower(config, last_stats_)
-                    .epi(last_stats_);
-        break;
-      case Metric::EnergyDelaySquared:
-        value = sim::computePower(config, last_stats_)
-                    .ed2p(last_stats_);
-        break;
+    try {
+        sim::SimStats stats = sim::simulate(trace_, config, options_);
+        double value = 0.0;
+        switch (metric_) {
+          case Metric::Cpi:
+            value = stats.cpi();
+            break;
+          case Metric::EnergyPerInst:
+            value = sim::computePower(config, stats).epi(stats);
+            break;
+          case Metric::EnergyDelaySquared:
+            value = sim::computePower(config, stats).ed2p(stats);
+            break;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            last_stats_ = stats;
+        }
+        evaluations_.fetch_add(1, std::memory_order_relaxed);
+        promise.set_value(value);
+        return value;
+    } catch (...) {
+        // Remove the entry so a later request retries, and wake any
+        // waiters with the failure.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            cache_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
     }
-    cache_.emplace(std::move(key), value);
-    return value;
+}
+
+std::vector<double>
+SimulatorOracle::evaluateAll(const std::vector<dspace::DesignPoint> &points)
+{
+    return util::parallelMap(points, [this](const dspace::DesignPoint &p) {
+        return cpi(p);
+    });
 }
 
 } // namespace ppm::core

@@ -9,9 +9,12 @@
 #ifndef PPM_CORE_ORACLE_HH
 #define PPM_CORE_ORACLE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <future>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,7 +38,7 @@ class CpiOracle
     /** Number of expensive evaluations performed so far. */
     virtual std::uint64_t evaluations() const = 0;
 
-    /** CPI at many points. */
+    /** CPI at many points, strictly in order on the calling thread. */
     std::vector<double>
     cpiAll(const std::vector<dspace::DesignPoint> &points)
     {
@@ -44,6 +47,19 @@ class CpiOracle
         for (const auto &p : points)
             out.push_back(cpi(p));
         return out;
+    }
+
+    /**
+     * CPI at many points, possibly evaluated in parallel. Results are
+     * returned in input order and are bit-identical to cpiAll() for
+     * every thread count. The default forwards to cpiAll(); oracles
+     * whose cpi() is thread-safe override it to fan the batch out
+     * across the global pool.
+     */
+    virtual std::vector<double>
+    evaluateAll(const std::vector<dspace::DesignPoint> &points)
+    {
+        return cpiAll(points);
     }
 };
 
@@ -69,6 +85,12 @@ std::string metricName(Metric metric);
  * configuration is free — mirroring how a real study would archive
  * simulation results.
  *
+ * cpi() is thread-safe: the memo cache is mutex-guarded and stores a
+ * shared future per design point, so concurrent requests for the same
+ * point deduplicate — exactly one simulation runs and every other
+ * requester blocks on (and shares) its result. evaluateAll() exploits
+ * this to simulate a batch across the global thread pool.
+ *
  * Despite the interface name, the oracle can report any Metric; the
  * model-building machinery is agnostic to what response it models.
  */
@@ -88,12 +110,31 @@ class SimulatorOracle : public CpiOracle
                     Metric metric = Metric::Cpi);
 
     double cpi(const dspace::DesignPoint &point) override;
-    std::uint64_t evaluations() const override { return evaluations_; }
+    std::vector<double> evaluateAll(
+        const std::vector<dspace::DesignPoint> &points) override;
 
-    /** Memoization hits so far. */
-    std::uint64_t cacheHits() const { return cache_hits_; }
+    std::uint64_t
+    evaluations() const override
+    {
+        return evaluations_.load(std::memory_order_relaxed);
+    }
 
-    /** Full statistics of the most recent (uncached) simulation. */
+    /**
+     * Memoization hits so far. A request that arrives while the same
+     * point is still being simulated counts as a hit: it consumes no
+     * extra simulation.
+     */
+    std::uint64_t
+    cacheHits() const
+    {
+        return cache_hits_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Full statistics of the most recent (uncached) simulation. Only
+     * meaningful between batches; during evaluateAll() "most recent"
+     * depends on scheduling.
+     */
     const sim::SimStats &lastStats() const { return last_stats_; }
 
     /** The metric this oracle reports. */
@@ -104,9 +145,16 @@ class SimulatorOracle : public CpiOracle
     const trace::Trace &trace_;
     sim::SimOptions options_;
     Metric metric_;
-    std::map<std::vector<std::int64_t>, double> cache_;
-    std::uint64_t evaluations_ = 0;
-    std::uint64_t cache_hits_ = 0;
+    /**
+     * Memo cache. Each entry is created by the first requester of a
+     * key, who simulates and fulfils the future; later requesters wait
+     * on the shared state instead of simulating (in-flight dedup).
+     */
+    std::map<std::vector<std::int64_t>, std::shared_future<double>>
+        cache_;
+    std::mutex mutex_;
+    std::atomic<std::uint64_t> evaluations_{0};
+    std::atomic<std::uint64_t> cache_hits_{0};
     sim::SimStats last_stats_;
 };
 

@@ -2,7 +2,18 @@
 
 #include <sstream>
 
+#include "util/thread_pool.hh"
+
 namespace ppm::core {
+
+std::vector<double>
+PerformanceModel::predictAll(
+    const std::vector<dspace::DesignPoint> &points) const
+{
+    return util::parallelMap(points, [this](const dspace::DesignPoint &p) {
+        return predict(p);
+    });
+}
 
 RbfPerformanceModel::RbfPerformanceModel(dspace::DesignSpace space,
                                          rbf::TrainedRbf trained)

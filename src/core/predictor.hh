@@ -33,16 +33,13 @@ class PerformanceModel
     /** Short description ("rbf m=27 p_min=1 alpha=6", "linear ..."). */
     virtual std::string describe() const = 0;
 
-    /** Batch prediction. */
-    std::vector<double>
-    predictAll(const std::vector<dspace::DesignPoint> &points) const
-    {
-        std::vector<double> out;
-        out.reserve(points.size());
-        for (const auto &p : points)
-            out.push_back(predict(p));
-        return out;
-    }
+    /**
+     * Batch prediction across the global thread pool. predict() is
+     * const and side-effect free for every model, so the result is
+     * identical to a serial loop for any thread count.
+     */
+    std::vector<double> predictAll(
+        const std::vector<dspace::DesignPoint> &points) const;
 };
 
 /**

@@ -157,4 +157,16 @@ Rng::split()
     return Rng(next() ^ 0xa0761d6478bd642fULL);
 }
 
+Rng
+Rng::stream(std::uint64_t base_seed, std::uint64_t index)
+{
+    std::uint64_t sm = base_seed;
+    const std::uint64_t a = splitmix64(sm);
+    sm = index ^ 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t b = splitmix64(sm);
+    // The Rng constructor expands this mix through splitmix64 again,
+    // so even (0, 0), (0, 1), (1, 0) start far apart.
+    return Rng(a ^ (b * 0xff51afd7ed558ccdULL));
+}
+
 } // namespace ppm::math

@@ -82,6 +82,15 @@ class Rng
     /** Derive an independent child generator (for parallel streams). */
     Rng split();
 
+    /**
+     * Deterministic stream for one item of a parallel sweep: the
+     * generator depends only on (@p base_seed, @p index), never on
+     * which thread runs the item or in what order, so parallel results
+     * are bit-identical to serial ones. Adjacent indices yield
+     * uncorrelated states (both words pass through splitmix64).
+     */
+    static Rng stream(std::uint64_t base_seed, std::uint64_t index);
+
   private:
     std::uint64_t s_[4];
     bool have_cached_gaussian_ = false;

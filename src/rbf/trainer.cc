@@ -2,10 +2,24 @@
 
 #include <cassert>
 #include <limits>
+#include <memory>
 
 #include "tree/regression_tree.hh"
+#include "util/thread_pool.hh"
 
 namespace ppm::rbf {
+
+namespace {
+
+/** One (p_min, alpha) cell of the hyperparameter grid. */
+struct GridCell
+{
+    int p_min = 0;
+    double alpha = 0.0;
+    std::size_t tree_index = 0;
+};
+
+} // namespace
 
 TrainedRbf
 trainRbfModel(const std::vector<dspace::UnitPoint> &xs,
@@ -17,28 +31,46 @@ trainRbfModel(const std::vector<dspace::UnitPoint> &xs,
     assert(!options.p_min_grid.empty());
     assert(!options.alpha_grid.empty());
 
+    // Phase 1: the tree depends only on p_min; build one per grid row
+    // in parallel and share it across alphas.
+    const auto trees = util::parallelMap(
+        options.p_min_grid, [&](int p_min) {
+            return std::make_shared<const tree::RegressionTree>(
+                xs, ys, p_min);
+        });
+
+    // Phase 2: fit every (p_min, alpha) cell in parallel. Training is
+    // deterministic (no RNG), so each cell's result is independent of
+    // scheduling.
+    std::vector<GridCell> cells;
+    cells.reserve(options.p_min_grid.size() *
+                  options.alpha_grid.size());
+    for (std::size_t i = 0; i < options.p_min_grid.size(); ++i)
+        for (double alpha : options.alpha_grid)
+            cells.push_back({options.p_min_grid[i], alpha, i});
+
+    auto fits = util::parallelMap(cells, [&](const GridCell &cell) {
+        RbfRtOptions rt;
+        rt.alpha = cell.alpha;
+        rt.criterion = options.criterion;
+        rt.selection = options.selection;
+        rt.max_centers = options.max_centers;
+        return buildRbfFromTree(*trees[cell.tree_index], xs, ys, rt);
+    });
+
+    // Serial reduction in grid order (p_min-major, then alpha)
+    // reproduces the serial loop's tie-break: the first strictly
+    // better cell wins.
     TrainedRbf best;
     best.criterion_value = std::numeric_limits<double>::infinity();
-
-    for (int p_min : options.p_min_grid) {
-        // The tree depends only on p_min; share it across alphas.
-        const tree::RegressionTree tree(xs, ys, p_min);
-        for (double alpha : options.alpha_grid) {
-            RbfRtOptions rt;
-            rt.alpha = alpha;
-            rt.criterion = options.criterion;
-            rt.selection = options.selection;
-            rt.max_centers = options.max_centers;
-
-            RbfRtResult result = buildRbfFromTree(tree, xs, ys, rt);
-            if (result.criterion_value < best.criterion_value) {
-                best.network = std::move(result.network);
-                best.p_min = p_min;
-                best.alpha = alpha;
-                best.criterion_value = result.criterion_value;
-                best.train_sse = result.train_sse;
-                best.num_centers = best.network.numBases();
-            }
+    for (std::size_t k = 0; k < cells.size(); ++k) {
+        if (fits[k].criterion_value < best.criterion_value) {
+            best.network = std::move(fits[k].network);
+            best.p_min = cells[k].p_min;
+            best.alpha = cells[k].alpha;
+            best.criterion_value = fits[k].criterion_value;
+            best.train_sse = fits[k].train_sse;
+            best.num_centers = best.network.numBases();
         }
     }
 

@@ -1,8 +1,10 @@
 #include "sampling/sample_gen.hh"
 
 #include <cassert>
+#include <cstdint>
 
 #include "sampling/discrepancy.hh"
+#include "util/thread_pool.hh"
 
 namespace ppm::sampling {
 
@@ -12,16 +14,32 @@ bestLatinHypercube(const dspace::DesignSpace &space, int size,
                    const LhsOptions &options)
 {
     assert(num_candidates >= 1);
-    OptimizedSample best;
-    for (int c = 0; c < num_candidates; ++c) {
-        auto candidate = latinHypercubeSample(space, size, rng, options);
-        const double disc =
+    // Every candidate hypercube derives its own RNG stream from
+    // (base, candidate index), so generation and scoring can fan out
+    // across the pool while the chosen sample stays bit-identical for
+    // any thread count. Only the discrepancy is kept per candidate;
+    // the winner is regenerated from its stream afterwards, which is
+    // cheaper than retaining num_candidates full samples.
+    const std::uint64_t base = rng.next();
+    const auto n = static_cast<std::size_t>(num_candidates);
+    std::vector<double> discrepancy(n);
+    util::parallelFor(n, [&](std::size_t c) {
+        math::Rng crng = math::Rng::stream(base, c);
+        const auto candidate =
+            latinHypercubeSample(space, size, crng, options);
+        discrepancy[c] =
             centeredL2Discrepancy(toUnitSample(space, candidate));
-        if (best.points.empty() || disc < best.discrepancy) {
-            best.points = std::move(candidate);
-            best.discrepancy = disc;
-        }
-    }
+    });
+
+    std::size_t best_c = 0;
+    for (std::size_t c = 1; c < n; ++c)
+        if (discrepancy[c] < discrepancy[best_c])
+            best_c = c;
+
+    OptimizedSample best;
+    math::Rng winner = math::Rng::stream(base, best_c);
+    best.points = latinHypercubeSample(space, size, winner, options);
+    best.discrepancy = discrepancy[best_c];
     best.candidates_evaluated = num_candidates;
     return best;
 }

@@ -34,6 +34,12 @@ struct OptimizedSample
  * large number of latin hypercube samples and choose the one with the
  * best L2-star discrepancy metric".
  *
+ * Candidates are generated and scored in parallel on the global
+ * thread pool. Each candidate uses an independent RNG stream derived
+ * from (one draw of @p rng, candidate index), so the selected sample
+ * is bit-identical for every thread count; ties go to the lowest
+ * candidate index.
+ *
  * @param space Design space to sample.
  * @param size Sample size (number of simulations).
  * @param num_candidates Candidate samples to generate (>= 1).
