@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "serve/oracle_factory.hh"
+
 namespace ppm::bench {
 
 long
@@ -41,8 +43,16 @@ BenchWorkload::BenchWorkload(const std::string &benchmark)
         trace::generateTrace(profile, traceLength()));
     sim::SimOptions opts;
     opts.warmup_instructions = warmupInstructions();
-    oracle_ = std::make_unique<core::SimulatorOracle>(train_, *trace_,
-                                                      opts);
+    oracle_ = serve::makeOracle(train_, name_, *trace_, opts);
+}
+
+std::uint64_t
+BenchWorkload::cacheHits() const
+{
+    if (const auto *local =
+            dynamic_cast<const core::SimulatorOracle *>(oracle_.get()))
+        return local->cacheHits();
+    return 0;
 }
 
 core::ModelBuilder

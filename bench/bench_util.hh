@@ -4,9 +4,14 @@
  * environment-tunable knobs, CSV output and table printing.
  *
  * Environment knobs (all optional):
- *   PPM_TRACE_LEN    trace length per benchmark (default 100000)
- *   PPM_WARMUP       warmup instructions per simulation (default 15000)
- *   PPM_SEED         master seed for sampling (default 1)
+ *   PPM_TRACE_LEN      trace length per benchmark (default 100000)
+ *   PPM_WARMUP         warmup instructions per simulation
+ *                      (default 15000)
+ *   PPM_SEED           master seed for sampling (default 1)
+ *   PPM_SERVE_SOCKET   comma-separated ppm_serve sockets; shards
+ *                      every oracle batch across them
+ *   PPM_ARCHIVE_DIR    result-archive directory; re-running a bench
+ *                      replays archived simulations for free
  */
 
 #ifndef PPM_BENCH_BENCH_UTIL_HH
@@ -39,8 +44,10 @@ std::uint64_t warmupInstructions();
 std::uint64_t masterSeed();
 
 /**
- * A benchmark's trace plus a memoizing simulator oracle over the
- * paper's training space.
+ * A benchmark's trace plus a memoizing simulation oracle over the
+ * paper's training space. The oracle comes from the serve factory, so
+ * it honours PPM_SERVE_SOCKET / PPM_ARCHIVE_DIR; results are
+ * bit-identical however it is backed.
  */
 class BenchWorkload
 {
@@ -48,10 +55,16 @@ class BenchWorkload
     /** @param benchmark Short or full SPEC name ("mcf"). */
     explicit BenchWorkload(const std::string &benchmark);
 
-    core::SimulatorOracle &oracle() { return *oracle_; }
+    core::CpiOracle &oracle() { return *oracle_; }
     const std::string &name() const { return name_; }
     const dspace::DesignSpace &trainSpace() const { return train_; }
     const dspace::DesignSpace &testSpace() const { return test_; }
+
+    /**
+     * Memo-cache hits of the underlying local oracle; 0 when the
+     * oracle is remote (servers memoize on their side).
+     */
+    std::uint64_t cacheHits() const;
 
     /** A ModelBuilder wired to this workload. */
     core::ModelBuilder makeBuilder();
@@ -61,7 +74,7 @@ class BenchWorkload
     dspace::DesignSpace train_;
     dspace::DesignSpace test_;
     std::unique_ptr<trace::Trace> trace_;
-    std::unique_ptr<core::SimulatorOracle> oracle_;
+    std::unique_ptr<core::CpiOracle> oracle_;
 };
 
 /**

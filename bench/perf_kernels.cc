@@ -10,11 +10,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include "bench_util.hh"
 #include "core/evaluator.hh"
 #include "core/oracle.hh"
 #include "sampling/discrepancy.hh"
 #include "sampling/sample_gen.hh"
+#include "serve/remote_oracle.hh"
+#include "serve/sim_server.hh"
 #include "sim/simulator.hh"
 #include "tree/regression_tree.hh"
 #include "util/thread_pool.hh"
@@ -168,6 +172,57 @@ BM_OracleBatch200(benchmark::State &state)
     util::setGlobalThreads(0);
 }
 BENCHMARK(BM_OracleBatch200)->Unit(benchmark::kMillisecond)
+    ->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/**
+ * The same 200-point batch served through the sharded simulation
+ * service: an in-process SimServer (argument = worker count) with a
+ * RemoteOracle client, versus BM_OracleBatch200's local oracle for
+ * the protocol + socket overhead. Fresh random points every iteration
+ * keep the server's memo cache cold.
+ */
+void
+BM_OracleBatchSharded(benchmark::State &state)
+{
+    const auto workers = static_cast<unsigned>(state.range(0));
+    util::setGlobalThreads(workers);
+    static const trace::Trace tr =
+        trace::generateTrace(trace::profileByName("mcf"), 4000);
+    auto space = dspace::paperTrainSpace();
+    sim::SimOptions opts;
+    opts.warmup_instructions = 0;
+
+    serve::ServerOptions server_opts;
+    server_opts.socket_path = "/tmp/ppm_bench_" +
+                              std::to_string(::getpid()) + ".sock";
+    server_opts.num_workers = workers;
+    serve::SimServer server(server_opts);
+    server.start();
+
+    serve::RemoteOptions remote_opts;
+    remote_opts.sockets = {server_opts.socket_path};
+    remote_opts.chunk_points = 8;
+    remote_opts.max_connections = workers;
+
+    std::uint64_t round = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        math::Rng rng = math::Rng::stream(5, round++);
+        std::vector<dspace::DesignPoint> points;
+        for (int i = 0; i < 200; ++i)
+            points.push_back(space.randomPoint(rng));
+        serve::RemoteOracle oracle(space, "mcf", tr, opts,
+                                   core::Metric::Cpi, remote_opts);
+        state.ResumeTiming();
+        auto ys = oracle.evaluateAll(points);
+        benchmark::DoNotOptimize(ys.data());
+    }
+    server.stop();
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 200);
+    util::setGlobalThreads(0);
+}
+BENCHMARK(BM_OracleBatchSharded)->Unit(benchmark::kMillisecond)
     ->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 /** (p_min, alpha) grid training under the same thread sweep. */

@@ -128,6 +128,6 @@ main()
 
     std::printf("\nsimulations: %lu (memoized hits: %lu)\n",
                 static_cast<unsigned long>(wl.oracle().evaluations()),
-                static_cast<unsigned long>(wl.oracle().cacheHits()));
+                static_cast<unsigned long>(wl.cacheHits()));
     return 0;
 }

@@ -5,7 +5,10 @@
  *
  * The complete BuildRBFmodel flow in ~40 lines:
  *   1. pick a workload (synthetic SPEC CPU2000-like trace);
- *   2. wrap the cycle-level simulator in a memoizing oracle;
+ *   2. get a memoizing simulation oracle from the factory — local by
+ *      default, sharded across ppm_serve servers when
+ *      PPM_SERVE_SOCKET is set, persistent when PPM_ARCHIVE_DIR is
+ *      set (results are bit-identical either way);
  *   3. run the model builder (LHS sampling -> simulation -> RBF fit
  *      -> validation, growing the sample until accurate);
  *   4. predict CPI at a configuration that was never simulated.
@@ -15,6 +18,7 @@
 
 #include "core/model_builder.hh"
 #include "dspace/paper_space.hh"
+#include "serve/oracle_factory.hh"
 #include "trace/benchmark_profile.hh"
 #include "trace/trace_generator.hh"
 
@@ -27,14 +31,16 @@ main()
     const auto trace =
         trace::generateTrace(trace::profileByName("twolf"), 100000);
 
-    // 2. The design space (paper Table 1) and the simulation oracle.
+    // 2. The design space (paper Table 1) and the simulation oracle
+    //    (honours PPM_SERVE_SOCKET / PPM_ARCHIVE_DIR).
     const auto train_space = dspace::paperTrainSpace();
     const auto test_space = dspace::paperTestSpace();
-    core::SimulatorOracle oracle(train_space, trace);
+    const auto oracle =
+        serve::makeOracle(train_space, "twolf", trace);
 
     // 3. Build the model: grow the sample until the mean validation
     //    error drops below 5%.
-    core::ModelBuilder builder(train_space, test_space, oracle);
+    core::ModelBuilder builder(train_space, test_space, *oracle);
     core::BuildOptions options;
     options.sample_sizes = {30, 50, 90};
     options.target_mean_error = 5.0;
@@ -63,7 +69,7 @@ main()
         2,    // DL1 latency
     };
     const double predicted = result.model->predict(config);
-    const double simulated = oracle.cpi(config);
+    const double simulated = oracle->cpi(config);
     std::printf("\nconfig [%s]\n",
                 train_space.describe(config).c_str());
     std::printf("predicted CPI %.3f vs simulated %.3f (%.1f%% off)\n",

@@ -29,17 +29,39 @@ SimulatorOracle::SimulatorOracle(const dspace::DesignSpace &space,
 {
 }
 
-double
-SimulatorOracle::cpi(const dspace::DesignPoint &point)
+ResultStore::Key
+SimulatorOracle::cacheKey(const dspace::DesignPoint &point)
 {
-    // Key on a fixed-point rendering so float noise cannot split
-    // logically identical configurations.
-    std::vector<std::int64_t> key;
+    ResultStore::Key key;
     key.reserve(point.size());
     for (double v : point)
         key.push_back(static_cast<std::int64_t>(std::llround(v * 1e6)));
+    return key;
+}
+
+void
+SimulatorOracle::attachStore(std::shared_ptr<ResultStore> store)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    store->load([this](const ResultStore::Key &key, double value) {
+        std::promise<double> ready;
+        ready.set_value(value);
+        const auto [it, inserted] =
+            cache_.try_emplace(key, ready.get_future().share());
+        (void)it;
+        if (inserted)
+            archived_.fetch_add(1, std::memory_order_relaxed);
+    });
+    store_ = std::move(store);
+}
+
+double
+SimulatorOracle::cpi(const dspace::DesignPoint &point)
+{
+    const ResultStore::Key key = cacheKey(point);
 
     std::promise<double> promise;
+    std::shared_ptr<ResultStore> store;
     {
         std::unique_lock<std::mutex> lock(mutex_);
         const auto [it, inserted] = cache_.try_emplace(key);
@@ -53,6 +75,7 @@ SimulatorOracle::cpi(const dspace::DesignPoint &point)
             return ready.get();
         }
         it->second = promise.get_future().share();
+        store = store_;
     }
 
     // This thread owns the entry; simulate outside the lock so other
@@ -77,6 +100,11 @@ SimulatorOracle::cpi(const dspace::DesignPoint &point)
             std::lock_guard<std::mutex> lock(mutex_);
             last_stats_ = stats;
         }
+        // Archive before publishing: if the store cannot persist the
+        // result, fail the request rather than hand out a value that
+        // a replay would have to re-simulate.
+        if (store)
+            store->append(key, value);
         evaluations_.fetch_add(1, std::memory_order_relaxed);
         promise.set_value(value);
         return value;

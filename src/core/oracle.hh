@@ -14,6 +14,7 @@
 #include <functional>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -80,6 +81,35 @@ enum class Metric
 std::string metricName(Metric metric);
 
 /**
+ * Persistent backing store for simulation results. A SimulatorOracle
+ * with an attached store preloads every archived (design-point key →
+ * value) pair into its memo cache at attach time and reports each
+ * fresh simulation back through append(), so results survive the
+ * process and are shared across concurrent processes.
+ *
+ * Implementations must make append() safe to call concurrently; the
+ * canonical implementation is serve::ResultArchive (an append-only,
+ * CRC-checked on-disk log). The store is scoped to one oracle context
+ * (benchmark, trace length, options, metric) — keys from different
+ * contexts must go to different stores.
+ */
+class ResultStore
+{
+  public:
+    /** Memo key: the fixed-point rendering of a design point. */
+    using Key = std::vector<std::int64_t>;
+
+    virtual ~ResultStore() = default;
+
+    /** Invoke @p sink for every archived (key, value) pair. */
+    virtual void load(
+        const std::function<void(const Key &, double)> &sink) = 0;
+
+    /** Durably record one fresh result. Thread-safe. */
+    virtual void append(const Key &key, double value) = 0;
+};
+
+/**
  * Oracle backed by the cycle-level simulator running one benchmark
  * trace. Results are memoized, so re-simulating a previously seen
  * configuration is free — mirroring how a real study would archive
@@ -113,6 +143,29 @@ class SimulatorOracle : public CpiOracle
     std::vector<double> evaluateAll(
         const std::vector<dspace::DesignPoint> &points) override;
 
+    /**
+     * Attach a persistent result store: every archived result is
+     * preloaded into the memo cache (so requesting it never simulates)
+     * and every fresh simulation is appended to the store. Attach
+     * before issuing requests; results simulated earlier by this
+     * oracle are not retroactively archived.
+     */
+    void attachStore(std::shared_ptr<ResultStore> store);
+
+    /** Results preloaded from the attached store. */
+    std::uint64_t
+    archivedResults() const
+    {
+        return archived_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Memo-cache key of @p point: a fixed-point rendering, so float
+     * noise cannot split logically identical configurations. This is
+     * also the key persisted by an attached ResultStore.
+     */
+    static ResultStore::Key cacheKey(const dspace::DesignPoint &point);
+
     std::uint64_t
     evaluations() const override
     {
@@ -131,11 +184,17 @@ class SimulatorOracle : public CpiOracle
     }
 
     /**
-     * Full statistics of the most recent (uncached) simulation. Only
-     * meaningful between batches; during evaluateAll() "most recent"
-     * depends on scheduling.
+     * Full statistics of the most recent (uncached) simulation,
+     * copied under the cache mutex so it can be polled while a
+     * parallel evaluateAll() is in flight. Only meaningful between
+     * batches; during a batch "most recent" depends on scheduling.
      */
-    const sim::SimStats &lastStats() const { return last_stats_; }
+    sim::SimStats
+    lastStats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return last_stats_;
+    }
 
     /** The metric this oracle reports. */
     Metric metric() const { return metric_; }
@@ -152,9 +211,11 @@ class SimulatorOracle : public CpiOracle
      */
     std::map<std::vector<std::int64_t>, std::shared_future<double>>
         cache_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
+    std::shared_ptr<ResultStore> store_;
     std::atomic<std::uint64_t> evaluations_{0};
     std::atomic<std::uint64_t> cache_hits_{0};
+    std::atomic<std::uint64_t> archived_{0};
     sim::SimStats last_stats_;
 };
 
@@ -173,15 +234,21 @@ class FunctionOracle : public CpiOracle
     double
     cpi(const dspace::DesignPoint &point) override
     {
-        ++evaluations_;
+        // Relaxed atomic: function oracles must stay safe under a
+        // parallel evaluateAll() override, matching SimulatorOracle.
+        evaluations_.fetch_add(1, std::memory_order_relaxed);
         return fn_(point);
     }
 
-    std::uint64_t evaluations() const override { return evaluations_; }
+    std::uint64_t
+    evaluations() const override
+    {
+        return evaluations_.load(std::memory_order_relaxed);
+    }
 
   private:
     Fn fn_;
-    std::uint64_t evaluations_ = 0;
+    std::atomic<std::uint64_t> evaluations_{0};
 };
 
 } // namespace ppm::core

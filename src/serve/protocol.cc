@@ -1,0 +1,354 @@
+#include "serve/protocol.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "util/crc32.hh"
+
+namespace ppm::serve {
+
+namespace {
+
+/** Append-only little-endian byte writer. */
+class PayloadWriter
+{
+  public:
+    void u16(std::uint16_t v) { put<2>(v); }
+    void u32(std::uint32_t v) { put<4>(v); }
+    void u64(std::uint64_t v) { put<8>(v); }
+
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        if (s.size() > kMaxString)
+            throw ProtocolError("string too long to encode");
+        u32(static_cast<std::uint32_t>(s.size()));
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    template <int N>
+    void
+    put(std::uint64_t v)
+    {
+        std::uint8_t le[N];
+        for (int i = 0; i < N; ++i)
+            le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        bytes_.insert(bytes_.end(), le, le + N);
+    }
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Bounds-checked little-endian byte reader. */
+class PayloadReader
+{
+  public:
+    PayloadReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint16_t
+    u16()
+    {
+        need(2);
+        std::uint16_t v = static_cast<std::uint16_t>(
+            data_[pos_] | (data_[pos_ + 1] << 8));
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+        pos_ += 8;
+        return v;
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        if (len > kMaxString)
+            throw ProtocolError("encoded string too long");
+        need(len);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      len);
+        pos_ += len;
+        return s;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+
+    void
+    expectEnd() const
+    {
+        if (pos_ != size_)
+            throw ProtocolError("trailing bytes in payload");
+    }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (size_ - pos_ < n)
+            throw ProtocolError("payload truncated");
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+bool
+knownType(std::uint16_t t)
+{
+    return t >= static_cast<std::uint16_t>(MsgType::EvalRequest) &&
+           t <= static_cast<std::uint16_t>(MsgType::Pong);
+}
+
+std::vector<std::uint8_t>
+encodeNonce(MsgType type, std::uint64_t nonce)
+{
+    PayloadWriter w;
+    w.u64(nonce);
+    return encodeFrame(type, w.take());
+}
+
+std::uint64_t
+parseNonce(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    const std::uint64_t nonce = r.u64();
+    r.expectEnd();
+    return nonce;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeFrame(MsgType type, const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() > kMaxPayload)
+        throw ProtocolError("payload exceeds kMaxPayload");
+    PayloadWriter w;
+    w.u32(kMagic);
+    w.u16(kVersion);
+    w.u16(static_cast<std::uint16_t>(type));
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    std::vector<std::uint8_t> frame = w.take();
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    PayloadWriter trailer;
+    trailer.u32(util::crc32(payload.data(), payload.size()));
+    const auto crc = trailer.take();
+    frame.insert(frame.end(), crc.begin(), crc.end());
+    return frame;
+}
+
+FrameHeader
+decodeHeader(const std::uint8_t *data, std::size_t size)
+{
+    if (size < kHeaderSize)
+        throw ProtocolError("frame header truncated");
+    PayloadReader r(data, kHeaderSize);
+    if (r.u32() != kMagic)
+        throw ProtocolError("bad frame magic");
+    const std::uint16_t version = r.u16();
+    if (version != kVersion)
+        throw ProtocolError("protocol version mismatch: got " +
+                            std::to_string(version) + ", want " +
+                            std::to_string(kVersion));
+    const std::uint16_t type = r.u16();
+    if (!knownType(type))
+        throw ProtocolError("unknown message type " +
+                            std::to_string(type));
+    const std::uint32_t payload_len = r.u32();
+    if (payload_len > kMaxPayload)
+        throw ProtocolError("frame payload oversized: " +
+                            std::to_string(payload_len) + " bytes");
+    return FrameHeader{static_cast<MsgType>(type), payload_len};
+}
+
+Frame
+decodeFrame(const std::uint8_t *data, std::size_t size)
+{
+    const FrameHeader header = decodeHeader(data, size);
+    const std::size_t want =
+        kHeaderSize + header.payload_len + kTrailerSize;
+    if (size < want)
+        throw ProtocolError("frame truncated");
+    if (size > want)
+        throw ProtocolError("trailing bytes after frame");
+    const std::uint8_t *payload = data + kHeaderSize;
+    PayloadReader trailer(payload + header.payload_len, kTrailerSize);
+    const std::uint32_t want_crc = trailer.u32();
+    if (util::crc32(payload, header.payload_len) != want_crc)
+        throw ProtocolError("frame CRC mismatch");
+    return Frame{header.type,
+                 std::vector<std::uint8_t>(
+                     payload, payload + header.payload_len)};
+}
+
+Frame
+decodeFrame(const std::vector<std::uint8_t> &bytes)
+{
+    return decodeFrame(bytes.data(), bytes.size());
+}
+
+std::vector<std::uint8_t>
+encodeEvalRequest(const EvalRequest &req)
+{
+    PayloadWriter w;
+    w.str(req.benchmark);
+    w.u16(static_cast<std::uint16_t>(req.metric));
+    w.u64(req.trace_length);
+    w.u64(req.warmup);
+    w.u64(req.seed);
+    if (req.points.size() > kMaxPoints)
+        throw ProtocolError("too many points in request");
+    w.u32(static_cast<std::uint32_t>(req.points.size()));
+    const std::size_t dims =
+        req.points.empty() ? 0 : req.points.front().size();
+    w.u32(static_cast<std::uint32_t>(dims));
+    for (const auto &p : req.points) {
+        if (p.size() != dims)
+            throw ProtocolError("ragged point batch");
+        for (double v : p)
+            w.f64(v);
+    }
+    return encodeFrame(MsgType::EvalRequest, w.take());
+}
+
+EvalRequest
+parseEvalRequest(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    EvalRequest req;
+    req.benchmark = r.str();
+    const std::uint16_t metric = r.u16();
+    if (metric > static_cast<std::uint16_t>(
+                     core::Metric::EnergyDelaySquared))
+        throw ProtocolError("unknown metric " + std::to_string(metric));
+    req.metric = static_cast<core::Metric>(metric);
+    req.trace_length = r.u64();
+    req.warmup = r.u64();
+    req.seed = r.u64();
+    const std::uint32_t n = r.u32();
+    const std::uint32_t dims = r.u32();
+    if (n > kMaxPoints)
+        throw ProtocolError("too many points in request");
+    if (dims > 256)
+        throw ProtocolError("point dimensionality too large");
+    if (r.remaining() != std::size_t{n} * dims * sizeof(double))
+        throw ProtocolError("point data size mismatch");
+    req.points.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        dspace::DesignPoint p(dims);
+        for (auto &v : p)
+            v = r.f64();
+        req.points.push_back(std::move(p));
+    }
+    r.expectEnd();
+    return req;
+}
+
+std::vector<std::uint8_t>
+encodeEvalResponse(const EvalResponse &resp)
+{
+    PayloadWriter w;
+    if (resp.values.size() > kMaxPoints)
+        throw ProtocolError("too many values in response");
+    w.u32(static_cast<std::uint32_t>(resp.values.size()));
+    for (double v : resp.values)
+        w.f64(v);
+    w.u64(resp.fresh_evaluations);
+    w.u64(resp.total_evaluations);
+    return encodeFrame(MsgType::EvalResponse, w.take());
+}
+
+EvalResponse
+parseEvalResponse(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    EvalResponse resp;
+    const std::uint32_t n = r.u32();
+    if (n > kMaxPoints)
+        throw ProtocolError("too many values in response");
+    if (r.remaining() != std::size_t{n} * sizeof(double) + 16)
+        throw ProtocolError("response size mismatch");
+    resp.values.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        resp.values.push_back(r.f64());
+    resp.fresh_evaluations = r.u64();
+    resp.total_evaluations = r.u64();
+    r.expectEnd();
+    return resp;
+}
+
+std::vector<std::uint8_t>
+encodeError(const ErrorReply &err)
+{
+    PayloadWriter w;
+    w.str(err.message.size() <= kMaxString
+              ? err.message
+              : err.message.substr(0, kMaxString));
+    return encodeFrame(MsgType::Error, w.take());
+}
+
+ErrorReply
+parseError(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    ErrorReply err;
+    err.message = r.str();
+    r.expectEnd();
+    return err;
+}
+
+std::vector<std::uint8_t>
+encodePing(std::uint64_t nonce)
+{
+    return encodeNonce(MsgType::Ping, nonce);
+}
+
+std::vector<std::uint8_t>
+encodePong(std::uint64_t nonce)
+{
+    return encodeNonce(MsgType::Pong, nonce);
+}
+
+std::uint64_t
+parsePing(const std::vector<std::uint8_t> &payload)
+{
+    return parseNonce(payload);
+}
+
+std::uint64_t
+parsePong(const std::vector<std::uint8_t> &payload)
+{
+    return parseNonce(payload);
+}
+
+} // namespace ppm::serve

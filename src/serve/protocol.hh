@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Wire protocol of the sharded simulation service: length-prefixed,
+ * versioned, CRC-checked binary frames carrying simulation requests
+ * (benchmark, metric, seed, design points) and their results.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *     u32  magic        'PPMS' (0x50504D53)
+ *     u16  version      kVersion; mismatches are rejected
+ *     u16  type         MsgType
+ *     u32  payload_len  <= kMaxPayload; oversized frames are rejected
+ *                       before any allocation
+ *     u8   payload[payload_len]
+ *     u32  crc          CRC-32 of the payload bytes
+ *
+ * This layer is pure buffer encoding/decoding — no I/O — so malformed
+ * frames can be unit-tested byte by byte. Every decode path
+ * bounds-checks through PayloadReader and throws ProtocolError on any
+ * inconsistency; no malformed input is undefined behaviour.
+ */
+
+#ifndef PPM_SERVE_PROTOCOL_HH
+#define PPM_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/oracle.hh"
+#include "dspace/design_space.hh"
+
+namespace ppm::serve {
+
+/** Malformed, oversized or version-mismatched wire data. */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** First four bytes of every frame. */
+inline constexpr std::uint32_t kMagic = 0x50504D53u; // "PPMS"
+
+/** Protocol version carried in (and required of) every frame. */
+inline constexpr std::uint16_t kVersion = 1;
+
+/** Bytes before the payload: magic + version + type + payload_len. */
+inline constexpr std::size_t kHeaderSize = 12;
+
+/** Bytes after the payload: the payload CRC. */
+inline constexpr std::size_t kTrailerSize = 4;
+
+/** Hard cap on payload_len; larger frames are rejected unread. */
+inline constexpr std::uint32_t kMaxPayload = 16u << 20;
+
+/** Hard cap on design points per request. */
+inline constexpr std::uint32_t kMaxPoints = 1u << 20;
+
+/** Hard cap on encoded strings (benchmark names, error messages). */
+inline constexpr std::uint32_t kMaxString = 4096;
+
+enum class MsgType : std::uint16_t
+{
+    EvalRequest = 1,  //!< evaluate a batch of design points
+    EvalResponse = 2, //!< values for a batch, in request order
+    Error = 3,        //!< request failed server-side; message inside
+    Ping = 4,         //!< liveness probe, echoes a nonce
+    Pong = 5,         //!< reply to Ping with the same nonce
+};
+
+/** A batch of design points to evaluate on a benchmark trace. */
+struct EvalRequest
+{
+    std::string benchmark;      //!< profile name, e.g. "mcf"
+    core::Metric metric = core::Metric::Cpi;
+    std::uint64_t trace_length = 0; //!< instructions in the trace
+    std::uint64_t warmup = 0;       //!< SimOptions::warmup_instructions
+    /**
+     * Base seed of the requesting sweep. The simulator is
+     * deterministic so v1 servers do not consume it; it is carried so
+     * stochastic backends can derive per-item streams with
+     * Rng::stream(seed, index) without a protocol bump.
+     */
+    std::uint64_t seed = 0;
+    std::vector<dspace::DesignPoint> points;
+};
+
+/** Result of an EvalRequest. */
+struct EvalResponse
+{
+    std::vector<double> values; //!< one per request point, in order
+    /**
+     * Simulations actually executed for this request (points served
+     * from the memo cache or archive cost none). Approximate when
+     * other clients hit the same oracle concurrently.
+     */
+    std::uint64_t fresh_evaluations = 0;
+    /** Oracle-lifetime simulation count after this request. */
+    std::uint64_t total_evaluations = 0;
+};
+
+/** Server-side failure description. */
+struct ErrorReply
+{
+    std::string message;
+};
+
+/** A decoded frame: its type and raw payload bytes. */
+struct Frame
+{
+    MsgType type = MsgType::Error;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Header fields needed to size the rest of a frame read. */
+struct FrameHeader
+{
+    MsgType type = MsgType::Error;
+    std::uint32_t payload_len = 0;
+};
+
+// --- encoding ---------------------------------------------------------
+
+std::vector<std::uint8_t> encodeEvalRequest(const EvalRequest &req);
+std::vector<std::uint8_t> encodeEvalResponse(const EvalResponse &resp);
+std::vector<std::uint8_t> encodeError(const ErrorReply &err);
+std::vector<std::uint8_t> encodePing(std::uint64_t nonce);
+std::vector<std::uint8_t> encodePong(std::uint64_t nonce);
+
+/** Frame an arbitrary payload (building block of the encoders). */
+std::vector<std::uint8_t> encodeFrame(
+    MsgType type, const std::vector<std::uint8_t> &payload);
+
+// --- decoding ---------------------------------------------------------
+
+/**
+ * Validate the first kHeaderSize bytes of a frame. Throws
+ * ProtocolError on short input, bad magic, version mismatch, unknown
+ * type, or a payload_len above kMaxPayload.
+ */
+FrameHeader decodeHeader(const std::uint8_t *data, std::size_t size);
+
+/**
+ * Decode one complete frame (header + payload + CRC trailer). The
+ * buffer must contain exactly one frame; trailing bytes are rejected.
+ */
+Frame decodeFrame(const std::uint8_t *data, std::size_t size);
+Frame decodeFrame(const std::vector<std::uint8_t> &bytes);
+
+EvalRequest parseEvalRequest(const std::vector<std::uint8_t> &payload);
+EvalResponse parseEvalResponse(const std::vector<std::uint8_t> &payload);
+ErrorReply parseError(const std::vector<std::uint8_t> &payload);
+std::uint64_t parsePing(const std::vector<std::uint8_t> &payload);
+std::uint64_t parsePong(const std::vector<std::uint8_t> &payload);
+
+} // namespace ppm::serve
+
+#endif // PPM_SERVE_PROTOCOL_HH

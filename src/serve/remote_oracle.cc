@@ -1,0 +1,200 @@
+#include "serve/remote_oracle.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "serve/socket_io.hh"
+
+namespace ppm::serve {
+
+std::vector<std::string>
+socketsFromEnv()
+{
+    std::vector<std::string> sockets;
+    const char *env = std::getenv(kSocketEnvVar);
+    if (env == nullptr)
+        return sockets;
+    std::string value(env);
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        std::size_t comma = value.find(',', start);
+        if (comma == std::string::npos)
+            comma = value.size();
+        const std::string item = value.substr(start, comma - start);
+        if (!item.empty())
+            sockets.push_back(item);
+        start = comma + 1;
+    }
+    return sockets;
+}
+
+RemoteOracle::RemoteOracle(const dspace::DesignSpace &space,
+                           std::string benchmark,
+                           const trace::Trace &trace,
+                           const sim::SimOptions &sim_options,
+                           core::Metric metric, RemoteOptions options)
+    : benchmark_(std::move(benchmark)), trace_(trace),
+      sim_options_(sim_options), metric_(metric),
+      options_(std::move(options)),
+      fallback_(space, trace, sim_options, metric),
+      socket_dead_(options_.sockets.size())
+{
+    if (options_.chunk_points == 0)
+        options_.chunk_points = 1;
+    if (options_.max_connections == 0)
+        options_.max_connections = 1;
+    if (options_.max_attempts < 1)
+        options_.max_attempts = 1;
+}
+
+double
+RemoteOracle::cpi(const dspace::DesignPoint &point)
+{
+    return evaluateAll({point}).front();
+}
+
+std::optional<EvalResponse>
+RemoteOracle::requestChunk(
+    std::size_t socket_index,
+    const std::vector<dspace::DesignPoint> &points)
+{
+    if (options_.sockets.empty() ||
+        socket_dead_[socket_index].load(std::memory_order_relaxed))
+        return std::nullopt;
+    const std::string &socket = options_.sockets[socket_index];
+
+    EvalRequest req;
+    req.benchmark = benchmark_;
+    req.metric = metric_;
+    req.trace_length = trace_.size();
+    req.warmup = sim_options_.warmup_instructions;
+    req.seed = options_.seed;
+    req.points = points;
+    const std::vector<std::uint8_t> frame = encodeEvalRequest(req);
+
+    int backoff_ms = options_.backoff_initial_ms;
+    for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+        if (attempt > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::min(backoff_ms, options_.backoff_max_ms)));
+            backoff_ms *= 2;
+        }
+        try {
+            FdGuard fd =
+                connectUnix(socket, options_.connect_timeout_ms);
+            writeFrame(fd.get(), frame, options_.io_timeout_ms);
+            const Frame reply =
+                readFrame(fd.get(), options_.io_timeout_ms);
+            if (reply.type == MsgType::Error) {
+                // A semantic rejection (unknown benchmark, bad
+                // dimensionality) will not improve with retries;
+                // evaluate locally, where the same condition raises
+                // a meaningful exception.
+                break;
+            }
+            if (reply.type != MsgType::EvalResponse)
+                throw ProtocolError("unexpected reply type");
+            EvalResponse resp = parseEvalResponse(reply.payload);
+            if (resp.values.size() != points.size())
+                throw ProtocolError("response batch size mismatch");
+            return resp;
+        } catch (const IoError &) {
+            // Unreachable, reset, or timed out: retry with backoff.
+        } catch (const ProtocolError &) {
+            // Corrupt reply: the transport is suspect; retry too.
+        }
+    }
+    socket_dead_[socket_index].store(true,
+                                     std::memory_order_relaxed);
+    return std::nullopt;
+}
+
+std::vector<double>
+RemoteOracle::evaluateAll(
+    const std::vector<dspace::DesignPoint> &points)
+{
+    const std::size_t n = points.size();
+    std::vector<double> out(n);
+    if (n == 0)
+        return out;
+
+    const std::size_t chunk = options_.chunk_points;
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    const std::size_t num_sockets = options_.sockets.size();
+
+    // Chunk c covers points [c*chunk, min(n, (c+1)*chunk)) and is
+    // pinned to socket c % num_sockets.
+    auto runChunk = [&](std::size_t c) {
+        const std::size_t begin = c * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        std::vector<dspace::DesignPoint> part(
+            points.begin() + static_cast<std::ptrdiff_t>(begin),
+            points.begin() + static_cast<std::ptrdiff_t>(end));
+        std::optional<EvalResponse> resp;
+        if (num_sockets > 0)
+            resp = requestChunk(c % num_sockets, part);
+        if (resp) {
+            std::copy(resp->values.begin(), resp->values.end(),
+                      out.begin() + static_cast<std::ptrdiff_t>(begin));
+            remote_points_.fetch_add(end - begin,
+                                     std::memory_order_relaxed);
+            remote_chunks_.fetch_add(1, std::memory_order_relaxed);
+            remote_fresh_.fetch_add(resp->fresh_evaluations,
+                                    std::memory_order_relaxed);
+            return;
+        }
+        // Transparent fallback: simulate in-process. cpi() is
+        // thread-safe, so concurrent dispatch threads fan the
+        // fallback work out naturally.
+        for (std::size_t i = begin; i < end; ++i)
+            out[i] = fallback_.cpi(points[i]);
+        fallback_points_.fetch_add(end - begin,
+                                   std::memory_order_relaxed);
+    };
+
+    const std::size_t num_threads = std::min<std::size_t>(
+        options_.max_connections, num_chunks);
+    if (num_threads <= 1 || num_sockets == 0) {
+        for (std::size_t c = 0; c < num_chunks; ++c)
+            runChunk(c);
+        return out;
+    }
+
+    // Dedicated dispatch threads (see file comment); thread t owns
+    // chunks t, t+T, t+2T, ... so slot writes never overlap.
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t) {
+        threads.emplace_back([&, t] {
+            try {
+                for (std::size_t c = t; c < num_chunks;
+                     c += num_threads)
+                    runChunk(c);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return out;
+}
+
+std::uint64_t
+RemoteOracle::evaluations() const
+{
+    return remote_fresh_.load(std::memory_order_relaxed) +
+           fallback_.evaluations();
+}
+
+} // namespace ppm::serve

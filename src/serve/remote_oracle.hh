@@ -1,0 +1,167 @@
+/**
+ * @file
+ * RemoteOracle: a CpiOracle that shards evaluation batches across one
+ * or more SimServer processes over Unix-domain sockets, with
+ * per-request timeouts, bounded exponential-backoff retry, and
+ * transparent fallback to in-process simulation when a server is
+ * unreachable — so every caller of the CpiOracle interface works
+ * unchanged against a remote backend.
+ *
+ * Determinism contract: results are returned in input order and are
+ * bit-identical to local evaluation for every shard count and socket
+ * list, because the cycle-level simulator is deterministic in
+ * (trace, config, options) and the server regenerates the identical
+ * trace from (benchmark, trace length). Chunk c of a batch always
+ * goes to socket c % sockets.size(); which chunks end up served
+ * remotely versus locally can vary with failures, but never the
+ * values.
+ *
+ * Dispatch deliberately uses dedicated threads, NOT the process-wide
+ * util::ThreadPool: a chunk blocks on socket I/O, and parking blocked
+ * work inside the pool could starve a same-process SimServer (tests,
+ * benches) whose oracles need the pool to make progress.
+ */
+
+#ifndef PPM_SERVE_REMOTE_ORACLE_HH
+#define PPM_SERVE_REMOTE_ORACLE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/oracle.hh"
+#include "dspace/design_space.hh"
+#include "serve/protocol.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+
+namespace ppm::serve {
+
+/** Name of the environment variable naming server sockets. */
+inline constexpr const char *kSocketEnvVar = "PPM_SERVE_SOCKET";
+
+/**
+ * Socket paths from PPM_SERVE_SOCKET (comma-separated; empty when
+ * unset). One running ppm_serve process per socket.
+ */
+std::vector<std::string> socketsFromEnv();
+
+struct RemoteOptions
+{
+    /**
+     * Server sockets to shard across; chunk c goes to
+     * sockets[c % sockets.size()]. Empty = always evaluate locally.
+     */
+    std::vector<std::string> sockets;
+    /** Per-connection-attempt timeout. */
+    int connect_timeout_ms = 2'000;
+    /** Per-request I/O timeout (covers the simulations themselves). */
+    int io_timeout_ms = 120'000;
+    /** Attempts per chunk before falling back locally (>= 1). */
+    int max_attempts = 3;
+    /** First retry delay; doubles per attempt up to backoff_max_ms. */
+    int backoff_initial_ms = 25;
+    int backoff_max_ms = 500;
+    /** Points per request frame. */
+    std::size_t chunk_points = 8;
+    /** Concurrent in-flight requests (dispatch threads). */
+    unsigned max_connections = 4;
+    /** Base seed carried in requests (see protocol::EvalRequest). */
+    std::uint64_t seed = 0;
+};
+
+class RemoteOracle final : public core::CpiOracle
+{
+  public:
+    /**
+     * @param space Design space of the points (paper layout).
+     * @param benchmark Profile name; the server regenerates the trace
+     *        from it, so it must name the same profile @p trace was
+     *        generated from.
+     * @param trace The local trace, used for fallback simulation and
+     *        to derive the trace length sent to servers (must outlive
+     *        the oracle).
+     */
+    RemoteOracle(const dspace::DesignSpace &space,
+                 std::string benchmark, const trace::Trace &trace,
+                 const sim::SimOptions &sim_options = {},
+                 core::Metric metric = core::Metric::Cpi,
+                 RemoteOptions options = {});
+
+    double cpi(const dspace::DesignPoint &point) override;
+    std::vector<double> evaluateAll(
+        const std::vector<dspace::DesignPoint> &points) override;
+
+    /**
+     * Fresh simulations attributable to this oracle: server-reported
+     * fresh counts plus local fallback simulations. Server counts are
+     * approximate when unrelated clients hit the same server oracle
+     * concurrently.
+     */
+    std::uint64_t evaluations() const override;
+
+    /** Points answered by servers so far. */
+    std::uint64_t
+    remotePoints() const
+    {
+        return remote_points_.load(std::memory_order_relaxed);
+    }
+
+    /** Request chunks successfully served remotely. */
+    std::uint64_t
+    remoteChunksServed() const
+    {
+        return remote_chunks_.load(std::memory_order_relaxed);
+    }
+
+    /** Points evaluated by the in-process fallback oracle. */
+    std::uint64_t
+    fallbackPoints() const
+    {
+        return fallback_points_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The in-process fallback oracle (e.g. to attach a ResultArchive
+     * so even fallback simulations persist).
+     */
+    core::SimulatorOracle &fallbackOracle() { return fallback_; }
+
+    const RemoteOptions &options() const { return options_; }
+
+  private:
+    /**
+     * One chunk against its socket, with retry/backoff. nullopt =
+     * all attempts failed (socket marked dead) or server reported an
+     * error; the caller falls back locally.
+     */
+    std::optional<EvalResponse> requestChunk(
+        std::size_t socket_index,
+        const std::vector<dspace::DesignPoint> &points);
+
+    std::string benchmark_;
+    const trace::Trace &trace_;
+    sim::SimOptions sim_options_;
+    core::Metric metric_;
+    RemoteOptions options_;
+    core::SimulatorOracle fallback_;
+
+    /**
+     * Latched per-socket failure flags: once a socket exhausts its
+     * retries it is not attempted again for the oracle's lifetime, so
+     * a killed server degrades to local evaluation instead of paying
+     * the full retry schedule on every remaining chunk.
+     */
+    std::vector<std::atomic<bool>> socket_dead_;
+
+    std::atomic<std::uint64_t> remote_fresh_{0};
+    std::atomic<std::uint64_t> remote_points_{0};
+    std::atomic<std::uint64_t> remote_chunks_{0};
+    std::atomic<std::uint64_t> fallback_points_{0};
+};
+
+} // namespace ppm::serve
+
+#endif // PPM_SERVE_REMOTE_ORACLE_HH

@@ -1,0 +1,269 @@
+#include "serve/sim_server.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "dspace/paper_space.hh"
+#include "serve/result_archive.hh"
+#include "sim/simulator.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+namespace ppm::serve {
+
+namespace {
+
+/** Request context key: one oracle (and archive file) per value. */
+std::string
+contextKey(const EvalRequest &req)
+{
+    return req.benchmark + "|t" + std::to_string(req.trace_length) +
+           "|w" + std::to_string(req.warmup) + "|" +
+           core::metricName(req.metric);
+}
+
+} // namespace
+
+SimServer::SimServer(ServerOptions options)
+    : options_(std::move(options)), space_(dspace::paperTrainSpace())
+{
+    if (options_.num_workers == 0)
+        options_.num_workers = 1;
+}
+
+SimServer::~SimServer()
+{
+    stop();
+}
+
+void
+SimServer::start()
+{
+    if (started_)
+        throw std::logic_error("SimServer already started");
+    if (!options_.archive_dir.empty())
+        std::filesystem::create_directories(options_.archive_dir);
+    listen_fd_ = listenUnix(options_.socket_path);
+    if (::pipe2(stop_pipe_, O_CLOEXEC | O_NONBLOCK) < 0) {
+        listen_fd_.reset();
+        throw IoError(std::string("pipe2: ") + std::strerror(errno));
+    }
+    stopping_.store(false, std::memory_order_relaxed);
+    workers_.reserve(options_.num_workers);
+    for (unsigned i = 0; i < options_.num_workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    started_ = true;
+}
+
+void
+SimServer::stop()
+{
+    if (!started_)
+        return;
+    stopping_.store(true, std::memory_order_relaxed);
+    // Wake workers blocked in poll() on the listening socket...
+    const char byte = 1;
+    (void)!::write(stop_pipe_[1], &byte, 1);
+    // ...and sever in-flight connections so blocked reads see EOF.
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        for (int fd : conns_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    for (auto &worker : workers_)
+        worker.join();
+    workers_.clear();
+    listen_fd_.reset();
+    ::close(stop_pipe_[0]);
+    ::close(stop_pipe_[1]);
+    stop_pipe_[0] = stop_pipe_[1] = -1;
+    ::unlink(options_.socket_path.c_str());
+    started_ = false;
+}
+
+std::uint64_t
+SimServer::totalEvaluations() const
+{
+    std::lock_guard<std::mutex> lock(backends_mutex_);
+    std::uint64_t total = 0;
+    for (const auto &[key, backend] : backends_)
+        total += backend->oracle->evaluations();
+    return total;
+}
+
+std::uint64_t
+SimServer::oracleCount() const
+{
+    std::lock_guard<std::mutex> lock(backends_mutex_);
+    return backends_.size();
+}
+
+SimServer::Backend &
+SimServer::backendFor(const EvalRequest &req)
+{
+    const std::string key = contextKey(req);
+    std::lock_guard<std::mutex> lock(backends_mutex_);
+    auto it = backends_.find(key);
+    if (it != backends_.end())
+        return *it->second;
+
+    // First request for this context: generate the trace and build
+    // the oracle. Generation runs under the lock — concurrent
+    // requests for the same context must not race to create two
+    // oracles (and double-simulate).
+    const auto &profile = trace::profileByName(req.benchmark);
+    auto backend = std::make_unique<Backend>();
+    backend->trace = trace::generateTrace(
+        profile, static_cast<std::size_t>(req.trace_length));
+    sim::SimOptions sim_options;
+    sim_options.warmup_instructions = req.warmup;
+    backend->oracle = std::make_unique<core::SimulatorOracle>(
+        space_, backend->trace, sim_options, req.metric);
+    if (!options_.archive_dir.empty()) {
+        const std::string file =
+            options_.archive_dir + "/" +
+            ResultArchive::fileNameFor(req.benchmark, req.trace_length,
+                                       req.warmup, req.metric);
+        backend->oracle->attachStore(
+            std::make_shared<ResultArchive>(file, key));
+    }
+    it = backends_.emplace(key, std::move(backend)).first;
+    if (options_.verbose)
+        std::fprintf(stderr, "ppm_serve: new oracle [%s]\n",
+                     key.c_str());
+    return *it->second;
+}
+
+std::vector<std::uint8_t>
+SimServer::handleRequest(const Frame &frame)
+{
+    const EvalRequest req = parseEvalRequest(frame.payload);
+    if (req.points.empty())
+        return encodeError({"empty point batch"});
+    if (req.points.front().size() != space_.size())
+        return encodeError(
+            {"point dimensionality " +
+             std::to_string(req.points.front().size()) +
+             " does not match the paper space (" +
+             std::to_string(space_.size()) + ")"});
+    if (req.trace_length == 0 ||
+        req.trace_length > options_.max_trace_length)
+        return encodeError({"trace length out of range"});
+
+    Backend &backend = backendFor(req);
+    const std::uint64_t before = backend.oracle->evaluations();
+    EvalResponse resp;
+    resp.values = backend.oracle->evaluateAll(req.points);
+    resp.total_evaluations = backend.oracle->evaluations();
+    resp.fresh_evaluations = resp.total_evaluations - before;
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.verbose)
+        std::fprintf(stderr,
+                     "ppm_serve: [%s] %zu points, %llu fresh\n",
+                     contextKey(req).c_str(), req.points.size(),
+                     static_cast<unsigned long long>(
+                         resp.fresh_evaluations));
+    return encodeEvalResponse(resp);
+}
+
+void
+SimServer::serveConnection(int fd)
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        Frame frame;
+        try {
+            frame = readFrame(fd, options_.io_timeout_ms);
+        } catch (const IoError &) {
+            break; // EOF, timeout or reset: drop the connection
+        } catch (const ProtocolError &e) {
+            // Framing is lost; report once and drop the connection.
+            try {
+                writeFrame(fd, encodeError({e.what()}),
+                           options_.io_timeout_ms);
+            } catch (const IoError &) {
+            }
+            break;
+        }
+
+        std::vector<std::uint8_t> reply;
+        switch (frame.type) {
+          case MsgType::Ping:
+            try {
+                reply = encodePong(parsePing(frame.payload));
+            } catch (const ProtocolError &e) {
+                reply = encodeError({e.what()});
+            }
+            break;
+          case MsgType::EvalRequest:
+            try {
+                reply = handleRequest(frame);
+            } catch (const std::exception &e) {
+                // Unknown benchmark, invalid configuration, archive
+                // failure, ... — reported to the client, which falls
+                // back to local simulation (where the same error
+                // surfaces as an exception).
+                if (options_.verbose)
+                    std::fprintf(stderr, "ppm_serve: error: %s\n",
+                                 e.what());
+                reply = encodeError({e.what()});
+            }
+            break;
+          default:
+            reply = encodeError({"unexpected message type"});
+            break;
+        }
+        try {
+            writeFrame(fd, reply, options_.io_timeout_ms);
+        } catch (const IoError &) {
+            break;
+        }
+    }
+}
+
+void
+SimServer::workerLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        struct pollfd pfds[2] = {
+            {listen_fd_.get(), POLLIN, 0},
+            {stop_pipe_[0], POLLIN, 0},
+        };
+        const int rc = ::poll(pfds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pfds[1].revents != 0)
+            break; // stop() rang the bell
+        if ((pfds[0].revents & POLLIN) == 0)
+            continue;
+        // The listening fd is non-blocking: another worker may win
+        // the race for this connection. Connections are non-blocking
+        // too so frame I/O can enforce io_timeout_ms via poll.
+        const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                                 SOCK_CLOEXEC | SOCK_NONBLOCK);
+        if (fd < 0)
+            continue;
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            conns_.insert(fd);
+        }
+        serveConnection(fd);
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            conns_.erase(fd);
+        }
+        ::close(fd);
+    }
+}
+
+} // namespace ppm::serve

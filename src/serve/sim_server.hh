@@ -1,0 +1,137 @@
+/**
+ * @file
+ * SimServer: the process-level sharding backend. Listens on a
+ * Unix-domain socket, owns one memoizing SimulatorOracle per
+ * benchmark-trace context, and services EvalRequest batches from a
+ * pool of worker threads (every worker accepts connections, so
+ * num_workers requests proceed concurrently; each oracle additionally
+ * fans its batch across the process-wide thread pool).
+ *
+ * Clients shard batches across one or more servers (one ppm_serve
+ * process per socket) with RemoteOracle; results are bit-identical to
+ * local evaluation because the cycle-level simulator is deterministic
+ * in (trace, config, options) and traces are regenerated from the
+ * benchmark profile on the server side.
+ *
+ * With ServerOptions::archive_dir set, every oracle persists its
+ * results through a ResultArchive, so simulations survive server
+ * restarts and are shared between servers pointed at the same
+ * directory.
+ */
+
+#ifndef PPM_SERVE_SIM_SERVER_HH
+#define PPM_SERVE_SIM_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/oracle.hh"
+#include "dspace/design_space.hh"
+#include "serve/protocol.hh"
+#include "serve/socket_io.hh"
+#include "trace/trace.hh"
+
+namespace ppm::serve {
+
+struct ServerOptions
+{
+    /** Unix-domain socket path to listen on. Required. */
+    std::string socket_path;
+    /** Concurrent request-serving workers (>= 1). */
+    unsigned num_workers = 1;
+    /**
+     * Directory for per-context ResultArchive files; empty disables
+     * persistence. Created if absent.
+     */
+    std::string archive_dir;
+    /** Per-socket-operation timeout for request/response I/O. */
+    int io_timeout_ms = 120'000;
+    /** Reject requests asking for traces longer than this. */
+    std::uint64_t max_trace_length = 50'000'000;
+    /** Log accepted requests and errors to stderr. */
+    bool verbose = false;
+};
+
+class SimServer
+{
+  public:
+    explicit SimServer(ServerOptions options);
+
+    /** Stops the server if still running. */
+    ~SimServer();
+
+    SimServer(const SimServer &) = delete;
+    SimServer &operator=(const SimServer &) = delete;
+
+    /**
+     * Bind the socket and spawn the worker pool. Returns once the
+     * server accepts connections.
+     * @throws IoError when the socket cannot be created.
+     */
+    void start();
+
+    /**
+     * Shut down: stop accepting, sever in-flight connections, join
+     * all workers, unlink the socket path. Idempotent.
+     */
+    void stop();
+
+    bool running() const { return started_; }
+    const std::string &socketPath() const
+    {
+        return options_.socket_path;
+    }
+
+    /** EvalRequests answered (successfully) so far. */
+    std::uint64_t
+    requestsServed() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /** Fresh simulations executed across all oracles. */
+    std::uint64_t totalEvaluations() const;
+
+    /** Distinct (benchmark, trace, options, metric) oracles created. */
+    std::uint64_t oracleCount() const;
+
+  private:
+    /** One benchmark-trace oracle and the trace backing it. */
+    struct Backend
+    {
+        trace::Trace trace;
+        std::unique_ptr<core::SimulatorOracle> oracle;
+    };
+
+    Backend &backendFor(const EvalRequest &req);
+    void workerLoop();
+    void serveConnection(int fd);
+    std::vector<std::uint8_t> handleRequest(const Frame &frame);
+
+    ServerOptions options_;
+    dspace::DesignSpace space_;
+    FdGuard listen_fd_;
+    int stop_pipe_[2] = {-1, -1};
+    std::vector<std::thread> workers_;
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+
+    mutable std::mutex backends_mutex_;
+    std::map<std::string, std::unique_ptr<Backend>> backends_;
+
+    std::mutex conns_mutex_;
+    std::set<int> conns_;
+
+    std::atomic<std::uint64_t> requests_{0};
+};
+
+} // namespace ppm::serve
+
+#endif // PPM_SERVE_SIM_SERVER_HH

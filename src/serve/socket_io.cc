@@ -1,0 +1,200 @@
+#include "serve/socket_io.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ppm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void
+throwErrno(const std::string &what)
+{
+    throw IoError(what + ": " + std::strerror(errno));
+}
+
+/** Milliseconds left before @p deadline, clamped to >= 0. */
+int
+remainingMs(Clock::time_point deadline)
+{
+    const auto left = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline - Clock::now());
+    return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+/**
+ * Wait until @p fd is ready for @p events or @p deadline passes.
+ * @throws IoError on poll failure or timeout.
+ */
+void
+waitReady(int fd, short events, Clock::time_point deadline)
+{
+    for (;;) {
+        struct pollfd pfd = {fd, events, 0};
+        const int ms = remainingMs(deadline);
+        const int rc = ::poll(&pfd, 1, ms);
+        if (rc > 0)
+            return;
+        if (rc == 0)
+            throw IoError("socket operation timed out");
+        if (errno != EINTR)
+            throwErrno("poll");
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throwErrno("fcntl(O_NONBLOCK)");
+}
+
+sockaddr_un
+unixAddress(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        throw IoError("unix socket path invalid or too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+void
+FdGuard::reset(int fd)
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = fd;
+}
+
+FdGuard
+listenUnix(const std::string &path, int backlog)
+{
+    const sockaddr_un addr = unixAddress(path);
+    FdGuard fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        throwErrno("socket");
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0)
+        throwErrno("bind " + path);
+    if (::listen(fd.get(), backlog) < 0)
+        throwErrno("listen " + path);
+    setNonBlocking(fd.get());
+    return fd;
+}
+
+FdGuard
+connectUnix(const std::string &path, int timeout_ms)
+{
+    const sockaddr_un addr = unixAddress(path);
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    FdGuard fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid())
+        throwErrno("socket");
+    setNonBlocking(fd.get());
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) == 0)
+        return fd;
+    if (errno != EINPROGRESS && errno != EAGAIN)
+        throwErrno("connect " + path);
+    waitReady(fd.get(), POLLOUT, deadline);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+        throwErrno("getsockopt(SO_ERROR)");
+    if (err != 0) {
+        errno = err;
+        throwErrno("connect " + path);
+    }
+    return fd;
+}
+
+void
+sendAll(int fd, const void *data, std::size_t size, int timeout_ms)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::size_t sent = 0;
+    while (sent < size) {
+        // MSG_NOSIGNAL: a peer that died mid-write must surface as
+        // EPIPE (an IoError the caller retries), not kill the process.
+        const ssize_t n = ::send(fd, bytes + sent, size - sent,
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            waitReady(fd, POLLOUT, deadline);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        throwErrno("send");
+    }
+}
+
+void
+recvAll(int fd, void *data, std::size_t size, int timeout_ms)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    auto *bytes = static_cast<std::uint8_t *>(data);
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd, bytes + got, size - got, 0);
+        if (n > 0) {
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0)
+            throw IoError("connection closed by peer");
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            waitReady(fd, POLLIN, deadline);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        throwErrno("recv");
+    }
+}
+
+void
+writeFrame(int fd, const std::vector<std::uint8_t> &frame,
+           int timeout_ms)
+{
+    sendAll(fd, frame.data(), frame.size(), timeout_ms);
+}
+
+Frame
+readFrame(int fd, int timeout_ms)
+{
+    // Read the fixed header first: it bounds the rest of the read, so
+    // an oversized or version-mismatched frame is rejected before any
+    // payload allocation.
+    std::vector<std::uint8_t> buf(kHeaderSize);
+    recvAll(fd, buf.data(), kHeaderSize, timeout_ms);
+    const FrameHeader header = decodeHeader(buf.data(), buf.size());
+    const std::size_t rest = header.payload_len + kTrailerSize;
+    buf.resize(kHeaderSize + rest);
+    recvAll(fd, buf.data() + kHeaderSize, rest, timeout_ms);
+    return decodeFrame(buf);
+}
+
+} // namespace ppm::serve

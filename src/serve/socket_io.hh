@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unix-domain socket plumbing for the simulation service: RAII fd
+ * ownership, listen/connect with explicit timeouts, and poll-driven
+ * whole-frame reads and writes on non-blocking descriptors.
+ *
+ * All timeouts are in milliseconds and apply to the entire operation
+ * (a frame read must finish within one timeout, not one timeout per
+ * syscall). Failures — timeouts, resets, clean EOF mid-frame — raise
+ * IoError; malformed bytes raise protocol::ProtocolError.
+ */
+
+#ifndef PPM_SERVE_SOCKET_IO_HH
+#define PPM_SERVE_SOCKET_IO_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "serve/protocol.hh"
+
+namespace ppm::serve {
+
+/** Socket-level failure: connect/send/recv error, timeout, or EOF. */
+class IoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Move-only owner of a file descriptor; closes on destruction. */
+class FdGuard
+{
+  public:
+    explicit FdGuard(int fd = -1) : fd_(fd) {}
+    ~FdGuard() { reset(); }
+
+    FdGuard(FdGuard &&other) noexcept : fd_(other.release()) {}
+    FdGuard &
+    operator=(FdGuard &&other) noexcept
+    {
+        if (this != &other)
+            reset(other.release());
+        return *this;
+    }
+
+    FdGuard(const FdGuard &) = delete;
+    FdGuard &operator=(const FdGuard &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    void reset(int fd = -1);
+
+  private:
+    int fd_;
+};
+
+/**
+ * Create a non-blocking Unix-domain listening socket bound to
+ * @p path. A stale socket file at @p path is unlinked first.
+ * @throws IoError on any failure (including a path too long for
+ *         sockaddr_un).
+ */
+FdGuard listenUnix(const std::string &path, int backlog = 64);
+
+/**
+ * Connect to the Unix-domain socket at @p path, waiting at most
+ * @p timeout_ms. Returns a non-blocking connected fd.
+ * @throws IoError when the server is absent, refuses, or times out.
+ */
+FdGuard connectUnix(const std::string &path, int timeout_ms);
+
+/** Send all @p size bytes within @p timeout_ms. @throws IoError */
+void sendAll(int fd, const void *data, std::size_t size,
+             int timeout_ms);
+
+/**
+ * Receive exactly @p size bytes within @p timeout_ms.
+ * @throws IoError on timeout, error, or EOF before @p size bytes.
+ */
+void recvAll(int fd, void *data, std::size_t size, int timeout_ms);
+
+/** Write one encoded frame. @throws IoError */
+void writeFrame(int fd, const std::vector<std::uint8_t> &frame,
+                int timeout_ms);
+
+/**
+ * Read and validate one complete frame.
+ * @throws IoError on socket failure, ProtocolError on malformed data.
+ */
+Frame readFrame(int fd, int timeout_ms);
+
+} // namespace ppm::serve
+
+#endif // PPM_SERVE_SOCKET_IO_HH

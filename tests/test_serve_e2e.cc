@@ -1,0 +1,375 @@
+/**
+ * @file
+ * End-to-end service suite: the mcf pipeline (LHS sample -> batched
+ * simulation -> RBF fit -> prediction) is bit-identical whether the
+ * oracle is a local SimulatorOracle, a RemoteOracle against a 1-worker
+ * SimServer, or a RemoteOracle against a 4-worker SimServer; an
+ * unreachable server degrades transparently to local evaluation; a
+ * server SIGKILLed mid-batch is retried and the batch still completes
+ * with correct values; and a restarted server warm-starts from its
+ * ResultArchive with zero new simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/oracle.hh"
+#include "dspace/paper_space.hh"
+#include "rbf/trainer.hh"
+#include "sampling/sample_gen.hh"
+#include "serve/oracle_factory.hh"
+#include "serve/protocol.hh"
+#include "serve/remote_oracle.hh"
+#include "serve/result_archive.hh"
+#include "serve/sim_server.hh"
+#include "serve/socket_io.hh"
+#include "trace/benchmark_profile.hh"
+#include "trace/trace_generator.hh"
+
+extern char **environ;
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace ppm;
+
+constexpr std::size_t kTraceLen = 12000;
+constexpr std::uint64_t kWarmup = 2000;
+constexpr int kSampleSize = 20;
+
+std::string
+uniqueSocket(const std::string &tag)
+{
+    return "/tmp/ppm_e2e_" + std::to_string(::getpid()) + "_" + tag +
+           ".sock";
+}
+
+sim::SimOptions
+simOptions()
+{
+    sim::SimOptions opts;
+    opts.warmup_instructions = kWarmup;
+    return opts;
+}
+
+serve::ServerOptions
+serverOptions(const std::string &sock, unsigned workers,
+              std::string archive_dir = {})
+{
+    serve::ServerOptions opts;
+    opts.socket_path = sock;
+    opts.num_workers = workers;
+    opts.archive_dir = std::move(archive_dir);
+    return opts;
+}
+
+/** Shared mcf inputs: one trace, one LHS batch, for every test. */
+struct Scenario
+{
+    dspace::DesignSpace space = dspace::paperTrainSpace();
+    trace::Trace trace;
+    std::vector<dspace::DesignPoint> batch;
+
+    Scenario()
+        : trace(trace::generateTrace(trace::profileByName("mcf"),
+                                     kTraceLen))
+    {
+        math::Rng rng(42);
+        batch = sampling::bestLatinHypercube(space, kSampleSize, 4,
+                                             rng)
+                    .points;
+    }
+};
+
+Scenario &
+scenario()
+{
+    static Scenario s;
+    return s;
+}
+
+/** Everything downstream of the oracle that must be bit-identical. */
+struct PipelineArtifacts
+{
+    std::vector<double> responses;
+    std::vector<double> predictions;
+};
+
+PipelineArtifacts
+runPipeline(core::CpiOracle &oracle)
+{
+    Scenario &s = scenario();
+    PipelineArtifacts out;
+    out.responses = oracle.evaluateAll(s.batch);
+
+    rbf::TrainerOptions trainer;
+    trainer.p_min_grid = {1, 2};
+    trainer.alpha_grid = {4, 8};
+    const auto unit = sampling::toUnitSample(s.space, s.batch);
+    const auto trained =
+        rbf::trainRbfModel(unit, out.responses, trainer);
+
+    math::Rng probe(7);
+    for (int i = 0; i < 16; ++i)
+        out.predictions.push_back(trained.network.predict(
+            s.space.toUnit(s.space.randomPoint(probe))));
+    return out;
+}
+
+/** Local ground truth, simulated once and shared across tests. */
+const PipelineArtifacts &
+localReference()
+{
+    static const PipelineArtifacts ref = [] {
+        Scenario &s = scenario();
+        core::SimulatorOracle oracle(s.space, s.trace, simOptions());
+        return runPipeline(oracle);
+    }();
+    return ref;
+}
+
+serve::RemoteOptions
+fastRemote(std::vector<std::string> sockets)
+{
+    serve::RemoteOptions opts;
+    opts.sockets = std::move(sockets);
+    opts.connect_timeout_ms = 1000;
+    opts.io_timeout_ms = 60'000;
+    opts.max_attempts = 2;
+    opts.backoff_initial_ms = 1;
+    opts.backoff_max_ms = 10;
+    opts.chunk_points = 4;
+    opts.max_connections = 2;
+    return opts;
+}
+
+TEST(ServeE2E, RemoteOneWorkerBitIdenticalToLocal)
+{
+    Scenario &s = scenario();
+    const std::string sock = uniqueSocket("w1");
+    serve::SimServer server(serverOptions(sock, 1));
+    server.start();
+
+    serve::RemoteOracle remote(s.space, "mcf", s.trace, simOptions(),
+                               core::Metric::Cpi,
+                               fastRemote({sock}));
+    const PipelineArtifacts got = runPipeline(remote);
+    EXPECT_EQ(got.responses, localReference().responses);
+    EXPECT_EQ(got.predictions, localReference().predictions);
+
+    // Every point was answered by the server, none locally.
+    EXPECT_EQ(remote.remotePoints(), s.batch.size());
+    EXPECT_EQ(remote.fallbackPoints(), 0u);
+    EXPECT_EQ(server.totalEvaluations(), s.batch.size());
+    server.stop();
+}
+
+TEST(ServeE2E, RemoteFourWorkersBitIdenticalToLocal)
+{
+    Scenario &s = scenario();
+    const std::string sock = uniqueSocket("w4");
+    serve::SimServer server(serverOptions(sock, 4));
+    server.start();
+
+    serve::RemoteOracle remote(s.space, "mcf", s.trace, simOptions(),
+                               core::Metric::Cpi,
+                               fastRemote({sock}));
+    const PipelineArtifacts got = runPipeline(remote);
+    EXPECT_EQ(got.responses, localReference().responses);
+    EXPECT_EQ(got.predictions, localReference().predictions);
+    EXPECT_EQ(remote.remotePoints(), s.batch.size());
+    EXPECT_EQ(remote.fallbackPoints(), 0u);
+    server.stop();
+}
+
+TEST(ServeE2E, UnreachableServerFallsBackTransparently)
+{
+    Scenario &s = scenario();
+    serve::RemoteOptions opts =
+        fastRemote({uniqueSocket("nobody-listens")});
+    opts.connect_timeout_ms = 100;
+    serve::RemoteOracle remote(s.space, "mcf", s.trace, simOptions(),
+                               core::Metric::Cpi, opts);
+
+    const PipelineArtifacts got = runPipeline(remote);
+    EXPECT_EQ(got.responses, localReference().responses);
+    EXPECT_EQ(got.predictions, localReference().predictions);
+    EXPECT_EQ(remote.remotePoints(), 0u);
+    EXPECT_EQ(remote.fallbackPoints(), s.batch.size());
+    EXPECT_EQ(remote.evaluations(), s.batch.size());
+}
+
+TEST(ServeE2E, PingPongAgainstLiveServer)
+{
+    const std::string sock = uniqueSocket("ping");
+    serve::SimServer server(serverOptions(sock, 1));
+    server.start();
+
+    serve::FdGuard conn = serve::connectUnix(sock, 1000);
+    serve::writeFrame(conn.get(), serve::encodePing(0xABCDEF), 1000);
+    const serve::Frame reply = serve::readFrame(conn.get(), 1000);
+    ASSERT_EQ(reply.type, serve::MsgType::Pong);
+    EXPECT_EQ(serve::parsePong(reply.payload), 0xABCDEFu);
+    server.stop();
+}
+
+TEST(ServeE2E, UnknownBenchmarkGetsErrorReply)
+{
+    const std::string sock = uniqueSocket("err");
+    serve::SimServer server(serverOptions(sock, 1));
+    server.start();
+
+    serve::EvalRequest req;
+    req.benchmark = "no-such-benchmark";
+    req.trace_length = 1000;
+    req.points = {scenario().batch.front()};
+    serve::FdGuard conn = serve::connectUnix(sock, 1000);
+    serve::writeFrame(conn.get(), serve::encodeEvalRequest(req),
+                      1000);
+    const serve::Frame reply = serve::readFrame(conn.get(), 30'000);
+    EXPECT_EQ(reply.type, serve::MsgType::Error);
+    server.stop();
+}
+
+TEST(ServeE2E, ServerKilledMidBatchIsRetriedAndCompletes)
+{
+    Scenario &s = scenario();
+    const std::string sock = uniqueSocket("kill");
+    fs::remove(sock);
+
+    // Spawn the real ppm_serve binary so there is a process to kill.
+    const char *argv[] = {PPM_SERVE_BIN, "--socket", sock.c_str(),
+                          "--workers", "2", nullptr};
+    pid_t pid = -1;
+    ASSERT_EQ(::posix_spawn(&pid, PPM_SERVE_BIN, nullptr, nullptr,
+                            const_cast<char *const *>(argv), environ),
+              0);
+
+    // Wait until the server accepts and answers a Ping.
+    bool up = false;
+    for (int i = 0; i < 200 && !up; ++i) {
+        try {
+            serve::FdGuard conn = serve::connectUnix(sock, 100);
+            serve::writeFrame(conn.get(), serve::encodePing(1), 500);
+            up = serve::readFrame(conn.get(), 500).type ==
+                 serve::MsgType::Pong;
+        } catch (const std::exception &) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(25));
+        }
+    }
+    ASSERT_TRUE(up) << "ppm_serve never came up on " << sock;
+
+    serve::RemoteOptions opts = fastRemote({sock});
+    opts.chunk_points = 2;     // many small chunks...
+    opts.max_connections = 1;  // ...served strictly one at a time
+    serve::RemoteOracle remote(s.space, "mcf", s.trace, simOptions(),
+                               core::Metric::Cpi, opts);
+
+    // Kill the server as soon as the first chunk has been served, so
+    // the batch is genuinely mid-flight when the backend vanishes.
+    std::atomic<bool> done{false};
+    std::thread killer([&] {
+        while (!done.load() && remote.remoteChunksServed() == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ::kill(pid, SIGKILL);
+    });
+
+    const auto responses = remote.evaluateAll(s.batch);
+    done.store(true);
+    killer.join();
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    fs::remove(sock);
+
+    // The batch completed with values identical to local simulation:
+    // failed chunks were retried and then served by the fallback.
+    EXPECT_EQ(responses, localReference().responses);
+    EXPECT_GE(remote.remoteChunksServed(), 1u);
+    EXPECT_EQ(remote.remotePoints() + remote.fallbackPoints(),
+              s.batch.size());
+}
+
+TEST(ServeE2E, RestartedServerWarmStartsFromArchive)
+{
+    Scenario &s = scenario();
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("ppm_e2e_archive_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    const std::string sock = uniqueSocket("warm");
+
+    serve::RemoteOptions opts = fastRemote({sock});
+    opts.chunk_points = s.batch.size(); // whole batch in one request
+
+    std::vector<double> first;
+    {
+        serve::SimServer server(
+            serverOptions(sock, 2, dir.string()));
+        server.start();
+        serve::RemoteOracle remote(s.space, "mcf", s.trace,
+                                   simOptions(), core::Metric::Cpi,
+                                   opts);
+        first = remote.evaluateAll(s.batch);
+        EXPECT_EQ(server.totalEvaluations(), s.batch.size());
+        EXPECT_EQ(remote.evaluations(), s.batch.size());
+        server.stop();
+    }
+
+    // Same socket, same archive directory, fresh process state: the
+    // second server must answer the whole batch from the archive.
+    {
+        serve::SimServer server(
+            serverOptions(sock, 2, dir.string()));
+        server.start();
+        serve::RemoteOracle remote(s.space, "mcf", s.trace,
+                                   simOptions(), core::Metric::Cpi,
+                                   opts);
+        const auto second = remote.evaluateAll(s.batch);
+        EXPECT_EQ(second, first);
+        EXPECT_EQ(server.totalEvaluations(), 0u)
+            << "restarted server re-simulated archived results";
+        EXPECT_EQ(remote.evaluations(), 0u);
+        server.stop();
+    }
+    fs::remove_all(dir);
+}
+
+TEST(ServeE2E, FactoryHonoursExplicitOptions)
+{
+    Scenario &s = scenario();
+    const std::string sock = uniqueSocket("factory");
+    serve::SimServer server(serverOptions(sock, 2));
+    server.start();
+
+    serve::FactoryOptions fopts;
+    fopts.sockets = {sock};
+    fopts.remote = fastRemote({});
+    auto remote = serve::makeOracle(s.space, "mcf", s.trace,
+                                    simOptions(), core::Metric::Cpi,
+                                    fopts);
+    EXPECT_EQ(remote->evaluateAll(s.batch),
+              localReference().responses);
+    server.stop();
+
+    serve::FactoryOptions local_opts;
+    auto local = serve::makeOracle(s.space, "mcf", s.trace,
+                                   simOptions(), core::Metric::Cpi,
+                                   local_opts);
+    EXPECT_EQ(local->evaluateAll(s.batch),
+              localReference().responses);
+}
+
+} // namespace

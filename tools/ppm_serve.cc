@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ppm_serve: run a sharded simulation server on a Unix-domain socket.
+ *
+ *   ppm_serve [--socket PATH] [--workers N] [--archive-dir DIR]
+ *             [--verbose]
+ *
+ * Clients reach it by exporting PPM_SERVE_SOCKET=PATH (comma-separate
+ * several paths to shard across several server processes) — every
+ * bench and example built on serve::makeOracle() then evaluates its
+ * batches remotely, with transparent fallback to in-process
+ * simulation if the server goes away. With --archive-dir, every
+ * simulation result is persisted to a CRC-checked append-only log and
+ * replayed for free across restarts.
+ *
+ * Stops cleanly on SIGINT/SIGTERM.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/remote_oracle.hh"
+#include "serve/sim_server.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--socket PATH] [--workers N] [--archive-dir DIR]"
+        " [--verbose]\n"
+        "  --socket PATH       Unix socket to listen on (default:\n"
+        "                      first entry of $PPM_SERVE_SOCKET, else\n"
+        "                      /tmp/ppm_serve.sock)\n"
+        "  --workers N         concurrent request workers (default 1)\n"
+        "  --archive-dir DIR   persist results to DIR (CRC-checked\n"
+        "                      append-only archive, replayed on reuse)\n"
+        "  --verbose           log requests to stderr\n",
+        argv0);
+}
+
+std::string
+defaultSocket()
+{
+    const auto env = ppm::serve::socketsFromEnv();
+    return env.empty() ? std::string("/tmp/ppm_serve.sock")
+                       : env.front();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ppm::serve::ServerOptions options;
+    options.socket_path = defaultSocket();
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            options.socket_path = argv[++i];
+        } else if (arg == "--workers" && has_value) {
+            options.num_workers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--archive-dir" && has_value) {
+            options.archive_dir = argv[++i];
+        } else if (arg == "--verbose") {
+            options.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    // Block the shutdown signals before spawning workers so every
+    // thread inherits the mask and sigwait() below gets them.
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGINT);
+    sigaddset(&signals, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    ppm::serve::SimServer server(options);
+    try {
+        server.start();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ppm_serve: failed to start: %s\n",
+                     e.what());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "ppm_serve: listening on %s (%u worker%s%s%s)\n",
+                 options.socket_path.c_str(), options.num_workers,
+                 options.num_workers == 1 ? "" : "s",
+                 options.archive_dir.empty() ? "" : ", archive ",
+                 options.archive_dir.c_str());
+
+    int caught = 0;
+    sigwait(&signals, &caught);
+    std::fprintf(stderr, "ppm_serve: caught %s after %llu requests, "
+                         "%llu simulations; shutting down\n",
+                 caught == SIGINT ? "SIGINT" : "SIGTERM",
+                 static_cast<unsigned long long>(
+                     server.requestsServed()),
+                 static_cast<unsigned long long>(
+                     server.totalEvaluations()));
+    server.stop();
+    return 0;
+}
