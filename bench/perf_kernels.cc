@@ -15,6 +15,7 @@
 #include "bench_util.hh"
 #include "core/evaluator.hh"
 #include "core/oracle.hh"
+#include "sampling/batch_acquisition.hh"
 #include "sampling/discrepancy.hh"
 #include "sampling/sample_gen.hh"
 #include "serve/remote_oracle.hh"
@@ -240,6 +241,43 @@ BM_RbfTrainingThreads(benchmark::State &state)
 }
 BENCHMARK(BM_RbfTrainingThreads)->Unit(benchmark::kMillisecond)
     ->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/**
+ * One adaptive infill acquisition round over a 2000-candidate pool
+ * against a 90-point sample: sequential (arg0 = 0, one scoring pass
+ * per pick) vs determinantal (arg0 = 1, one scoring pass per round,
+ * joint greedy max-determinant selection), batch sizes 1/4/16.
+ * Sequential cost grows linearly in the batch size; determinantal
+ * stays one pass plus the cheap rank-1-update selection.
+ */
+void
+BM_AdaptiveAcquisition(benchmark::State &state)
+{
+    const auto strategy = state.range(0) == 0
+        ? sampling::BatchStrategy::Sequential
+        : sampling::BatchStrategy::Determinantal;
+    const int batch = static_cast<int>(state.range(1));
+    auto space = dspace::paperTrainSpace();
+    const auto d = fitData(90);
+    const tree::RegressionTree tree(d.xs, d.ys, 8);
+    const sampling::VariabilityFn variability =
+        [&tree](const dspace::UnitPoint &x) { return tree.leafStd(x); };
+    sampling::BatchAcquisitionOptions opts;
+    opts.batch_size = batch;
+    opts.candidate_pool = 2000;
+    for (auto _ : state) {
+        math::Rng rng(7);
+        auto picked = sampling::acquireBatch(strategy, space, d.xs,
+                                             variability, opts, rng);
+        benchmark::DoNotOptimize(picked.points.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * batch);
+}
+BENCHMARK(BM_AdaptiveAcquisition)->Unit(benchmark::kMillisecond)
+    ->ArgNames({"strategy", "batch"})
+    ->Args({0, 1})->Args({0, 4})->Args({0, 16})
+    ->Args({1, 1})->Args({1, 4})->Args({1, 16});
 
 void
 BM_RbfPrediction(benchmark::State &state)

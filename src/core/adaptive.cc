@@ -1,81 +1,12 @@
 #include "core/adaptive.hh"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
 #include "sampling/sample_gen.hh"
 #include "tree/regression_tree.hh"
-#include "util/thread_pool.hh"
 
 namespace ppm::core {
-
-namespace {
-
-/** Squared Euclidean distance between unit points. */
-double
-distSq(const dspace::UnitPoint &a, const dspace::UnitPoint &b)
-{
-    double acc = 0;
-    for (std::size_t k = 0; k < a.size(); ++k) {
-        const double d = a[k] - b[k];
-        acc += d * d;
-    }
-    return acc;
-}
-
-/** Distance from @p x to the nearest point of @p points. */
-double
-nearestDistance(const dspace::UnitPoint &x,
-                const std::vector<dspace::UnitPoint> &points)
-{
-    double best = 1e300;
-    for (const auto &p : points)
-        best = std::min(best, distSq(x, p));
-    return std::sqrt(best);
-}
-
-/**
- * Response-variability proxy at @p x: the standard deviation of the
- * training responses inside the tree leaf containing x. High values
- * mark regions the tree could not yet explain.
- */
-class LeafStd
-{
-  public:
-    LeafStd(const std::vector<dspace::UnitPoint> &xs,
-            const std::vector<double> &ys)
-        : tree_(xs, ys, 8), xs_(xs), ys_(ys)
-    {
-    }
-
-    double
-    operator()(const dspace::UnitPoint &x) const
-    {
-        // The tree predicts the leaf mean; estimate the leaf spread
-        // by the absolute deviation of the nearest training point's
-        // response from that mean (cheap and monotone in the true
-        // leaf variance).
-        const double mean = tree_.predict(x);
-        double best = 1e300;
-        double nearest_y = mean;
-        for (std::size_t i = 0; i < xs_.size(); ++i) {
-            const double d = distSq(x, xs_[i]);
-            if (d < best) {
-                best = d;
-                nearest_y = ys_[i];
-            }
-        }
-        return std::fabs(nearest_y - mean);
-    }
-
-  private:
-    tree::RegressionTree tree_;
-    const std::vector<dspace::UnitPoint> &xs_;
-    const std::vector<double> &ys_;
-};
-
-} // namespace
 
 AdaptiveSampler::AdaptiveSampler(dspace::DesignSpace train_space,
                                  dspace::DesignSpace test_space,
@@ -96,6 +27,15 @@ AdaptiveSampler::build(const AdaptiveOptions &options)
         throw std::invalid_argument("AdaptiveOptions: max_samples");
     if (options.num_test_points < 1)
         throw std::invalid_argument("AdaptiveOptions: test points");
+    if (options.candidate_pool < 1)
+        throw std::invalid_argument("AdaptiveOptions: candidate_pool");
+    if (options.lhs_candidates < 1)
+        throw std::invalid_argument("AdaptiveOptions: lhs_candidates");
+    if (options.batch_strategy ==
+            sampling::BatchStrategy::Determinantal &&
+        options.candidate_pool < options.batch_size)
+        throw std::invalid_argument(
+            "AdaptiveOptions: candidate_pool < batch_size");
 
     const std::uint64_t evals_before = oracle_.evaluations();
     math::Rng rng(options.seed);
@@ -117,20 +57,22 @@ AdaptiveSampler::build(const AdaptiveOptions &options)
     for (const auto &p : result.sample)
         unit.push_back(train_space_.toUnit(p));
 
-    auto refit_and_record = [&]() {
-        rbf::TrainedRbf trained =
-            rbf::trainRbfModel(unit, ys, options.trainer);
-        result.model = std::make_shared<RbfPerformanceModel>(
-            train_space_, std::move(trained));
-        AdaptiveRound round;
-        round.samples = static_cast<int>(result.sample.size());
-        round.error =
-            evaluateModel(*result.model, test_points, test_ys);
-        result.history.push_back(round);
-        return result.history.back().error.mean_error;
-    };
+    auto refit_and_record =
+        [&](const sampling::AcquisitionStats &acquisition) {
+            rbf::TrainedRbf trained =
+                rbf::trainRbfModel(unit, ys, options.trainer);
+            result.model = std::make_shared<RbfPerformanceModel>(
+                train_space_, std::move(trained));
+            AdaptiveRound round;
+            round.samples = static_cast<int>(result.sample.size());
+            round.error =
+                evaluateModel(*result.model, test_points, test_ys);
+            round.acquisition = acquisition;
+            result.history.push_back(round);
+            return result.history.back().error.mean_error;
+        };
 
-    double err = refit_and_record();
+    double err = refit_and_record({});
 
     while (err > options.target_mean_error &&
            static_cast<int>(result.sample.size()) <
@@ -140,54 +82,32 @@ AdaptiveSampler::build(const AdaptiveOptions &options)
             options.max_samples -
                 static_cast<int>(result.sample.size()));
 
-        // Score a candidate pool: far from the sample, in
-        // high-variance regions.
-        const LeafStd leaf_std(unit, ys);
-        std::vector<dspace::DesignPoint> batch_raw;
-        std::vector<dspace::UnitPoint> batch_unit;
-        std::vector<dspace::UnitPoint> occupied = unit;
+        // Infill batch: far from the sample, in high-variance tree
+        // regions. The variability proxy is the response standard
+        // deviation of the leaf containing the candidate.
+        const tree::RegressionTree tree(unit, ys, 8);
+        sampling::BatchAcquisitionOptions acq;
+        acq.batch_size = want;
+        acq.candidate_pool = options.candidate_pool;
+        acq.distance_weight = options.distance_weight;
+        acq.kernel_bandwidth = options.kernel_bandwidth;
+        sampling::AcquiredBatch batch = sampling::acquireBatch(
+            options.batch_strategy, train_space_, unit,
+            [&tree](const dspace::UnitPoint &x) {
+                return tree.leafStd(x);
+            },
+            acq, rng);
 
-        const auto pool =
-            static_cast<std::size_t>(options.candidate_pool);
-        std::vector<dspace::DesignPoint> cand_raw(pool);
-        std::vector<dspace::UnitPoint> cand_unit(pool);
-        std::vector<double> cand_score(pool);
-
-        for (int picked = 0; picked < want; ++picked) {
-            // Candidates are scored in parallel; each derives its RNG
-            // stream from (base, index) so the pool is identical for
-            // every thread count. Picks stay sequential because each
-            // depends on the previously occupied points.
-            const std::uint64_t base = rng.next();
-            util::parallelFor(pool, [&](std::size_t c) {
-                math::Rng crng = math::Rng::stream(base, c);
-                cand_raw[c] = train_space_.randomPoint(crng);
-                cand_unit[c] = train_space_.toUnit(cand_raw[c]);
-                const double d = nearestDistance(cand_unit[c], occupied);
-                cand_score[c] =
-                    std::pow(d, options.distance_weight) *
-                    (1.0 + leaf_std(cand_unit[c]));
-            });
-            // First strict maximum: the same winner the serial scan
-            // would pick.
-            std::size_t best_c = 0;
-            for (std::size_t c = 1; c < pool; ++c)
-                if (cand_score[c] > cand_score[best_c])
-                    best_c = c;
-            occupied.push_back(cand_unit[best_c]);
-            batch_raw.push_back(std::move(cand_raw[best_c]));
-            batch_unit.push_back(std::move(cand_unit[best_c]));
-        }
-
-        // Simulate the batch across the pool and refit.
+        // Simulate the whole batch in one dispatch (a RemoteOracle
+        // shards it across server processes) and refit.
         const std::vector<double> batch_ys =
-            oracle_.evaluateAll(batch_raw);
-        for (std::size_t i = 0; i < batch_raw.size(); ++i) {
+            oracle_.evaluateAll(batch.points);
+        for (std::size_t i = 0; i < batch.points.size(); ++i) {
             ys.push_back(batch_ys[i]);
-            result.sample.push_back(batch_raw[i]);
-            unit.push_back(batch_unit[i]);
+            result.sample.push_back(std::move(batch.points[i]));
+            unit.push_back(std::move(batch.unit[i]));
         }
-        err = refit_and_record();
+        err = refit_and_record(batch.stats);
     }
 
     result.converged = err <= options.target_mean_error;

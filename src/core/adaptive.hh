@@ -10,8 +10,13 @@
  * and then adds batches of infill points chosen to be (a) far from
  * every already-simulated point and (b) in regions where the current
  * regression tree sees high response variance — i.e. where the model
- * is likely still wrong. After each batch the RBF model is refit and
- * validated; the loop stops at the error target or the budget.
+ * is likely still wrong. Batches are selected by
+ * sampling::acquireBatch — by default the determinantal strategy,
+ * which scores one candidate pool per round and picks the whole batch
+ * jointly, so each round costs a single scoring pass and a single
+ * (shardable) oracle dispatch. After each batch the RBF model is
+ * refit and validated; the loop stops at the error target or the
+ * budget.
  */
 
 #ifndef PPM_CORE_ADAPTIVE_HH
@@ -24,6 +29,7 @@
 #include "core/predictor.hh"
 #include "dspace/design_space.hh"
 #include "rbf/trainer.hh"
+#include "sampling/batch_acquisition.hh"
 
 namespace ppm::core {
 
@@ -50,6 +56,15 @@ struct AdaptiveOptions
     int num_test_points = 50;
     /** Candidate LHS samples for the initial design. */
     int lhs_candidates = 50;
+    /**
+     * Infill batch selection strategy. Determinantal scores the
+     * candidate pool once per round and requires
+     * candidate_pool >= batch_size.
+     */
+    sampling::BatchStrategy batch_strategy =
+        sampling::BatchStrategy::Determinantal;
+    /** Gaussian kernel bandwidth for Determinantal (0 = auto). */
+    double kernel_bandwidth = 0.0;
     /** Seed for all sampling. */
     std::uint64_t seed = 1;
     /** RBF hyperparameter grid. */
@@ -63,6 +78,11 @@ struct AdaptiveRound
     int samples = 0;
     /** Validation accuracy of the refit model. */
     ErrorReport error;
+    /**
+     * Acquisition accounting for the batch that produced this round
+     * (all-zero for round 0, whose sample is the LHS seed).
+     */
+    sampling::AcquisitionStats acquisition;
 };
 
 /** Result of adaptive model construction. */

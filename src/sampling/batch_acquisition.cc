@@ -1,0 +1,250 @@
+#include "sampling/batch_acquisition.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/thread_pool.hh"
+
+namespace ppm::sampling {
+
+namespace {
+
+/** Squared Euclidean distance between unit points. */
+double
+distSq(const dspace::UnitPoint &a, const dspace::UnitPoint &b)
+{
+    double acc = 0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        const double d = a[k] - b[k];
+        acc += d * d;
+    }
+    return acc;
+}
+
+/**
+ * Distance from @p x to the nearest point of @p points; 1.0 when
+ * @p points is empty, so the quality score degrades to the pure
+ * variability term.
+ */
+double
+nearestDistance(const dspace::UnitPoint &x,
+                const std::vector<dspace::UnitPoint> &points)
+{
+    if (points.empty())
+        return 1.0;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &p : points)
+        best = std::min(best, distSq(x, p));
+    return std::sqrt(best);
+}
+
+/** One generated-and-scored candidate pool. */
+struct ScoredPool
+{
+    std::vector<dspace::DesignPoint> raw;
+    std::vector<dspace::UnitPoint> unit;
+    std::vector<double> score;
+};
+
+/**
+ * Generate and score @p pool candidates in parallel. Candidate c
+ * derives its RNG from (base, c), so the pool is identical for every
+ * thread count.
+ */
+ScoredPool
+scorePool(const dspace::DesignSpace &space,
+          const std::vector<dspace::UnitPoint> &occupied,
+          const VariabilityFn &variability, std::size_t pool,
+          double distance_weight, std::uint64_t base)
+{
+    ScoredPool p;
+    p.raw.resize(pool);
+    p.unit.resize(pool);
+    p.score.resize(pool);
+    util::parallelFor(pool, [&](std::size_t c) {
+        math::Rng crng = math::Rng::stream(base, c);
+        p.raw[c] = space.randomPoint(crng);
+        p.unit[c] = space.toUnit(p.raw[c]);
+        const double d = nearestDistance(p.unit[c], occupied);
+        p.score[c] = std::pow(d, distance_weight) *
+                     (1.0 + variability(p.unit[c]));
+    });
+    return p;
+}
+
+/** First strict maximum — the winner a serial scan would pick. */
+std::size_t
+argmaxScore(const std::vector<double> &score)
+{
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < score.size(); ++c)
+        if (score[c] > score[best])
+            best = c;
+    return best;
+}
+
+/** Batch diversity figure (see AcquisitionStats). */
+double
+batchMinDistance(const std::vector<dspace::UnitPoint> &batch,
+                 const std::vector<dspace::UnitPoint> &occupied)
+{
+    if (batch.size() < 2)
+        return batch.empty() ? 0.0
+                             : nearestDistance(batch.front(), occupied);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i + 1 < batch.size(); ++i)
+        for (std::size_t j = i + 1; j < batch.size(); ++j)
+            best = std::min(best, distSq(batch[i], batch[j]));
+    return std::sqrt(best);
+}
+
+/** The original infill rule: one scoring pass per pick. */
+AcquiredBatch
+acquireSequential(const dspace::DesignSpace &space,
+                  const std::vector<dspace::UnitPoint> &occupied,
+                  const VariabilityFn &variability,
+                  const BatchAcquisitionOptions &options, math::Rng &rng)
+{
+    const auto pool = static_cast<std::size_t>(options.candidate_pool);
+    AcquiredBatch out;
+    std::vector<dspace::UnitPoint> conditioned = occupied;
+    for (int picked = 0; picked < options.batch_size; ++picked) {
+        const std::uint64_t base = rng.next();
+        ScoredPool p = scorePool(space, conditioned, variability, pool,
+                                 options.distance_weight, base);
+        out.stats.pool_scored += pool;
+        const std::size_t best = argmaxScore(p.score);
+        conditioned.push_back(p.unit[best]);
+        out.points.push_back(std::move(p.raw[best]));
+        out.unit.push_back(std::move(p.unit[best]));
+    }
+    out.stats.batch_min_distance = batchMinDistance(out.unit, occupied);
+    return out;
+}
+
+/**
+ * Joint batch selection: greedy max-determinant over
+ * L[i][j] = q_i * k(x_i, x_j) * q_j (greedy MAP inference for a
+ * determinantal point process). Each step picks the candidate with
+ * the largest residual variance d2_i = L_ii - |c_i|^2, where c_i is
+ * candidate i's row in the incrementally grown Cholesky factor of
+ * L restricted to the picked set; the subsequent rank-1 update of
+ * every unpicked row costs O(pool * picked).
+ */
+AcquiredBatch
+acquireDeterminantal(const dspace::DesignSpace &space,
+                     const std::vector<dspace::UnitPoint> &occupied,
+                     const VariabilityFn &variability,
+                     const BatchAcquisitionOptions &options,
+                     math::Rng &rng)
+{
+    const auto pool = static_cast<std::size_t>(options.candidate_pool);
+    const auto k = static_cast<std::size_t>(options.batch_size);
+
+    const std::uint64_t base = rng.next();
+    ScoredPool p = scorePool(space, occupied, variability, pool,
+                             options.distance_weight, base);
+
+    AcquiredBatch out;
+    out.stats.pool_scored = pool;
+
+    const double dims = static_cast<double>(space.size());
+    const double sigma = options.kernel_bandwidth > 0
+        ? options.kernel_bandwidth : 0.25 * std::sqrt(dims);
+    const double inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
+
+    const auto start = std::chrono::steady_clock::now();
+
+    // Residual variances start at L_ii = q_i^2 (k(x, x) = 1); rows of
+    // the Cholesky factor grow by one entry per pick.
+    std::vector<double> d2(pool);
+    for (std::size_t i = 0; i < pool; ++i)
+        d2[i] = p.score[i] * p.score[i];
+    std::vector<std::vector<double>> chol(pool);
+    std::vector<char> picked(pool, 0);
+    std::vector<std::size_t> selected;
+    selected.reserve(k);
+
+    for (std::size_t step = 0; step < k; ++step) {
+        // First strict maximum over unpicked candidates (serial, so
+        // ties resolve identically for every thread count).
+        std::size_t best = pool;
+        for (std::size_t i = 0; i < pool; ++i)
+            if (!picked[i] && (best == pool || d2[i] > d2[best]))
+                best = i;
+        picked[best] = 1;
+        selected.push_back(best);
+        if (step + 1 == k)
+            break;
+
+        const double dj = std::sqrt(std::max(d2[best], 1e-300));
+        const std::vector<double> &row_j = chol[best];
+        for (std::size_t i = 0; i < pool; ++i) {
+            if (picked[i])
+                continue;
+            const double kern = std::exp(
+                -distSq(p.unit[best], p.unit[i]) * inv_two_sigma_sq);
+            ++out.stats.kernel_evaluations;
+            const double l_ji = p.score[best] * kern * p.score[i];
+            double dot = 0.0;
+            const std::vector<double> &row_i = chol[i];
+            for (std::size_t s = 0; s < row_j.size(); ++s)
+                dot += row_j[s] * row_i[s];
+            const double e = (l_ji - dot) / dj;
+            chol[i].push_back(e);
+            d2[i] -= e * e;
+        }
+    }
+
+    out.stats.selection_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    for (std::size_t i : selected) {
+        out.points.push_back(std::move(p.raw[i]));
+        out.unit.push_back(std::move(p.unit[i]));
+    }
+    out.stats.batch_min_distance = batchMinDistance(out.unit, occupied);
+    return out;
+}
+
+} // namespace
+
+const char *
+batchStrategyName(BatchStrategy strategy)
+{
+    return strategy == BatchStrategy::Sequential ? "sequential"
+                                                 : "determinantal";
+}
+
+AcquiredBatch
+acquireBatch(BatchStrategy strategy, const dspace::DesignSpace &space,
+             const std::vector<dspace::UnitPoint> &occupied,
+             const VariabilityFn &variability,
+             const BatchAcquisitionOptions &options, math::Rng &rng)
+{
+    if (options.batch_size < 1)
+        throw std::invalid_argument(
+            "BatchAcquisitionOptions: batch_size");
+    if (options.candidate_pool < 1)
+        throw std::invalid_argument(
+            "BatchAcquisitionOptions: candidate_pool");
+    if (options.kernel_bandwidth < 0)
+        throw std::invalid_argument(
+            "BatchAcquisitionOptions: kernel_bandwidth");
+    if (strategy == BatchStrategy::Determinantal &&
+        options.candidate_pool < options.batch_size)
+        throw std::invalid_argument(
+            "BatchAcquisitionOptions: candidate_pool < batch_size");
+
+    return strategy == BatchStrategy::Sequential
+        ? acquireSequential(space, occupied, variability, options, rng)
+        : acquireDeterminantal(space, occupied, variability, options,
+                               rng);
+}
+
+} // namespace ppm::sampling

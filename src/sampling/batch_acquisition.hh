@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Batch-aware infill acquisition for the adaptive sampling loop
+ * (paper Sec 6).
+ *
+ * The sequential strategy reproduces the original infill rule: each
+ * pick draws and scores a fresh candidate pool conditioned on
+ * everything already selected, so a batch of k picks costs k full
+ * scoring passes and the oracle backend idles between picks.
+ *
+ * The determinantal strategy scores ONE candidate pool per round and
+ * selects the whole k-point batch jointly, in the spirit of
+ * determinantal point processes (Kulesza & Taskar): greedy
+ * max-determinant selection over the quality–diversity kernel
+ *
+ *     L[i][j] = q_i * k(x_i, x_j) * q_j ,
+ *
+ * where q_i is the infill quality score d_min^w * (1 + leaf_std) and
+ * k is a Gaussian kernel on unit-space distance. det L_S trades the
+ * product of qualities against the batch's spread, so one scoring
+ * pass yields a diverse batch and the whole batch can be dispatched
+ * to a (sharded) oracle in a single evaluateAll() call. Greedy
+ * selection maintains an incremental Cholesky factor of L_S; each
+ * step is a rank-1 update costing O(pool · picked).
+ *
+ * Determinism contract: the pool is generated and scored in parallel
+ * with per-candidate math::Rng::stream(base, index) streams, and
+ * selection is a serial first-strict-winner scan, so batches are
+ * bit-identical for every PPM_THREADS value (see DESIGN.md "Parallel
+ * execution & determinism").
+ */
+
+#ifndef PPM_SAMPLING_BATCH_ACQUISITION_HH
+#define PPM_SAMPLING_BATCH_ACQUISITION_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dspace/design_space.hh"
+#include "math/rng.hh"
+
+namespace ppm::sampling {
+
+/** How an infill batch is selected from the candidate pool. */
+enum class BatchStrategy
+{
+    /** One scoring pass per pick, conditioned on previous picks. */
+    Sequential,
+    /**
+     * One scoring pass per round; joint k-point selection by greedy
+     * max-determinant over the quality–diversity kernel.
+     */
+    Determinantal,
+};
+
+/** Short name of a BatchStrategy ("sequential", "determinantal"). */
+const char *batchStrategyName(BatchStrategy strategy);
+
+struct BatchAcquisitionOptions
+{
+    /** Points to select (>= 1). */
+    int batch_size = 1;
+    /**
+     * Candidates scored (>= 1; for Determinantal also
+     * >= batch_size, since each pool point is picked at most once).
+     */
+    int candidate_pool = 2000;
+    /** Exponent w of the distance term in the quality score. */
+    double distance_weight = 1.0;
+    /**
+     * Gaussian kernel bandwidth sigma in unit space
+     * (k = exp(-d^2 / (2 sigma^2))); 0 selects 0.25 * sqrt(dims),
+     * the scale of typical nearest-neighbour spacing. Determinantal
+     * only.
+     */
+    double kernel_bandwidth = 0.0;
+};
+
+/** Per-round acquisition accounting, surfaced in AdaptiveRound. */
+struct AcquisitionStats
+{
+    /** Candidate scorings this round (pool, or k * pool sequential). */
+    std::uint64_t pool_scored = 0;
+    /** Gaussian kernel evaluations during joint selection. */
+    std::uint64_t kernel_evaluations = 0;
+    /** Wall-clock seconds spent selecting (excludes pool scoring). */
+    double selection_seconds = 0.0;
+    /**
+     * Batch diversity: minimum pairwise unit-space distance within
+     * the selected batch; for single-point batches, the distance to
+     * the nearest occupied point.
+     */
+    double batch_min_distance = 0.0;
+};
+
+/** A selected infill batch in raw and unit coordinates. */
+struct AcquiredBatch
+{
+    std::vector<dspace::DesignPoint> points;
+    std::vector<dspace::UnitPoint> unit;
+    AcquisitionStats stats;
+};
+
+/**
+ * Local response-variability estimate at a unit point (e.g. the
+ * standard deviation of the training responses in the regression-tree
+ * leaf containing it). Must be safe to call concurrently.
+ */
+using VariabilityFn = std::function<double(const dspace::UnitPoint &)>;
+
+/**
+ * Select one infill batch.
+ *
+ * @param strategy Selection strategy.
+ * @param space Space candidates are drawn from.
+ * @param occupied Unit coordinates of every already-simulated point.
+ * @param variability Response-variability proxy (see VariabilityFn).
+ * @param options Pool / batch sizes and kernel parameters.
+ * @param rng Caller's RNG; the Sequential strategy draws one base
+ *        seed per pick, Determinantal exactly one per round.
+ * @throws std::invalid_argument on invalid options.
+ */
+AcquiredBatch acquireBatch(BatchStrategy strategy,
+                           const dspace::DesignSpace &space,
+                           const std::vector<dspace::UnitPoint> &occupied,
+                           const VariabilityFn &variability,
+                           const BatchAcquisitionOptions &options,
+                           math::Rng &rng);
+
+} // namespace ppm::sampling
+
+#endif // PPM_SAMPLING_BATCH_ACQUISITION_HH

@@ -81,7 +81,8 @@ RemoteOracle::requestChunk(
         if (attempt > 0) {
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 std::min(backoff_ms, options_.backoff_max_ms)));
-            backoff_ms *= 2;
+            backoff_ms =
+                nextBackoffMs(backoff_ms, options_.backoff_max_ms);
         }
         try {
             FdGuard fd =

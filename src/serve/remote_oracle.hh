@@ -48,6 +48,19 @@ inline constexpr const char *kSocketEnvVar = "PPM_SERVE_SOCKET";
  */
 std::vector<std::string> socketsFromEnv();
 
+/**
+ * Next delay of a bounded exponential-backoff schedule: doubles
+ * @p backoff_ms, saturating at @p backoff_max_ms. Saturation is
+ * checked before the doubling, so the schedule can never overflow
+ * however many attempts are configured.
+ */
+constexpr int
+nextBackoffMs(int backoff_ms, int backoff_max_ms)
+{
+    return backoff_ms > backoff_max_ms / 2 ? backoff_max_ms
+                                           : backoff_ms * 2;
+}
+
 struct RemoteOptions
 {
     /**

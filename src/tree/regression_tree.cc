@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <deque>
 #include <limits>
 
@@ -63,12 +64,18 @@ RegressionTree::RegressionTree(const std::vector<dspace::UnitPoint> &xs,
         ++node_count_;
         max_depth_ = std::max(max_depth_, node->depth);
 
-        double sum = 0.0;
-        for (std::size_t i : indices)
+        double sum = 0.0, sum_sq = 0.0;
+        for (std::size_t i : indices) {
             sum += ys[i];
+            sum_sq += ys[i] * ys[i];
+        }
         node->count = indices.size();
-        node->mean = indices.empty() ? 0.0
-            : sum / static_cast<double>(indices.size());
+        if (!indices.empty()) {
+            const double n = static_cast<double>(indices.size());
+            node->mean = sum / n;
+            node->stddev = std::sqrt(
+                std::max(0.0, sum_sq / n - node->mean * node->mean));
+        }
 
         if (indices.size() <= static_cast<std::size_t>(p_min)) {
             ++leaf_count_;
@@ -189,6 +196,18 @@ RegressionTree::predict(const dspace::UnitPoint &x) const
     return node->mean;
 }
 
+double
+RegressionTree::leafStd(const dspace::UnitPoint &x) const
+{
+    assert(x.size() == dims_);
+    const Node *node = root_.get();
+    while (!node->isLeaf()) {
+        node = x[node->split_param] <= node->split_value
+            ? node->left.get() : node->right.get();
+    }
+    return node->stddev;
+}
+
 std::vector<NodeInfo>
 RegressionTree::nodes() const
 {
@@ -210,6 +229,7 @@ RegressionTree::nodes() const
         info.depth = node->depth;
         info.count = node->count;
         info.mean_response = node->mean;
+        info.std_response = node->stddev;
         info.is_leaf = node->isLeaf();
 
         if (!node->isLeaf()) {

@@ -38,6 +38,8 @@ struct NodeInfo
     std::size_t count = 0;
     /** Mean response of those points. */
     double mean_response = 0.0;
+    /** Population standard deviation of those points' responses. */
+    double std_response = 0.0;
     /** True iff the node was not split further. */
     bool is_leaf = false;
     /** Sentinel for absent children. */
@@ -106,6 +108,14 @@ class RegressionTree
     double predict(const dspace::UnitPoint &x) const;
 
     /**
+     * Standard deviation of the training responses inside the leaf
+     * region containing @p x (population convention; 0 for singleton
+     * leaves). The adaptive sampler uses this as its
+     * response-variability proxy.
+     */
+    double leafStd(const dspace::UnitPoint &x) const;
+
+    /**
      * All node regions in breadth-first order (root first). This is the
      * candidate-center ordering used by tree-ordered RBF subset
      * selection.
@@ -126,6 +136,7 @@ class RegressionTree
         dspace::UnitPoint lower;
         dspace::UnitPoint upper;
         double mean = 0.0;
+        double stddev = 0.0;
         std::size_t count = 0;
         int depth = 0;
         // Split description; parameter == npos for leaves.

@@ -11,6 +11,7 @@
 #include "core/adaptive.hh"
 #include "core/model_builder.hh"
 #include "dspace/paper_space.hh"
+#include "util/thread_pool.hh"
 
 namespace {
 
@@ -44,17 +45,24 @@ fastOptions()
 
 TEST(Adaptive, ConvergesOnSmoothResponse)
 {
-    FunctionOracle oracle(response);
-    auto train = dspace::paperTrainSpace();
-    auto test = dspace::paperTestSpace();
-    AdaptiveSampler sampler(train, test, oracle);
-    auto opts = fastOptions();
-    opts.target_mean_error = 4.0;
-    auto result = sampler.build(opts);
-    ASSERT_FALSE(result.history.empty());
-    EXPECT_TRUE(result.converged);
-    EXPECT_LE(result.history.back().error.mean_error, 4.0);
-    EXPECT_NE(result.model, nullptr);
+    // Both batch strategies must reach the error target on the
+    // synthetic oracle.
+    for (const auto strategy : {sampling::BatchStrategy::Determinantal,
+                                sampling::BatchStrategy::Sequential}) {
+        FunctionOracle oracle(response);
+        auto train = dspace::paperTrainSpace();
+        auto test = dspace::paperTestSpace();
+        AdaptiveSampler sampler(train, test, oracle);
+        auto opts = fastOptions();
+        opts.batch_strategy = strategy;
+        opts.target_mean_error = 4.0;
+        auto result = sampler.build(opts);
+        ASSERT_FALSE(result.history.empty());
+        EXPECT_TRUE(result.converged)
+            << sampling::batchStrategyName(strategy);
+        EXPECT_LE(result.history.back().error.mean_error, 4.0);
+        EXPECT_NE(result.model, nullptr);
+    }
 }
 
 TEST(Adaptive, RespectsBudget)
@@ -140,6 +148,115 @@ TEST(Adaptive, RejectsBadOptions)
     bad = fastOptions();
     bad.num_test_points = 0;
     EXPECT_THROW(sampler.build(bad), std::invalid_argument);
+    // candidate_pool = 0 used to index an empty score vector (UB)
+    // instead of throwing.
+    bad = fastOptions();
+    bad.candidate_pool = 0;
+    EXPECT_THROW(sampler.build(bad), std::invalid_argument);
+    bad = fastOptions();
+    bad.lhs_candidates = 0;
+    EXPECT_THROW(sampler.build(bad), std::invalid_argument);
+    // Determinantal picks each pool candidate at most once, so the
+    // pool must cover the batch.
+    bad = fastOptions();
+    bad.batch_strategy = sampling::BatchStrategy::Determinantal;
+    bad.candidate_pool = bad.batch_size - 1;
+    EXPECT_THROW(sampler.build(bad), std::invalid_argument);
+}
+
+TEST(Adaptive, DeterminantalScoresPoolOncePerRound)
+{
+    FunctionOracle oracle(response);
+    auto train = dspace::paperTrainSpace();
+    AdaptiveSampler sampler(train, train, oracle);
+    auto opts = fastOptions();
+    opts.target_mean_error = 0.0;
+    auto result = sampler.build(opts);
+    ASSERT_GE(result.history.size(), 2u);
+    // Round 0 is the LHS seed; every infill round scored the pool
+    // exactly once, regardless of batch size.
+    EXPECT_EQ(result.history.front().acquisition.pool_scored, 0u);
+    for (std::size_t i = 1; i < result.history.size(); ++i) {
+        const auto &acq = result.history[i].acquisition;
+        EXPECT_EQ(acq.pool_scored,
+                  static_cast<std::uint64_t>(opts.candidate_pool));
+        EXPECT_GT(acq.kernel_evaluations, 0u);
+    }
+    // The oracle cost is unchanged: test points + training points.
+    EXPECT_EQ(oracle.evaluations(),
+              static_cast<std::uint64_t>(opts.num_test_points) +
+                  result.sample.size());
+}
+
+TEST(Adaptive, SequentialScoresPoolPerPick)
+{
+    FunctionOracle oracle(response);
+    auto train = dspace::paperTrainSpace();
+    AdaptiveSampler sampler(train, train, oracle);
+    auto opts = fastOptions();
+    opts.batch_strategy = sampling::BatchStrategy::Sequential;
+    opts.target_mean_error = 0.0;
+    auto result = sampler.build(opts);
+    ASSERT_GE(result.history.size(), 2u);
+    for (std::size_t i = 1; i < result.history.size(); ++i) {
+        const auto &acq = result.history[i].acquisition;
+        const int batch =
+            result.history[i].samples - result.history[i - 1].samples;
+        EXPECT_EQ(acq.pool_scored,
+                  static_cast<std::uint64_t>(opts.candidate_pool) *
+                      static_cast<std::uint64_t>(batch));
+        EXPECT_EQ(acq.kernel_evaluations, 0u);
+    }
+}
+
+TEST(Adaptive, DeterminantalBatchesAreDiverse)
+{
+    FunctionOracle oracle(response);
+    auto train = dspace::paperTrainSpace();
+    AdaptiveSampler sampler(train, train, oracle);
+    auto opts = fastOptions();
+    opts.target_mean_error = 0.0;
+    auto result = sampler.build(opts);
+    ASSERT_GE(result.history.size(), 2u);
+    // Joint selection must not degenerate into duplicate picks: every
+    // multi-point batch has a strictly positive minimum pairwise
+    // distance in unit space.
+    for (std::size_t i = 1; i < result.history.size(); ++i)
+        EXPECT_GT(result.history[i].acquisition.batch_min_distance,
+                  0.0)
+            << "round " << i;
+    std::set<std::vector<double>> seen;
+    for (const auto &p : result.sample)
+        seen.insert(p);
+    EXPECT_GE(seen.size(), result.sample.size() - 3);
+}
+
+TEST(Adaptive, SelectionBitIdenticalAcrossThreadCounts)
+{
+    // The whole adaptive trajectory — candidate pools, joint
+    // selection, refits — must be bit-identical for 1 and 4 threads.
+    for (const auto strategy : {sampling::BatchStrategy::Determinantal,
+                                sampling::BatchStrategy::Sequential}) {
+        auto run = [&](unsigned threads) {
+            util::setGlobalThreads(threads);
+            FunctionOracle oracle(response);
+            auto train = dspace::paperTrainSpace();
+            AdaptiveSampler sampler(train, train, oracle);
+            auto opts = fastOptions();
+            opts.batch_strategy = strategy;
+            opts.target_mean_error = 0.0;
+            return sampler.build(opts);
+        };
+        const auto serial = run(1);
+        const auto parallel = run(4);
+        util::setGlobalThreads(0);
+        EXPECT_EQ(serial.sample, parallel.sample)
+            << sampling::batchStrategyName(strategy);
+        ASSERT_EQ(serial.history.size(), parallel.history.size());
+        for (std::size_t i = 0; i < serial.history.size(); ++i)
+            EXPECT_EQ(serial.history[i].error.mean_error,
+                      parallel.history[i].error.mean_error);
+    }
 }
 
 TEST(Adaptive, MatchesLhsBudgetAccuracy)

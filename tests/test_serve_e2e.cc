@@ -25,6 +25,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "core/adaptive.hh"
 #include "core/oracle.hh"
 #include "dspace/paper_space.hh"
 #include "rbf/trainer.hh"
@@ -345,6 +346,55 @@ TEST(ServeE2E, RestartedServerWarmStartsFromArchive)
         server.stop();
     }
     fs::remove_all(dir);
+}
+
+TEST(ServeE2E, AdaptiveBatchesBitIdenticalAcrossShardCounts)
+{
+    // The determinantal infill loop dispatches each batch through one
+    // evaluateAll() call; the trajectory — seed sample, every picked
+    // batch, every refit error — must be bit-identical whether that
+    // call is served locally (0 shards) or sharded across two server
+    // processes.
+    Scenario &s = scenario();
+    core::AdaptiveOptions opts;
+    opts.initial_size = 10;
+    opts.batch_size = 4;
+    opts.max_samples = 18;
+    opts.target_mean_error = 0.0;
+    opts.candidate_pool = 60;
+    opts.num_test_points = 5;
+    opts.lhs_candidates = 3;
+    opts.trainer.p_min_grid = {2};
+    opts.trainer.alpha_grid = {4};
+
+    auto runWith = [&](core::CpiOracle &oracle) {
+        core::AdaptiveSampler sampler(s.space, s.space, oracle);
+        return sampler.build(opts);
+    };
+
+    core::SimulatorOracle local(s.space, s.trace, simOptions());
+    const auto reference = runWith(local);
+    ASSERT_GE(reference.history.size(), 3u);
+
+    const std::string sock_a = uniqueSocket("adapt0");
+    const std::string sock_b = uniqueSocket("adapt1");
+    serve::SimServer server_a(serverOptions(sock_a, 1));
+    serve::SimServer server_b(serverOptions(sock_b, 1));
+    server_a.start();
+    server_b.start();
+    serve::RemoteOracle remote(s.space, "mcf", s.trace, simOptions(),
+                               core::Metric::Cpi,
+                               fastRemote({sock_a, sock_b}));
+    const auto sharded = runWith(remote);
+    server_a.stop();
+    server_b.stop();
+
+    EXPECT_EQ(sharded.sample, reference.sample);
+    ASSERT_EQ(sharded.history.size(), reference.history.size());
+    for (std::size_t i = 0; i < sharded.history.size(); ++i)
+        EXPECT_EQ(sharded.history[i].error.mean_error,
+                  reference.history[i].error.mean_error);
+    EXPECT_GT(remote.remotePoints(), 0u);
 }
 
 TEST(ServeE2E, FactoryHonoursExplicitOptions)

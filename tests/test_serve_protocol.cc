@@ -11,9 +11,11 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "serve/protocol.hh"
+#include "serve/remote_oracle.hh"
 #include "util/crc32.hh"
 
 namespace {
@@ -204,6 +206,28 @@ TEST(ServeProtocol, Crc32KnownVector)
     // Incremental == one-shot.
     const std::uint32_t part = ppm::util::crc32("1234", 4);
     EXPECT_EQ(ppm::util::crc32("56789", 5, part), 0xCBF43926u);
+}
+
+TEST(ServeProtocol, BackoffDoublesAndSaturates)
+{
+    // The RemoteOracle retry schedule with the default options:
+    // 25, 50, ..., clamped at backoff_max_ms.
+    int ms = 25;
+    std::vector<int> schedule;
+    for (int i = 0; i < 8; ++i) {
+        schedule.push_back(ms);
+        ms = nextBackoffMs(ms, 500);
+    }
+    EXPECT_EQ(schedule, (std::vector<int>{25, 50, 100, 200, 400, 500,
+                                          500, 500}));
+
+    // Saturation happens before the doubling, so even a schedule
+    // driven to the integer ceiling cannot overflow (the pre-fix
+    // unconditional `backoff_ms *= 2` was signed-overflow UB here).
+    constexpr int kMax = std::numeric_limits<int>::max();
+    EXPECT_EQ(nextBackoffMs(kMax / 2 + 1, kMax), kMax);
+    EXPECT_EQ(nextBackoffMs(kMax, kMax), kMax);
+    EXPECT_EQ(nextBackoffMs(kMax / 2, kMax), kMax / 2 * 2);
 }
 
 } // namespace

@@ -18,6 +18,35 @@ namespace {
 using namespace ppm;
 using namespace ppm::tree;
 
+TEST(RegressionTree, LeafStdIsResponseSpreadOfLeaf)
+{
+    // p_min large enough that the root is the only node: leafStd is
+    // the population standard deviation of all responses.
+    const std::vector<dspace::UnitPoint> xs = {
+        {0.1, 0.1}, {0.2, 0.9}, {0.8, 0.2}, {0.9, 0.8}};
+    const std::vector<double> ys = {1.0, 3.0, 5.0, 7.0};
+    RegressionTree root_only(xs, ys, 4);
+    ASSERT_EQ(root_only.leafCount(), 1u);
+    // mean 4, variance ((−3)²+(−1)²+1²+3²)/4 = 5.
+    EXPECT_NEAR(root_only.leafStd({0.5, 0.5}), std::sqrt(5.0), 1e-12);
+
+    // A step response split at x0 = 0.5: each leaf holds two points
+    // with spread 1 about its own mean.
+    RegressionTree split_tree(xs, ys, 2);
+    ASSERT_GE(split_tree.leafCount(), 2u);
+    EXPECT_NEAR(split_tree.leafStd({0.0, 0.5}), 1.0, 1e-12);
+    EXPECT_NEAR(split_tree.leafStd({1.0, 0.5}), 1.0, 1e-12);
+
+    // Singleton leaves have zero spread.
+    RegressionTree singleton(xs, ys, 1);
+    EXPECT_DOUBLE_EQ(singleton.leafStd({0.05, 0.05}), 0.0);
+
+    // nodes() exports the same statistic.
+    for (const auto &info : root_only.nodes())
+        if (info.is_leaf)
+            EXPECT_NEAR(info.std_response, std::sqrt(5.0), 1e-12);
+}
+
 TEST(RegressionTree, SinglePointIsLeafOnlyTree)
 {
     RegressionTree t({{0.5, 0.5}}, {3.0}, 1);
