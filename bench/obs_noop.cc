@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The compiled-out arm of the metrics-overhead micro-bench. This
+ * translation unit forces PPM_OBS_DISABLED before including the span
+ * header, so its OBS_* macro sites expand to nothing regardless of
+ * how the rest of the build is configured — BM_ObsCompiledOut in
+ * perf_kernels calls into it to measure what an instrumented site
+ * costs when observability is compiled out.
+ */
+
+#ifndef PPM_OBS_DISABLED
+#define PPM_OBS_DISABLED 1
+#endif
+
+#include <cstdint>
+
+#include "obs/trace_span.hh"
+
+namespace bench_noop {
+
+/** The same macro shape as a real instrumented hot path. */
+std::uint64_t
+instrumentedSite(std::uint64_t x)
+{
+    OBS_SPAN("bench.noop");
+    OBS_STATIC_COUNTER(events, "bench.noop.events");
+    OBS_ADD(events, 1);
+    return x * 2654435761u + 1; // keep the call from folding away
+}
+
+} // namespace bench_noop

@@ -15,6 +15,8 @@
 #include "bench_util.hh"
 #include "core/evaluator.hh"
 #include "core/oracle.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_span.hh"
 #include "sampling/batch_acquisition.hh"
 #include "sampling/discrepancy.hh"
 #include "sampling/sample_gen.hh"
@@ -23,6 +25,12 @@
 #include "sim/simulator.hh"
 #include "tree/regression_tree.hh"
 #include "util/thread_pool.hh"
+
+// Defined in obs_noop.cc, which is compiled with PPM_OBS_DISABLED: the
+// same OBS_* macro site shape with every macro expanded to nothing.
+namespace bench_noop {
+std::uint64_t instrumentedSite(std::uint64_t x);
+}
 
 using namespace ppm;
 
@@ -297,5 +305,111 @@ BM_RbfPrediction(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_RbfPrediction);
+
+// --- observability overhead ------------------------------------------
+
+/** One relaxed sharded fetch_add: the cost of a counter event. */
+void
+BM_ObsCounterAdd(benchmark::State &state)
+{
+    auto &c = obs::Registry::instance().counter("bench.counter");
+    for (auto _ : state)
+        c.add(1);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+/** Three relaxed adds on one shard: the cost of a histogram event. */
+void
+BM_ObsHistogramObserve(benchmark::State &state)
+{
+    auto &h = obs::Registry::instance().histogram("bench.hist");
+    std::uint64_t ns = 1;
+    for (auto _ : state) {
+        h.observe(ns);
+        ns = ns * 2862933555777941757ull + 3037000493ull;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+/**
+ * A full instrumented site with the registry compiled in: scoped span
+ * (two clock reads + one histogram observe) plus a counter add —
+ * exactly what a hot path like Oracle::evaluateAll pays per event.
+ * Compare against BM_ObsSpanCompiledOut for the on-vs-off delta.
+ */
+void
+BM_ObsSpan(benchmark::State &state)
+{
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        OBS_SPAN("bench.site");
+        OBS_STATIC_COUNTER(events, "bench.site.events");
+        OBS_ADD(events, 1);
+        acc = acc * 2654435761u + 1;
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsSpan);
+
+/**
+ * The same site shape compiled with PPM_OBS_DISABLED (obs_noop.cc):
+ * every macro expands to nothing, so this measures the no-op floor.
+ */
+void
+BM_ObsSpanCompiledOut(benchmark::State &state)
+{
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        acc = bench_noop::instrumentedSite(acc);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsSpanCompiledOut);
+
+/**
+ * ThreadPool::forEach dispatch overhead on trivial items, grain=1
+ * (legacy one-index-per-claim) versus grain=0 (auto chunking,
+ * ~8 chunks per worker). The work per item is a few nanoseconds, so
+ * wall clock is dominated by dispatch; the "dispatch_us_mean" counter
+ * reports the mean forEach latency as measured by the new
+ * span.pool.forEach timer rather than by the benchmark loop.
+ */
+void
+BM_PoolDispatch(benchmark::State &state)
+{
+    const auto grain = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t kItems = 1 << 14;
+    util::setGlobalThreads(4);
+    auto &pool = util::globalPool();
+    std::vector<std::uint64_t> out(kItems, 0);
+    auto &span_hist =
+        obs::Registry::instance().histogram("span.pool.forEach");
+    span_hist.reset();
+    for (auto _ : state) {
+        pool.forEach(kItems, [&out](std::size_t i) {
+            out[i] = i * 2654435761u + 1;
+        }, grain);
+        benchmark::DoNotOptimize(out.data());
+    }
+    const auto data = span_hist.data();
+    if (data.count > 0)
+        state.counters["dispatch_us_mean"] = benchmark::Counter(
+            static_cast<double>(data.total_ns) /
+            static_cast<double>(data.count) / 1000.0);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(kItems));
+    util::setGlobalThreads(0);
+}
+BENCHMARK(BM_PoolDispatch)->ArgNames({"grain"})
+    ->Arg(1)->Arg(0)->UseRealTime();
 
 } // namespace

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/event_log.hh"
+#include "obs/trace_span.hh"
 #include "sampling/sample_gen.hh"
 #include "tree/regression_tree.hh"
 
@@ -59,6 +61,7 @@ AdaptiveSampler::build(const AdaptiveOptions &options)
 
     auto refit_and_record =
         [&](const sampling::AcquisitionStats &acquisition) {
+            OBS_SPAN("adaptive.refit");
             rbf::TrainedRbf trained =
                 rbf::trainRbfModel(unit, ys, options.trainer);
             result.model = std::make_shared<RbfPerformanceModel>(
@@ -85,29 +88,39 @@ AdaptiveSampler::build(const AdaptiveOptions &options)
         // Infill batch: far from the sample, in high-variance tree
         // regions. The variability proxy is the response standard
         // deviation of the leaf containing the candidate.
-        const tree::RegressionTree tree(unit, ys, 8);
-        sampling::BatchAcquisitionOptions acq;
-        acq.batch_size = want;
-        acq.candidate_pool = options.candidate_pool;
-        acq.distance_weight = options.distance_weight;
-        acq.kernel_bandwidth = options.kernel_bandwidth;
-        sampling::AcquiredBatch batch = sampling::acquireBatch(
-            options.batch_strategy, train_space_, unit,
-            [&tree](const dspace::UnitPoint &x) {
-                return tree.leafStd(x);
-            },
-            acq, rng);
+        sampling::AcquiredBatch batch = [&] {
+            OBS_SPAN("adaptive.acquire");
+            const tree::RegressionTree tree(unit, ys, 8);
+            sampling::BatchAcquisitionOptions acq;
+            acq.batch_size = want;
+            acq.candidate_pool = options.candidate_pool;
+            acq.distance_weight = options.distance_weight;
+            acq.kernel_bandwidth = options.kernel_bandwidth;
+            return sampling::acquireBatch(
+                options.batch_strategy, train_space_, unit,
+                [&tree](const dspace::UnitPoint &x) {
+                    return tree.leafStd(x);
+                },
+                acq, rng);
+        }();
 
         // Simulate the whole batch in one dispatch (a RemoteOracle
         // shards it across server processes) and refit.
-        const std::vector<double> batch_ys =
-            oracle_.evaluateAll(batch.points);
+        const std::vector<double> batch_ys = [&] {
+            OBS_SPAN("adaptive.simulate_batch");
+            return oracle_.evaluateAll(batch.points);
+        }();
         for (std::size_t i = 0; i < batch.points.size(); ++i) {
             ys.push_back(batch_ys[i]);
             result.sample.push_back(std::move(batch.points[i]));
             unit.push_back(std::move(batch.unit[i]));
         }
         err = refit_and_record(batch.stats);
+        OBS_STATIC_COUNTER(rounds, "adaptive.rounds");
+        OBS_ADD(rounds, 1);
+        obs::logEvent(obs::LogLevel::Info, "adaptive", "round_done",
+                      {{"samples", result.sample.size()},
+                       {"mean_error", err}});
     }
 
     result.converged = err <= options.target_mean_error;

@@ -1,7 +1,9 @@
 #include "core/oracle.hh"
 
+#include <chrono>
 #include <cmath>
 
+#include "obs/trace_span.hh"
 #include "sim/power.hh"
 #include "util/thread_pool.hh"
 
@@ -43,16 +45,22 @@ void
 SimulatorOracle::attachStore(std::shared_ptr<ResultStore> store)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    store->load([this](const ResultStore::Key &key, double value) {
+    std::uint64_t loaded = 0;
+    store->load([this, &loaded](const ResultStore::Key &key,
+                                double value) {
         std::promise<double> ready;
         ready.set_value(value);
         const auto [it, inserted] =
             cache_.try_emplace(key, ready.get_future().share());
         (void)it;
-        if (inserted)
+        if (inserted) {
             archived_.fetch_add(1, std::memory_order_relaxed);
+            ++loaded;
+        }
     });
     store_ = std::move(store);
+    OBS_STATIC_COUNTER(preloaded, "oracle.preloaded");
+    OBS_ADD(preloaded, loaded);
 }
 
 double
@@ -72,6 +80,16 @@ SimulatorOracle::cpi(const dspace::DesignPoint &point)
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
             const std::shared_future<double> ready = it->second;
             lock.unlock();
+            // Observational only: a zero-wait probe distinguishes a
+            // completed memo hit from in-flight deduplication.
+            if (ready.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+                OBS_STATIC_COUNTER(memo_hits, "oracle.cache_hits");
+                OBS_ADD(memo_hits, 1);
+            } else {
+                OBS_STATIC_COUNTER(dedup_waits, "oracle.dedup_waits");
+                OBS_ADD(dedup_waits, 1);
+            }
             return ready.get();
         }
         it->second = promise.get_future().share();
@@ -80,6 +98,9 @@ SimulatorOracle::cpi(const dspace::DesignPoint &point)
 
     // This thread owns the entry; simulate outside the lock so other
     // points proceed concurrently.
+    OBS_SPAN("oracle.simulate");
+    OBS_STATIC_COUNTER(simulations, "oracle.simulations");
+    OBS_ADD(simulations, 1);
     const auto config =
         sim::ProcessorConfig::fromDesignPoint(space_, point);
     try {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dspace/design_space.hh"
+#include "obs/trace_span.hh"
 #include "sim/simulator.hh"
 #include "trace/trace.hh"
 
@@ -237,6 +238,8 @@ class FunctionOracle : public CpiOracle
         // Relaxed atomic: function oracles must stay safe under a
         // parallel evaluateAll() override, matching SimulatorOracle.
         evaluations_.fetch_add(1, std::memory_order_relaxed);
+        OBS_STATIC_COUNTER(fn_evals, "oracle.fn_evals");
+        OBS_ADD(fn_evals, 1);
         return fn_(point);
     }
 

@@ -1,0 +1,191 @@
+#include "obs/event_log.hh"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace ppm::obs {
+
+std::uint64_t
+monotonicNs()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+    }
+    return "info";
+}
+
+namespace {
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("PPM_LOG_LEVEL");
+    if (env == nullptr)
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "error") == 0)
+        return LogLevel::Error;
+    return LogLevel::Info;
+}
+
+void
+appendEscaped(std::string &out, std::string_view s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+EventLog::~EventLog()
+{
+    if (out_ != nullptr && owns_out_)
+        std::fclose(out_);
+}
+
+EventLog &
+EventLog::instance()
+{
+    static EventLog *log = [] {
+        auto *instance = new EventLog;
+        instance->configureFromEnv();
+        return instance;
+    }();
+    return *log;
+}
+
+void
+EventLog::configure(const std::string &path, LogLevel min_level)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    on_.store(false, std::memory_order_relaxed);
+    if (out_ != nullptr && owns_out_)
+        std::fclose(out_);
+    out_ = nullptr;
+    owns_out_ = false;
+    min_level_.store(static_cast<int>(min_level),
+                     std::memory_order_relaxed);
+    if (path.empty())
+        return;
+    if (path == "-" || path == "stderr") {
+        out_ = stderr;
+    } else {
+        out_ = std::fopen(path.c_str(), "a");
+        if (out_ == nullptr)
+            return; // unloggable: stay disabled rather than throw
+        owns_out_ = true;
+    }
+    on_.store(true, std::memory_order_relaxed);
+}
+
+void
+EventLog::configureFromEnv()
+{
+    const char *path = std::getenv("PPM_LOG");
+    configure(path == nullptr ? "" : path, levelFromEnv());
+}
+
+void
+EventLog::write(LogLevel level, std::string_view component,
+                std::string_view event,
+                std::initializer_list<LogField> fields)
+{
+    // Serialize outside the writer lock; only the fwrite is serial.
+    std::string line = "{\"ts_ns\":";
+    line += std::to_string(monotonicNs());
+    line += ",\"level\":\"";
+    line += levelName(level);
+    line += "\",\"comp\":";
+    appendEscaped(line, component);
+    line += ",\"event\":";
+    appendEscaped(line, event);
+    for (const LogField &field : fields) {
+        line.push_back(',');
+        appendEscaped(line, field.key);
+        line.push_back(':');
+        switch (field.kind) {
+          case LogField::Kind::Str:
+            appendEscaped(line, field.str);
+            break;
+          case LogField::Kind::Int:
+            line += std::to_string(field.i);
+            break;
+          case LogField::Kind::Uint:
+            line += std::to_string(field.u);
+            break;
+          case LogField::Kind::Float: {
+            if (!std::isfinite(field.f)) {
+                line += "null"; // JSON has no inf/nan
+                break;
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.17g", field.f);
+            line += buf;
+            break;
+          }
+          case LogField::Kind::Bool:
+            line += field.b ? "true" : "false";
+            break;
+        }
+    }
+    line += "}\n";
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (out_ == nullptr)
+        return;
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fflush(out_);
+}
+
+} // namespace ppm::obs

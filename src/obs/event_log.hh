@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Structured event log: one JSON object per line (JSONL), written to
+ * the file named by the PPM_LOG environment variable ("-" or "stderr"
+ * for stderr), filtered by PPM_LOG_LEVEL (debug | info | warn |
+ * error; default info). Unset PPM_LOG disables logging entirely: the
+ * hot-path guard is a single relaxed atomic load.
+ *
+ * Every line carries a monotonic timestamp (ns since process start),
+ * the level, a component, an event name, and caller-supplied typed
+ * fields. Timestamps are steady_clock based — no RNG, no wall-clock
+ * dependence on the computation — so logging is zero-perturbation:
+ * pipeline results are bit-identical with PPM_LOG set or unset.
+ */
+
+#ifndef PPM_OBS_EVENT_LOG_HH
+#define PPM_OBS_EVENT_LOG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace ppm::obs {
+
+/** Nanoseconds of steady time since the first obs call in-process. */
+std::uint64_t monotonicNs();
+
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Lower-case level name ("debug", "info", "warn", "error"). */
+const char *levelName(LogLevel level);
+
+/**
+ * One typed key-value pair of a log line. The referenced strings are
+ * only read during the logEvent() call, so string temporaries at the
+ * call site are safe.
+ */
+struct LogField
+{
+    enum class Kind
+    {
+        Str,
+        Int,
+        Uint,
+        Float,
+        Bool,
+    };
+
+    std::string_view key;
+    Kind kind = Kind::Int;
+    std::string_view str;
+    std::int64_t i = 0;
+    std::uint64_t u = 0;
+    double f = 0.0;
+    bool b = false;
+
+    template <typename T>
+    LogField(std::string_view k, T v) : key(k)
+    {
+        if constexpr (std::is_same_v<T, bool>) {
+            kind = Kind::Bool;
+            b = v;
+        } else if constexpr (std::is_floating_point_v<T>) {
+            kind = Kind::Float;
+            f = static_cast<double>(v);
+        } else if constexpr (std::is_integral_v<T> &&
+                             std::is_unsigned_v<T>) {
+            kind = Kind::Uint;
+            u = static_cast<std::uint64_t>(v);
+        } else if constexpr (std::is_integral_v<T>) {
+            kind = Kind::Int;
+            i = static_cast<std::int64_t>(v);
+        } else {
+            static_assert(
+                std::is_convertible_v<T, std::string_view>,
+                "LogField value must be arithmetic or string-like");
+            kind = Kind::Str;
+            str = std::string_view(v);
+        }
+    }
+
+    LogField(std::string_view k, const std::string &v)
+        : key(k), kind(Kind::Str), str(v)
+    {
+    }
+};
+
+/**
+ * JSONL writer. The global instance() configures itself from the
+ * environment on first use; tests construct their own instances and
+ * configure() them explicitly.
+ */
+class EventLog
+{
+  public:
+    EventLog() = default;
+    ~EventLog();
+
+    EventLog(const EventLog &) = delete;
+    EventLog &operator=(const EventLog &) = delete;
+
+    /** The process-wide log (env-configured on first use). */
+    static EventLog &instance();
+
+    /**
+     * Route output to @p path ("" disables and closes; "-"/"stderr"
+     * for stderr) at minimum level @p min_level.
+     */
+    void configure(const std::string &path, LogLevel min_level);
+
+    /** Re-read PPM_LOG / PPM_LOG_LEVEL. */
+    void configureFromEnv();
+
+    bool
+    enabled(LogLevel level) const
+    {
+        return on_.load(std::memory_order_relaxed) &&
+               static_cast<int>(level) >=
+                   min_level_.load(std::memory_order_relaxed);
+    }
+
+    /** Serialize and write one line (no-op when not enabled). */
+    void write(LogLevel level, std::string_view component,
+               std::string_view event,
+               std::initializer_list<LogField> fields);
+
+  private:
+    std::atomic<bool> on_{false};
+    std::atomic<int> min_level_{static_cast<int>(LogLevel::Info)};
+    std::mutex mutex_;
+    std::FILE *out_ = nullptr;
+    bool owns_out_ = false;
+};
+
+/** Log one event to the global log; the guard is one atomic load. */
+inline void
+logEvent(LogLevel level, std::string_view component,
+         std::string_view event,
+         std::initializer_list<LogField> fields = {})
+{
+    EventLog &log = EventLog::instance();
+    if (log.enabled(level))
+        log.write(level, component, event, fields);
+}
+
+} // namespace ppm::obs
+
+#endif // PPM_OBS_EVENT_LOG_HH

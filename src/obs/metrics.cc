@@ -1,0 +1,332 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace ppm::obs {
+
+unsigned
+threadSlot()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local const unsigned slot =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+std::uint64_t
+Histogram::bucketUpperNs(int b)
+{
+    if (b >= kBuckets - 1)
+        return std::numeric_limits<std::uint64_t>::max();
+    return std::uint64_t{1000} << b;
+}
+
+int
+Histogram::bucketIndex(std::uint64_t ns)
+{
+    for (int b = 0; b < kBuckets - 1; ++b)
+        if (ns <= (std::uint64_t{1000} << b))
+            return b;
+    return kBuckets - 1;
+}
+
+Histogram::Data
+Histogram::data() const
+{
+    Data d;
+    for (const Shard &shard : shards_) {
+        d.count += shard.count.load(std::memory_order_relaxed);
+        d.total_ns += shard.total_ns.load(std::memory_order_relaxed);
+        for (int b = 0; b < kBuckets; ++b)
+            d.buckets[static_cast<std::size_t>(b)] +=
+                shard.buckets[static_cast<std::size_t>(b)].load(
+                    std::memory_order_relaxed);
+    }
+    return d;
+}
+
+void
+Histogram::reset()
+{
+    for (Shard &shard : shards_) {
+        shard.count.store(0, std::memory_order_relaxed);
+        shard.total_ns.store(0, std::memory_order_relaxed);
+        for (auto &bucket : shard.buckets)
+            bucket.store(0, std::memory_order_relaxed);
+    }
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_
+                 .emplace(std::string(name),
+                          std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Gauge &
+Registry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    return *it->second;
+}
+
+Histogram &
+Registry::histogram(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>())
+                 .first;
+    return *it->second;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        snap.counters.push_back({name, counter->value()});
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges.push_back({name, gauge->value()});
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, hist] : histograms_) {
+        const Histogram::Data d = hist->data();
+        HistogramValue v;
+        v.name = name;
+        v.count = d.count;
+        v.total_ns = d.total_ns;
+        v.buckets.assign(d.buckets.begin(), d.buckets.end());
+        snap.histograms.push_back(std::move(v));
+    }
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (auto &[name, hist] : histograms_)
+        hist->reset();
+}
+
+void
+merge(Snapshot &into, const Snapshot &from)
+{
+    auto find = [](auto &vec, const std::string &name) {
+        return std::find_if(vec.begin(), vec.end(), [&](const auto &e) {
+            return e.name == name;
+        });
+    };
+    for (const CounterValue &c : from.counters) {
+        auto it = find(into.counters, c.name);
+        if (it == into.counters.end())
+            into.counters.push_back(c);
+        else
+            it->value += c.value;
+    }
+    for (const GaugeValue &g : from.gauges) {
+        auto it = find(into.gauges, g.name);
+        if (it == into.gauges.end())
+            into.gauges.push_back(g);
+        else
+            it->value += g.value;
+    }
+    for (const HistogramValue &h : from.histograms) {
+        auto it = find(into.histograms, h.name);
+        if (it == into.histograms.end()) {
+            into.histograms.push_back(h);
+            continue;
+        }
+        it->count += h.count;
+        it->total_ns += h.total_ns;
+        if (it->buckets.size() < h.buckets.size())
+            it->buckets.resize(h.buckets.size(), 0);
+        for (std::size_t b = 0; b < h.buckets.size(); ++b)
+            it->buckets[b] += h.buckets[b];
+    }
+    auto byName = [](const auto &a, const auto &b) {
+        return a.name < b.name;
+    };
+    std::sort(into.counters.begin(), into.counters.end(), byName);
+    std::sort(into.gauges.begin(), into.gauges.end(), byName);
+    std::sort(into.histograms.begin(), into.histograms.end(), byName);
+}
+
+std::uint64_t
+quantileNs(const HistogramValue &hist, double q)
+{
+    if (hist.count == 0 || hist.buckets.empty())
+        return 0;
+    const double want = q * static_cast<double>(hist.count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+        cumulative += hist.buckets[b];
+        if (static_cast<double>(cumulative) >= want)
+            return Histogram::bucketUpperNs(static_cast<int>(b));
+    }
+    return Histogram::bucketUpperNs(
+        static_cast<int>(hist.buckets.size()) - 1);
+}
+
+namespace {
+
+void
+appendJsonString(std::string &out, std::string_view s)
+{
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+std::string
+toJson(const Snapshot &snap)
+{
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const CounterValue &c : snap.counters) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        appendJsonString(out, c.name);
+        out.push_back(':');
+        out += std::to_string(c.value);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const GaugeValue &g : snap.gauges) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        appendJsonString(out, g.name);
+        out.push_back(':');
+        out += std::to_string(g.value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const HistogramValue &h : snap.histograms) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        appendJsonString(out, h.name);
+        out += ":{\"count\":";
+        out += std::to_string(h.count);
+        out += ",\"total_ns\":";
+        out += std::to_string(h.total_ns);
+        out += ",\"buckets\":[";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (b > 0)
+                out.push_back(',');
+            out += std::to_string(h.buckets[b]);
+        }
+        out += "]}";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+toTable(const Snapshot &snap)
+{
+    std::string out;
+    char line[256];
+    if (!snap.counters.empty()) {
+        out += "counters:\n";
+        for (const CounterValue &c : snap.counters) {
+            std::snprintf(line, sizeof(line), "  %-36s %14llu\n",
+                          c.name.c_str(),
+                          static_cast<unsigned long long>(c.value));
+            out += line;
+        }
+    }
+    if (!snap.gauges.empty()) {
+        out += "gauges:\n";
+        for (const GaugeValue &g : snap.gauges) {
+            std::snprintf(line, sizeof(line), "  %-36s %14lld\n",
+                          g.name.c_str(),
+                          static_cast<long long>(g.value));
+            out += line;
+        }
+    }
+    if (!snap.histograms.empty()) {
+        out += "histograms:                             "
+               "     count   mean_us    p50_us    p99_us\n";
+        for (const HistogramValue &h : snap.histograms) {
+            const double mean_us =
+                h.count == 0 ? 0.0
+                             : static_cast<double>(h.total_ns) /
+                                   static_cast<double>(h.count) / 1e3;
+            std::snprintf(
+                line, sizeof(line),
+                "  %-36s %10llu %9.1f %9.1f %9.1f\n", h.name.c_str(),
+                static_cast<unsigned long long>(h.count), mean_us,
+                static_cast<double>(quantileNs(h, 0.5)) / 1e3,
+                static_cast<double>(quantileNs(h, 0.99)) / 1e3);
+            out += line;
+        }
+    }
+    if (out.empty())
+        out = "(no metrics)\n";
+    return out;
+}
+
+} // namespace ppm::obs

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and fixed-bucket
+ * latency histograms, designed so instrumented hot paths pay one
+ * relaxed atomic operation and nothing else.
+ *
+ * Counters and histograms are internally sharded: each writer thread
+ * hashes to its own cache-line-aligned slot, so concurrent increments
+ * never contend on a cache line, and a snapshot aggregates the shards.
+ * Reads (snapshots) are wait-free with respect to writers; a snapshot
+ * taken mid-increment sees either the old or the new value of each
+ * slot, so totals are always a value the metric actually passed
+ * through.
+ *
+ * Zero-perturbation invariant (see DESIGN.md "Observability"): no
+ * metric operation consumes an RNG stream, takes a lock on a hot
+ * path, or feeds back into any computed result. Pipeline outputs are
+ * bit-identical with instrumentation present or compiled out.
+ */
+
+#ifndef PPM_OBS_METRICS_HH
+#define PPM_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppm::obs {
+
+/** Stable small id of the calling thread (used to pick a shard). */
+unsigned threadSlot();
+
+/**
+ * Monotonically increasing event counter. add() is one relaxed
+ * fetch_add on the caller's shard; value() sums the shards.
+ */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        slots_[threadSlot() % kSlots].v.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t total = 0;
+        for (const Slot &slot : slots_)
+            total += slot.v.load(std::memory_order_relaxed);
+        return total;
+    }
+
+    /** Zero every shard (tests/benches only; racy versus writers). */
+    void
+    reset()
+    {
+        for (Slot &slot : slots_)
+            slot.v.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> v{0};
+    };
+
+    static constexpr unsigned kSlots = 16;
+    std::array<Slot, kSlots> slots_;
+};
+
+/** A point-in-time signed level (queue depth, active connections). */
+class Gauge
+{
+  public:
+    void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+    void sub(std::int64_t n) { v_.fetch_sub(n, std::memory_order_relaxed); }
+
+    std::int64_t value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/**
+ * Fixed-bucket latency histogram over nanosecond durations. Buckets
+ * are powers of two of a microsecond: bucket b counts observations in
+ * (upper(b-1), upper(b)] with upper(b) = 1us << b; the final bucket is
+ * unbounded. observe() touches only the caller's shard: three relaxed
+ * adds, no locks.
+ */
+class Histogram
+{
+  public:
+    /** Bucket count, pinned by the STATS frame schema (version 1). */
+    static constexpr int kBuckets = 24;
+
+    /** Inclusive upper bound of bucket @p b in ns (last = max u64). */
+    static std::uint64_t bucketUpperNs(int b);
+
+    /** Index of the bucket that counts a @p ns observation. */
+    static int bucketIndex(std::uint64_t ns);
+
+    void
+    observe(std::uint64_t ns)
+    {
+        Shard &shard = shards_[threadSlot() % kShards];
+        shard.count.fetch_add(1, std::memory_order_relaxed);
+        shard.total_ns.fetch_add(ns, std::memory_order_relaxed);
+        shard.buckets[static_cast<std::size_t>(bucketIndex(ns))]
+            .fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Aggregated view of every shard. */
+    struct Data
+    {
+        std::uint64_t count = 0;
+        std::uint64_t total_ns = 0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+    };
+
+    Data data() const;
+
+    void reset();
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> total_ns{0};
+        std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    };
+
+    static constexpr unsigned kShards = 8;
+    std::array<Shard, kShards> shards_;
+};
+
+// --- snapshots --------------------------------------------------------
+
+struct CounterValue
+{
+    std::string name;
+    std::uint64_t value = 0;
+};
+
+struct GaugeValue
+{
+    std::string name;
+    std::int64_t value = 0;
+};
+
+struct HistogramValue
+{
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::vector<std::uint64_t> buckets; //!< Histogram::kBuckets wide
+};
+
+/** One consistent-enough view of a registry, sorted by name. */
+struct Snapshot
+{
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+};
+
+/**
+ * The process-wide metric registry. Handles returned by counter() /
+ * gauge() / histogram() are valid for the life of the process; the
+ * lookup takes a mutex, so call sites cache the reference (typically
+ * in a function-local or member static) and pay only the atomic op
+ * per event.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    /** Aggregate every registered metric, sorted by name. */
+    Snapshot snapshot() const;
+
+    /**
+     * Zero every registered metric (handles stay valid). For tests
+     * and benches that want per-phase deltas without bookkeeping.
+     */
+    void reset();
+
+  private:
+    Registry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms_;
+};
+
+/** Sum @p from into @p into, matching entries by name. */
+void merge(Snapshot &into, const Snapshot &from);
+
+/**
+ * Approximate quantile (0 <= q <= 1) in ns: the upper bound of the
+ * first bucket whose cumulative count reaches q * count (0 when the
+ * histogram is empty).
+ */
+std::uint64_t quantileNs(const HistogramValue &hist, double q);
+
+/** Render a snapshot as a JSON object (one line, machine-readable). */
+std::string toJson(const Snapshot &snap);
+
+/** Render a snapshot as an aligned human-readable table. */
+std::string toTable(const Snapshot &snap);
+
+} // namespace ppm::obs
+
+#endif // PPM_OBS_METRICS_HH

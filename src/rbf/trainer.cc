@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "obs/trace_span.hh"
 #include "tree/regression_tree.hh"
 #include "util/thread_pool.hh"
 
@@ -31,10 +32,13 @@ trainRbfModel(const std::vector<dspace::UnitPoint> &xs,
     assert(!options.p_min_grid.empty());
     assert(!options.alpha_grid.empty());
 
+    OBS_SPAN("rbf.grid_search");
+
     // Phase 1: the tree depends only on p_min; build one per grid row
     // in parallel and share it across alphas.
     const auto trees = util::parallelMap(
         options.p_min_grid, [&](int p_min) {
+            OBS_SPAN("rbf.build_tree");
             return std::make_shared<const tree::RegressionTree>(
                 xs, ys, p_min);
         });
@@ -50,6 +54,7 @@ trainRbfModel(const std::vector<dspace::UnitPoint> &xs,
             cells.push_back({options.p_min_grid[i], alpha, i});
 
     auto fits = util::parallelMap(cells, [&](const GridCell &cell) {
+        OBS_SPAN("rbf.grid_cell");
         RbfRtOptions rt;
         rt.alpha = cell.alpha;
         rt.criterion = options.criterion;

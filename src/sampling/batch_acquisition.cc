@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace_span.hh"
 #include "util/thread_pool.hh"
 
 namespace ppm::sampling {
@@ -60,6 +61,7 @@ scorePool(const dspace::DesignSpace &space,
           const VariabilityFn &variability, std::size_t pool,
           double distance_weight, std::uint64_t base)
 {
+    OBS_SPAN("acquire.score_pool");
     ScoredPool p;
     p.raw.resize(pool);
     p.unit.resize(pool);
@@ -157,6 +159,7 @@ acquireDeterminantal(const dspace::DesignSpace &space,
     const double inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
 
     const auto start = std::chrono::steady_clock::now();
+    OBS_SPAN("acquire.select");
 
     // Residual variances start at L_ii = q_i^2 (k(x, x) = 1); rows of
     // the Cholesky factor grow by one entry per pick.

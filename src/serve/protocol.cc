@@ -126,7 +126,7 @@ bool
 knownType(std::uint16_t t)
 {
     return t >= static_cast<std::uint16_t>(MsgType::EvalRequest) &&
-           t <= static_cast<std::uint16_t>(MsgType::Pong);
+           t <= static_cast<std::uint16_t>(MsgType::StatsResponse);
 }
 
 std::vector<std::uint8_t>
@@ -349,6 +349,105 @@ std::uint64_t
 parsePong(const std::vector<std::uint8_t> &payload)
 {
     return parseNonce(payload);
+}
+
+std::vector<std::uint8_t>
+encodeStatsRequest(std::uint64_t nonce)
+{
+    return encodeNonce(MsgType::StatsRequest, nonce);
+}
+
+std::uint64_t
+parseStatsRequest(const std::vector<std::uint8_t> &payload)
+{
+    return parseNonce(payload);
+}
+
+std::vector<std::uint8_t>
+encodeStatsResponse(const obs::Snapshot &snap)
+{
+    if (snap.counters.size() > kMaxStatsEntries ||
+        snap.gauges.size() > kMaxStatsEntries ||
+        snap.histograms.size() > kMaxStatsEntries)
+        throw ProtocolError("too many metrics in stats response");
+    PayloadWriter w;
+    w.u16(kStatsVersion);
+    w.u32(static_cast<std::uint32_t>(snap.counters.size()));
+    for (const auto &c : snap.counters) {
+        w.str(c.name);
+        w.u64(c.value);
+    }
+    w.u32(static_cast<std::uint32_t>(snap.gauges.size()));
+    for (const auto &g : snap.gauges) {
+        w.str(g.name);
+        w.u64(static_cast<std::uint64_t>(g.value));
+    }
+    w.u32(static_cast<std::uint32_t>(snap.histograms.size()));
+    for (const auto &h : snap.histograms) {
+        if (h.buckets.size() > kMaxStatsBuckets)
+            throw ProtocolError("too many histogram buckets");
+        w.str(h.name);
+        w.u64(h.count);
+        w.u64(h.total_ns);
+        w.u32(static_cast<std::uint32_t>(h.buckets.size()));
+        for (std::uint64_t b : h.buckets)
+            w.u64(b);
+    }
+    return encodeFrame(MsgType::StatsResponse, w.take());
+}
+
+obs::Snapshot
+parseStatsResponse(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    const std::uint16_t version = r.u16();
+    if (version != kStatsVersion)
+        throw ProtocolError("stats schema version mismatch: got " +
+                            std::to_string(version) + ", want " +
+                            std::to_string(kStatsVersion));
+    obs::Snapshot snap;
+    const std::uint32_t n_counters = r.u32();
+    if (n_counters > kMaxStatsEntries)
+        throw ProtocolError("too many counters in stats response");
+    snap.counters.reserve(n_counters);
+    for (std::uint32_t i = 0; i < n_counters; ++i) {
+        obs::CounterValue c;
+        c.name = r.str();
+        c.value = r.u64();
+        snap.counters.push_back(std::move(c));
+    }
+    const std::uint32_t n_gauges = r.u32();
+    if (n_gauges > kMaxStatsEntries)
+        throw ProtocolError("too many gauges in stats response");
+    snap.gauges.reserve(n_gauges);
+    for (std::uint32_t i = 0; i < n_gauges; ++i) {
+        obs::GaugeValue g;
+        g.name = r.str();
+        g.value = static_cast<std::int64_t>(r.u64());
+        snap.gauges.push_back(std::move(g));
+    }
+    const std::uint32_t n_hists = r.u32();
+    if (n_hists > kMaxStatsEntries)
+        throw ProtocolError("too many histograms in stats response");
+    snap.histograms.reserve(n_hists);
+    for (std::uint32_t i = 0; i < n_hists; ++i) {
+        obs::HistogramValue h;
+        h.name = r.str();
+        h.count = r.u64();
+        h.total_ns = r.u64();
+        const std::uint32_t n_buckets = r.u32();
+        if (n_buckets > kMaxStatsBuckets)
+            throw ProtocolError("too many histogram buckets");
+        if (r.remaining() <
+            std::size_t{n_buckets} * sizeof(std::uint64_t))
+            throw ProtocolError("histogram bucket data truncated");
+        h.buckets.reserve(n_buckets);
+        for (std::uint32_t b = 0; b < n_buckets; ++b)
+            h.buckets.push_back(r.u64());
+        snap.histograms.push_back(std::move(h));
+    }
+    r.expectEnd();
+    return snap;
 }
 
 } // namespace ppm::serve

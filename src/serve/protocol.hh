@@ -30,6 +30,7 @@
 
 #include "core/oracle.hh"
 #include "dspace/design_space.hh"
+#include "obs/metrics.hh"
 
 namespace ppm::serve {
 
@@ -43,8 +44,11 @@ class ProtocolError : public std::runtime_error
 /** First four bytes of every frame. */
 inline constexpr std::uint32_t kMagic = 0x50504D53u; // "PPMS"
 
-/** Protocol version carried in (and required of) every frame. */
-inline constexpr std::uint16_t kVersion = 1;
+/**
+ * Protocol version carried in (and required of) every frame.
+ * v2 added the Stats request/response pair.
+ */
+inline constexpr std::uint16_t kVersion = 2;
 
 /** Bytes before the payload: magic + version + type + payload_len. */
 inline constexpr std::size_t kHeaderSize = 12;
@@ -61,13 +65,27 @@ inline constexpr std::uint32_t kMaxPoints = 1u << 20;
 /** Hard cap on encoded strings (benchmark names, error messages). */
 inline constexpr std::uint32_t kMaxString = 4096;
 
+/**
+ * Schema version of the Stats payload, carried inside the payload so
+ * the metric layout can evolve without a whole-protocol bump.
+ */
+inline constexpr std::uint16_t kStatsVersion = 1;
+
+/** Hard cap on metrics per section of a Stats payload. */
+inline constexpr std::uint32_t kMaxStatsEntries = 4096;
+
+/** Hard cap on histogram buckets in a Stats payload. */
+inline constexpr std::uint32_t kMaxStatsBuckets = 64;
+
 enum class MsgType : std::uint16_t
 {
-    EvalRequest = 1,  //!< evaluate a batch of design points
-    EvalResponse = 2, //!< values for a batch, in request order
-    Error = 3,        //!< request failed server-side; message inside
-    Ping = 4,         //!< liveness probe, echoes a nonce
-    Pong = 5,         //!< reply to Ping with the same nonce
+    EvalRequest = 1,   //!< evaluate a batch of design points
+    EvalResponse = 2,  //!< values for a batch, in request order
+    Error = 3,         //!< request failed server-side; message inside
+    Ping = 4,          //!< liveness probe, echoes a nonce
+    Pong = 5,          //!< reply to Ping with the same nonce
+    StatsRequest = 6,  //!< poll the server's metric registry
+    StatsResponse = 7, //!< snapshot of the server's metric registry
 };
 
 /** A batch of design points to evaluate on a benchmark trace. */
@@ -128,6 +146,8 @@ std::vector<std::uint8_t> encodeEvalResponse(const EvalResponse &resp);
 std::vector<std::uint8_t> encodeError(const ErrorReply &err);
 std::vector<std::uint8_t> encodePing(std::uint64_t nonce);
 std::vector<std::uint8_t> encodePong(std::uint64_t nonce);
+std::vector<std::uint8_t> encodeStatsRequest(std::uint64_t nonce);
+std::vector<std::uint8_t> encodeStatsResponse(const obs::Snapshot &snap);
 
 /** Frame an arbitrary payload (building block of the encoders). */
 std::vector<std::uint8_t> encodeFrame(
@@ -154,6 +174,8 @@ EvalResponse parseEvalResponse(const std::vector<std::uint8_t> &payload);
 ErrorReply parseError(const std::vector<std::uint8_t> &payload);
 std::uint64_t parsePing(const std::vector<std::uint8_t> &payload);
 std::uint64_t parsePong(const std::vector<std::uint8_t> &payload);
+std::uint64_t parseStatsRequest(const std::vector<std::uint8_t> &payload);
+obs::Snapshot parseStatsResponse(const std::vector<std::uint8_t> &payload);
 
 } // namespace ppm::serve
 

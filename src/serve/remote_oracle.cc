@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/event_log.hh"
+#include "obs/trace_span.hh"
 #include "serve/socket_io.hh"
 
 namespace ppm::serve {
@@ -76,9 +78,19 @@ RemoteOracle::requestChunk(
     req.points = points;
     const std::vector<std::uint8_t> frame = encodeEvalRequest(req);
 
+    OBS_SPAN("remote.chunk");
+    OBS_STATIC_COUNTER(retries, "remote.retries");
+    OBS_STATIC_COUNTER(backoff_sleeps, "remote.backoff_sleeps");
     int backoff_ms = options_.backoff_initial_ms;
     for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
         if (attempt > 0) {
+            OBS_ADD(retries, 1);
+            OBS_ADD(backoff_sleeps, 1);
+            obs::logEvent(obs::LogLevel::Debug, "remote", "backoff",
+                          {{"socket", socket},
+                           {"attempt", attempt},
+                           {"sleep_ms", std::min(backoff_ms,
+                                                 options_.backoff_max_ms)}});
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 std::min(backoff_ms, options_.backoff_max_ms)));
             backoff_ms =
@@ -111,6 +123,11 @@ RemoteOracle::requestChunk(
     }
     socket_dead_[socket_index].store(true,
                                      std::memory_order_relaxed);
+    OBS_STATIC_COUNTER(dead_latches, "remote.dead_latches");
+    OBS_ADD(dead_latches, 1);
+    obs::logEvent(obs::LogLevel::Warn, "remote", "socket_dead",
+                  {{"socket", socket},
+                   {"attempts", options_.max_attempts}});
     return std::nullopt;
 }
 
@@ -151,10 +168,13 @@ RemoteOracle::evaluateAll(
         // Transparent fallback: simulate in-process. cpi() is
         // thread-safe, so concurrent dispatch threads fan the
         // fallback work out naturally.
+        OBS_SPAN("remote.fallback_chunk");
         for (std::size_t i = begin; i < end; ++i)
             out[i] = fallback_.cpi(points[i]);
         fallback_points_.fetch_add(end - begin,
                                    std::memory_order_relaxed);
+        OBS_STATIC_COUNTER(fallback_points, "remote.fallback_points");
+        OBS_ADD(fallback_points, end - begin);
     };
 
     const std::size_t num_threads = std::min<std::size_t>(

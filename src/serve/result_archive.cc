@@ -9,6 +9,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "obs/event_log.hh"
+#include "obs/trace_span.hh"
 #include "util/crc32.hh"
 
 namespace ppm::serve {
@@ -270,6 +272,17 @@ ResultArchive::openAndRecover()
     if (good_end < bytes.size() &&
         ::ftruncate(fd_, static_cast<off_t>(good_end)) < 0)
         throwErrno("ftruncate " + path_);
+
+    OBS_STATIC_COUNTER(preloads, "archive.preloaded");
+    OBS_ADD(preloads, entries_.size());
+    if (skipped_ > 0) {
+        OBS_STATIC_COUNTER(corrupt, "archive.corrupt_records");
+        OBS_ADD(corrupt, skipped_);
+        obs::logEvent(obs::LogLevel::Warn, "archive", "corrupt_tail",
+                      {{"path", path_},
+                       {"recovered", entries_.size()},
+                       {"skipped", skipped_}});
+    }
 }
 
 void
@@ -284,6 +297,9 @@ ResultArchive::load(
 void
 ResultArchive::append(const Key &key, double value)
 {
+    OBS_SPAN("archive.append");
+    OBS_STATIC_COUNTER(appends, "archive.appends");
+    OBS_ADD(appends, 1);
     const std::vector<std::uint8_t> record = encodeRecord(key, value);
     std::lock_guard<std::mutex> guard(mutex_);
     FileLock lock(fd_);

@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include "dspace/paper_space.hh"
+#include "obs/event_log.hh"
+#include "obs/trace_span.hh"
 #include "serve/result_archive.hh"
 #include "sim/simulator.hh"
 #include "trace/benchmark_profile.hh"
@@ -158,6 +160,9 @@ SimServer::handleRequest(const Frame &frame)
         req.trace_length > options_.max_trace_length)
         return encodeError({"trace length out of range"});
 
+    OBS_SPAN("serve.request");
+    OBS_STATIC_COUNTER(points_served, "serve.points");
+    OBS_ADD(points_served, req.points.size());
     Backend &backend = backendFor(req);
     const std::uint64_t before = backend.oracle->evaluations();
     EvalResponse resp;
@@ -165,6 +170,11 @@ SimServer::handleRequest(const Frame &frame)
     resp.total_evaluations = backend.oracle->evaluations();
     resp.fresh_evaluations = resp.total_evaluations - before;
     requests_.fetch_add(1, std::memory_order_relaxed);
+    OBS_STATIC_COUNTER(requests_served, "serve.requests");
+    OBS_ADD(requests_served, 1);
+    obs::logEvent(obs::LogLevel::Info, "serve", "request_done",
+                  {{"points", req.points.size()},
+                   {"fresh", resp.fresh_evaluations}});
     if (options_.verbose)
         std::fprintf(stderr,
                      "ppm_serve: [%s] %zu points, %llu fresh\n",
@@ -198,6 +208,15 @@ SimServer::serveConnection(int fd)
           case MsgType::Ping:
             try {
                 reply = encodePong(parsePing(frame.payload));
+            } catch (const ProtocolError &e) {
+                reply = encodeError({e.what()});
+            }
+            break;
+          case MsgType::StatsRequest:
+            try {
+                (void)parseStatsRequest(frame.payload);
+                reply = encodeStatsResponse(
+                    obs::Registry::instance().snapshot());
             } catch (const ProtocolError &e) {
                 reply = encodeError({e.what()});
             }
@@ -253,11 +272,17 @@ SimServer::workerLoop()
                                  SOCK_CLOEXEC | SOCK_NONBLOCK);
         if (fd < 0)
             continue;
+        // A worker serves one connection at a time, so the number of
+        // connections in conns_ is also the number of busy workers —
+        // the live proxy for queue depth exported to ppm_stats.
+        OBS_STATIC_GAUGE(active_conns, "serve.active_connections");
         {
             std::lock_guard<std::mutex> lock(conns_mutex_);
             conns_.insert(fd);
         }
+        OBS_GAUGE_ADD(active_conns, 1);
         serveConnection(fd);
+        OBS_GAUGE_SUB(active_conns, 1);
         {
             std::lock_guard<std::mutex> lock(conns_mutex_);
             conns_.erase(fd);

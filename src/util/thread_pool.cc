@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/trace_span.hh"
+
 namespace ppm::util {
 
 namespace {
@@ -22,6 +24,7 @@ struct ThreadPool::Job
 {
     std::size_t n = 0;
     const std::function<void(std::size_t)> *fn = nullptr;
+    std::size_t grain = 1;  //!< indices claimed per mutex acquisition
     std::size_t next = 0;   //!< first index not yet claimed
     std::size_t active = 0; //!< runners currently inside fn
     std::exception_ptr error;
@@ -71,10 +74,14 @@ ThreadPool::insideTask()
 
 void
 ThreadPool::forEach(std::size_t n,
-                    const std::function<void(std::size_t)> &fn)
+                    const std::function<void(std::size_t)> &fn,
+                    std::size_t grain)
 {
     if (n == 0)
         return;
+    OBS_SPAN("pool.forEach");
+    OBS_STATIC_COUNTER(items_dispatched, "pool.items");
+    OBS_ADD(items_dispatched, n);
     // Serial pool, single item, or nested submission from inside a
     // task: run inline. Exceptions propagate naturally.
     if (workers_.empty() || n == 1 || t_inside_task) {
@@ -86,6 +93,11 @@ ThreadPool::forEach(std::size_t n,
     auto job = std::make_shared<Job>();
     job->n = n;
     job->fn = &fn;
+    // Auto grain: ~8 chunks per worker balances dispatch overhead
+    // against load-balancing slack for uneven item costs.
+    job->grain = grain != 0
+                     ? grain
+                     : std::max<std::size_t>(1, n / (num_threads_ * 8));
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(job);
@@ -107,18 +119,21 @@ void
 ThreadPool::runJob(const std::shared_ptr<Job> &job)
 {
     for (;;) {
-        std::size_t index;
+        std::size_t begin, end;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             if (job->exhausted())
                 return;
-            index = job->next++;
+            begin = job->next;
+            end = std::min(job->n, begin + job->grain);
+            job->next = end;
             ++job->active;
         }
         std::exception_ptr error;
         t_inside_task = true;
         try {
-            (*job->fn)(index);
+            for (std::size_t i = begin; i < end; ++i)
+                (*job->fn)(i);
         } catch (...) {
             error = std::current_exception();
         }

@@ -63,9 +63,18 @@ class ThreadPool
      * The caller participates in the work. If any invocation throws,
      * the first exception is rethrown here and indices not yet started
      * are skipped.
+     *
+     * Workers claim contiguous index ranges of @p grain items per
+     * mutex acquisition (chunked dispatch), so very fine-grained
+     * sweeps do not serialize on the pool lock. grain 0 (the default)
+     * picks ~8 chunks per worker; grain 1 is the legacy
+     * one-index-per-claim behaviour. Chunking only changes which
+     * worker runs which index — under the independence contract above
+     * results are identical for every grain.
      */
     void forEach(std::size_t n,
-                 const std::function<void(std::size_t)> &fn);
+                 const std::function<void(std::size_t)> &fn,
+                 std::size_t grain = 0);
 
     /** True while the current thread is executing a pool task. */
     static bool insideTask();

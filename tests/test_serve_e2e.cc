@@ -15,6 +15,7 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -395,6 +396,109 @@ TEST(ServeE2E, AdaptiveBatchesBitIdenticalAcrossShardCounts)
         EXPECT_EQ(sharded.history[i].error.mean_error,
                   reference.history[i].error.mean_error);
     EXPECT_GT(remote.remotePoints(), 0u);
+}
+
+TEST(ServeE2E, StatsFramePollsLiveServer)
+{
+    Scenario &s = scenario();
+    const std::string sock = uniqueSocket("stats");
+    serve::SimServer server(serverOptions(sock, 2));
+    server.start();
+
+    // Drive one real batch so the registry has something to report.
+    serve::RemoteOracle remote(s.space, "mcf", s.trace, simOptions(),
+                               core::Metric::Cpi, fastRemote({sock}));
+    (void)remote.evaluateAll(s.batch);
+
+    serve::FdGuard conn = serve::connectUnix(sock, 1000);
+    serve::writeFrame(conn.get(), serve::encodeStatsRequest(99),
+                      1000);
+    const serve::Frame reply = serve::readFrame(conn.get(), 5000);
+    ASSERT_EQ(reply.type, serve::MsgType::StatsResponse);
+    const obs::Snapshot snap =
+        serve::parseStatsResponse(reply.payload);
+
+#ifndef PPM_OBS_DISABLED
+    auto counter = [&](const std::string &name) -> std::uint64_t {
+        for (const auto &c : snap.counters)
+            if (c.name == name)
+                return c.value;
+        return 0;
+    };
+    // The in-process server shares this test binary's registry, which
+    // accumulates across tests — so lower bounds, not equalities.
+    EXPECT_GE(counter("serve.requests"), 1u);
+    EXPECT_GE(counter("serve.points"), s.batch.size());
+    EXPECT_GE(counter("oracle.simulations"), 1u);
+    bool request_span_seen = false;
+    for (const auto &h : snap.histograms)
+        if (h.name == "span.serve.request" && h.count > 0)
+            request_span_seen = true;
+    EXPECT_TRUE(request_span_seen);
+#endif
+    server.stop();
+}
+
+TEST(ServeE2E, PpmStatsCliPollsSpawnedServer)
+{
+    Scenario &s = scenario();
+    const std::string sock = uniqueSocket("statscli");
+    fs::remove(sock);
+
+    const char *argv[] = {PPM_SERVE_BIN, "--socket", sock.c_str(),
+                          "--workers", "1", nullptr};
+    pid_t pid = -1;
+    ASSERT_EQ(::posix_spawn(&pid, PPM_SERVE_BIN, nullptr, nullptr,
+                            const_cast<char *const *>(argv), environ),
+              0);
+    bool up = false;
+    for (int i = 0; i < 200 && !up; ++i) {
+        try {
+            serve::FdGuard conn = serve::connectUnix(sock, 100);
+            serve::writeFrame(conn.get(), serve::encodePing(1), 500);
+            up = serve::readFrame(conn.get(), 500).type ==
+                 serve::MsgType::Pong;
+        } catch (const std::exception &) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(25));
+        }
+    }
+    ASSERT_TRUE(up) << "ppm_serve never came up on " << sock;
+
+    // One real batch, then poll the server's registry via the CLI.
+    serve::RemoteOracle remote(s.space, "mcf", s.trace, simOptions(),
+                               core::Metric::Cpi, fastRemote({sock}));
+    (void)remote.evaluateAll(s.batch);
+
+    const std::string cmd = std::string(PPM_STATS_BIN) +
+                            " --no-local --json --socket " + sock +
+                            " 2>/dev/null";
+    FILE *pipe = ::popen(cmd.c_str(), "r");
+    ASSERT_NE(pipe, nullptr);
+    std::string output;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+        output.append(buf, got);
+    const int status = ::pclose(pipe);
+
+    ::kill(pid, SIGTERM);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+    fs::remove(sock);
+
+    EXPECT_EQ(status, 0) << output;
+    ASSERT_FALSE(output.empty());
+    EXPECT_EQ(output.front(), '{') << output;
+#ifndef PPM_OBS_DISABLED
+    EXPECT_NE(output.find("\"serve.requests\""), std::string::npos)
+        << output;
+    EXPECT_NE(output.find("\"oracle.simulations\""),
+              std::string::npos)
+        << output;
+    EXPECT_NE(output.find("span.serve.request"), std::string::npos)
+        << output;
+#endif
 }
 
 TEST(ServeE2E, FactoryHonoursExplicitOptions)

@@ -198,6 +198,128 @@ TEST(ServeProtocol, RejectsRaggedBatchAtEncodeTime)
     EXPECT_THROW(encodeEvalRequest(req), ProtocolError);
 }
 
+obs::Snapshot
+sampleSnapshot()
+{
+    obs::Snapshot snap;
+    snap.counters = {{"oracle.simulations", 17},
+                     {"serve.requests", 3}};
+    snap.gauges = {{"serve.active_connections", -2}};
+    obs::HistogramValue hist;
+    hist.name = "span.serve.request";
+    hist.count = 5;
+    hist.total_ns = 1234567;
+    hist.buckets.assign(obs::Histogram::kBuckets, 0);
+    hist.buckets[3] = 2;
+    hist.buckets[10] = 3;
+    snap.histograms = {hist};
+    return snap;
+}
+
+TEST(ServeProtocol, StatsRequestRoundTrip)
+{
+    const std::uint64_t nonce = 0xFEEDFACEULL;
+    const Frame frame = decodeFrame(encodeStatsRequest(nonce));
+    ASSERT_EQ(frame.type, MsgType::StatsRequest);
+    EXPECT_EQ(parseStatsRequest(frame.payload), nonce);
+}
+
+TEST(ServeProtocol, StatsResponseRoundTrip)
+{
+    const obs::Snapshot snap = sampleSnapshot();
+    const auto bytes = encodeStatsResponse(snap);
+    const Frame frame = decodeFrame(bytes);
+    ASSERT_EQ(frame.type, MsgType::StatsResponse);
+    const obs::Snapshot out = parseStatsResponse(frame.payload);
+    ASSERT_EQ(out.counters.size(), snap.counters.size());
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+        EXPECT_EQ(out.counters[i].name, snap.counters[i].name);
+        EXPECT_EQ(out.counters[i].value, snap.counters[i].value);
+    }
+    ASSERT_EQ(out.gauges.size(), 1u);
+    EXPECT_EQ(out.gauges[0].name, "serve.active_connections");
+    EXPECT_EQ(out.gauges[0].value, -2); // sign survives the wire
+    ASSERT_EQ(out.histograms.size(), 1u);
+    EXPECT_EQ(out.histograms[0].name, snap.histograms[0].name);
+    EXPECT_EQ(out.histograms[0].count, snap.histograms[0].count);
+    EXPECT_EQ(out.histograms[0].total_ns,
+              snap.histograms[0].total_ns);
+    EXPECT_EQ(out.histograms[0].buckets, snap.histograms[0].buckets);
+}
+
+TEST(ServeProtocol, EmptyStatsResponseRoundTrip)
+{
+    const obs::Snapshot out =
+        parseStatsResponse(decodeFrame(encodeStatsResponse({}))
+                               .payload);
+    EXPECT_TRUE(out.counters.empty());
+    EXPECT_TRUE(out.gauges.empty());
+    EXPECT_TRUE(out.histograms.empty());
+}
+
+TEST(ServeProtocol, RejectsStatsSchemaVersionMismatch)
+{
+    Frame frame = decodeFrame(encodeStatsResponse(sampleSnapshot()));
+    frame.payload[0] += 1; // stats_version is bytes 0-1
+    const auto reframed =
+        encodeFrame(MsgType::StatsResponse, frame.payload);
+    EXPECT_THROW(parseStatsResponse(decodeFrame(reframed).payload),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsStatsEntryCountLie)
+{
+    // CRC-valid frame whose counter count exceeds the actual data.
+    Frame frame = decodeFrame(encodeStatsResponse(sampleSnapshot()));
+    frame.payload[2] += 1; // counter count is bytes 2-5
+    const auto reframed =
+        encodeFrame(MsgType::StatsResponse, frame.payload);
+    EXPECT_THROW(parseStatsResponse(decodeFrame(reframed).payload),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsStatsOversizedSections)
+{
+    std::vector<std::uint8_t> payload;
+    payload.push_back(static_cast<std::uint8_t>(kStatsVersion));
+    payload.push_back(
+        static_cast<std::uint8_t>(kStatsVersion >> 8));
+    const std::uint32_t huge = kMaxStatsEntries + 1;
+    for (int shift = 0; shift < 32; shift += 8)
+        payload.push_back(static_cast<std::uint8_t>(huge >> shift));
+    const auto framed = encodeFrame(MsgType::StatsResponse, payload);
+    EXPECT_THROW(parseStatsResponse(decodeFrame(framed).payload),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsStatsTruncationAtEveryByte)
+{
+    const auto bytes = encodeStatsResponse(sampleSnapshot());
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut)
+        EXPECT_THROW(decodeFrame(bytes.data(), cut), ProtocolError)
+            << "cut at byte " << cut;
+}
+
+TEST(ServeProtocol, RejectsStatsTrailingBytes)
+{
+    Frame frame = decodeFrame(encodeStatsResponse(sampleSnapshot()));
+    frame.payload.push_back(0);
+    const auto reframed =
+        encodeFrame(MsgType::StatsResponse, frame.payload);
+    EXPECT_THROW(parseStatsResponse(decodeFrame(reframed).payload),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsTooManyHistogramBuckets)
+{
+    obs::Snapshot snap;
+    obs::HistogramValue hist;
+    hist.name = "span.bad";
+    hist.buckets.assign(kMaxStatsBuckets + 1, 0);
+    snap.histograms = {hist};
+    EXPECT_THROW(encodeStatsResponse(snap), ProtocolError);
+}
+
 TEST(ServeProtocol, Crc32KnownVector)
 {
     // The catalogue value for "123456789" pins the polynomial.

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * ppm_stats: poll running ppm_serve processes for their metric
+ * registries (the v2 Stats frame) and print the merged view.
+ *
+ *   ppm_stats [--socket PATH[,PATH...]] [--json] [--no-local]
+ *             [--timeout MS]
+ *
+ * Sockets default to $PPM_SERVE_SOCKET (comma-separated). Every
+ * reachable server contributes one snapshot; snapshots are merged by
+ * metric name (counters and histogram buckets sum, gauges sum) along
+ * with this process's own registry, and the result prints as an
+ * aligned table (default) or a single JSON object (--json).
+ *
+ * Exit status: 0 when every requested socket answered, 1 when at
+ * least one was unreachable (the merged view of the rest still
+ * prints), 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "serve/remote_oracle.hh"
+#include "serve/socket_io.hh"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--socket PATH[,PATH...]] [--json] [--no-local]"
+        " [--timeout MS]\n"
+        "  --socket PATHS   comma-separated server sockets to poll\n"
+        "                   (default: $PPM_SERVE_SOCKET)\n"
+        "  --json           print one JSON object instead of a table\n"
+        "  --no-local       skip this process's own registry\n"
+        "  --timeout MS     per-socket connect/IO timeout (default"
+        " 2000)\n",
+        argv0);
+}
+
+std::vector<std::string>
+splitSockets(const std::string &value)
+{
+    std::vector<std::string> sockets;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        std::size_t comma = value.find(',', start);
+        if (comma == std::string::npos)
+            comma = value.size();
+        if (comma > start)
+            sockets.push_back(value.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return sockets;
+}
+
+/** Fetch one server's snapshot; throws IoError/ProtocolError. */
+ppm::obs::Snapshot
+pollSocket(const std::string &socket, int timeout_ms)
+{
+    using namespace ppm::serve;
+    FdGuard fd = connectUnix(socket, timeout_ms);
+    writeFrame(fd.get(), encodeStatsRequest(1), timeout_ms);
+    const Frame reply = readFrame(fd.get(), timeout_ms);
+    if (reply.type == MsgType::Error)
+        throw ProtocolError("server error: " +
+                            parseError(reply.payload).message);
+    if (reply.type != MsgType::StatsResponse)
+        throw ProtocolError("unexpected reply type");
+    return parseStatsResponse(reply.payload);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> sockets = ppm::serve::socketsFromEnv();
+    bool json = false;
+    bool include_local = true;
+    int timeout_ms = 2000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            sockets = splitSockets(argv[++i]);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--no-local") {
+            include_local = false;
+        } else if (arg == "--timeout" && has_value) {
+            timeout_ms = std::atoi(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    ppm::obs::Snapshot merged;
+    if (include_local)
+        merged = ppm::obs::Registry::instance().snapshot();
+
+    int unreachable = 0;
+    for (const std::string &socket : sockets) {
+        try {
+            ppm::obs::merge(merged, pollSocket(socket, timeout_ms));
+        } catch (const std::exception &e) {
+            ++unreachable;
+            std::fprintf(stderr, "ppm_stats: %s: %s\n",
+                         socket.c_str(), e.what());
+        }
+    }
+
+    if (json)
+        std::printf("%s\n", ppm::obs::toJson(merged).c_str());
+    else
+        std::fputs(ppm::obs::toTable(merged).c_str(), stdout);
+    return unreachable == 0 ? 0 : 1;
+}
