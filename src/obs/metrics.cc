@@ -182,6 +182,43 @@ merge(Snapshot &into, const Snapshot &from)
     std::sort(into.histograms.begin(), into.histograms.end(), byName);
 }
 
+Snapshot
+delta(const Snapshot &newer, const Snapshot &older)
+{
+    auto find = [](const auto &vec, const std::string &name) {
+        return std::find_if(vec.begin(), vec.end(), [&](const auto &e) {
+            return e.name == name;
+        });
+    };
+    auto clamped = [](std::uint64_t now, std::uint64_t before) {
+        return now >= before ? now - before : 0;
+    };
+
+    Snapshot out;
+    out.counters.reserve(newer.counters.size());
+    for (const CounterValue &c : newer.counters) {
+        auto it = find(older.counters, c.name);
+        const std::uint64_t before =
+            it == older.counters.end() ? 0 : it->value;
+        out.counters.push_back({c.name, clamped(c.value, before)});
+    }
+    out.gauges = newer.gauges;
+    out.histograms.reserve(newer.histograms.size());
+    for (const HistogramValue &h : newer.histograms) {
+        auto it = find(older.histograms, h.name);
+        HistogramValue d = h;
+        if (it != older.histograms.end()) {
+            d.count = clamped(h.count, it->count);
+            d.total_ns = clamped(h.total_ns, it->total_ns);
+            for (std::size_t b = 0;
+                 b < d.buckets.size() && b < it->buckets.size(); ++b)
+                d.buckets[b] = clamped(h.buckets[b], it->buckets[b]);
+        }
+        out.histograms.push_back(std::move(d));
+    }
+    return out;
+}
+
 std::uint64_t
 quantileNs(const HistogramValue &hist, double q)
 {

@@ -219,6 +219,18 @@ class Registry
 void merge(Snapshot &into, const Snapshot &from);
 
 /**
+ * Difference of two polls of the same source(s): for every counter
+ * and histogram of @p newer, its value minus the same-named entry of
+ * @p older (missing in @p older = unchanged baseline of zero), with
+ * each field clamped at zero so a restarted server's counter reset
+ * reads as "no progress", never as a huge unsigned wrap. Gauges are
+ * levels, not totals, so the newer value is kept as-is. Entries only
+ * in @p older are dropped. Dividing the result by the poll interval
+ * gives per-second rates (ppm_stats --watch).
+ */
+Snapshot delta(const Snapshot &newer, const Snapshot &older);
+
+/**
  * Approximate quantile (0 <= q <= 1) in ns: the upper bound of the
  * first bucket whose cumulative count reaches q * count (0 when the
  * histogram is empty).

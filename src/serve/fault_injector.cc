@@ -1,0 +1,205 @@
+#include "serve/fault_injector.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "math/rng.hh"
+
+namespace ppm::serve {
+
+namespace {
+
+std::mutex g_active_mutex;
+std::shared_ptr<FaultInjector> g_active;
+bool g_env_checked = false;
+
+double
+parseProbability(const std::string &key, const std::string &value)
+{
+    std::size_t used = 0;
+    double p = 0.0;
+    try {
+        p = std::stod(value, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != value.size() || p < 0.0 || p > 1.0)
+        throw std::invalid_argument("fault spec: " + key +
+                                    " must be a probability in "
+                                    "[0, 1], got '" + value + "'");
+    return p;
+}
+
+long
+parseInteger(const std::string &key, const std::string &value)
+{
+    std::size_t used = 0;
+    long n = 0;
+    try {
+        n = std::stol(value, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used != value.size() || n < 0)
+        throw std::invalid_argument("fault spec: " + key +
+                                    " must be a non-negative "
+                                    "integer, got '" + value + "'");
+    return n;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None:
+        return "none";
+      case FaultKind::Drop:
+        return "drop";
+      case FaultKind::Delay:
+        return "delay";
+      case FaultKind::Stall:
+        return "stall";
+      case FaultKind::Truncate:
+        return "truncate";
+      case FaultKind::BitFlip:
+        return "bitflip";
+      case FaultKind::Reset:
+        return "reset";
+    }
+    return "unknown";
+}
+
+FaultSpec
+FaultSpec::parse(const std::string &text)
+{
+    FaultSpec spec;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t sep = text.find_first_of(";,", start);
+        if (sep == std::string::npos)
+            sep = text.size();
+        const std::string item = text.substr(start, sep - start);
+        start = sep + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            throw std::invalid_argument(
+                "fault spec: expected key=value, got '" + item + "'");
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        if (key == "seed")
+            spec.seed = static_cast<std::uint64_t>(
+                parseInteger(key, value));
+        else if (key == "drop")
+            spec.drop = parseProbability(key, value);
+        else if (key == "delay")
+            spec.delay = parseProbability(key, value);
+        else if (key == "stall")
+            spec.stall = parseProbability(key, value);
+        else if (key == "truncate")
+            spec.truncate = parseProbability(key, value);
+        else if (key == "bitflip")
+            spec.bitflip = parseProbability(key, value);
+        else if (key == "reset")
+            spec.reset = parseProbability(key, value);
+        else if (key == "delay_ms")
+            spec.delay_ms = static_cast<int>(parseInteger(key, value));
+        else if (key == "stall_ms")
+            spec.stall_ms = static_cast<int>(parseInteger(key, value));
+        else
+            throw std::invalid_argument(
+                "fault spec: unknown key '" + key + "'");
+    }
+    const double total = spec.drop + spec.delay + spec.stall +
+                         spec.truncate + spec.bitflip + spec.reset;
+    if (total > 1.0)
+        throw std::invalid_argument(
+            "fault spec: fault probabilities sum to " +
+            std::to_string(total) + " > 1");
+    return spec;
+}
+
+FaultInjector::Decision
+FaultInjector::decide(std::uint64_t index,
+                      std::size_t frame_size) const
+{
+    math::Rng rng = math::Rng::stream(spec_.seed, index);
+    const double u = rng.uniform();
+    // The aux draw happens unconditionally so a decision's shape
+    // never depends on which faults are enabled around it.
+    const std::uint64_t aux = rng.next();
+
+    Decision d;
+    double edge = spec_.drop;
+    if (u < edge) {
+        d.kind = FaultKind::Drop;
+        return d;
+    }
+    edge += spec_.delay;
+    if (u < edge) {
+        d.kind = FaultKind::Delay;
+        d.sleep_ms = spec_.delay_ms;
+        return d;
+    }
+    edge += spec_.stall;
+    if (u < edge) {
+        d.kind = FaultKind::Stall;
+        d.sleep_ms = spec_.stall_ms;
+        return d;
+    }
+    edge += spec_.truncate;
+    if (u < edge) {
+        d.kind = FaultKind::Truncate;
+        d.target = frame_size > 0 ? aux % frame_size : 0;
+        return d;
+    }
+    edge += spec_.bitflip;
+    if (u < edge) {
+        d.kind = FaultKind::BitFlip;
+        d.target = frame_size > 0 ? aux % (frame_size * 8) : 0;
+        return d;
+    }
+    edge += spec_.reset;
+    if (u < edge) {
+        d.kind = FaultKind::Reset;
+        return d;
+    }
+    return d;
+}
+
+std::uint64_t
+FaultInjector::injectedTotal() const
+{
+    std::uint64_t total = 0;
+    for (int k = 1; k < kFaultKinds; ++k)
+        total += counts_[k].load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+FaultInjector::install(std::shared_ptr<FaultInjector> injector)
+{
+    std::lock_guard<std::mutex> lock(g_active_mutex);
+    g_env_checked = true; // explicit install overrides the env path
+    g_active = std::move(injector);
+}
+
+std::shared_ptr<FaultInjector>
+FaultInjector::active()
+{
+    std::lock_guard<std::mutex> lock(g_active_mutex);
+    if (!g_env_checked) {
+        g_env_checked = true;
+        if (const char *text = std::getenv(kFaultSpecEnvVar);
+            text != nullptr && *text != '\0')
+            g_active = std::make_shared<FaultInjector>(
+                FaultSpec::parse(text));
+    }
+    return g_active;
+}
+
+} // namespace ppm::serve

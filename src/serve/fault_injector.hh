@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Deterministic transport-layer fault injection: the test seam the
+ * chaos suite drives, and a field tool for rehearsing network
+ * failures against real deployments.
+ *
+ * A FaultSpec describes independent per-frame fault probabilities.
+ * When an injector is installed (explicitly via install(), or from
+ * the PPM_FAULT_SPEC environment variable on first use), every frame
+ * written through serve::writeFrame — client requests and server
+ * replies on both Unix and TCP transports — consults it and may be:
+ *
+ *     drop       swallowed entirely (the peer's read times out)
+ *     delay      sent after sleeping delay_ms (still within timeout)
+ *     stall      sent after sleeping stall_ms (sized to overrun the
+ *                peer's read timeout)
+ *     truncate   cut short, then the write side is shut down so the
+ *                peer sees EOF mid-frame
+ *     bitflip    one bit of the encoded frame inverted (the CRC or
+ *                header validation must catch it on the peer)
+ *     reset      the connection torn down and IoError raised at the
+ *                sender
+ *
+ * Decisions are a pure function of (spec.seed, frame sequence
+ * number) via math::Rng::stream, so a given spec always produces the
+ * same decision sequence — and because every fault surfaces as an
+ * IoError/ProtocolError that the retry/backoff/dead-latch/fallback
+ * machinery already handles, results stay bit-identical to a
+ * fault-free run no matter which frames are hit.
+ *
+ * Spec grammar (key=value, ';' or ',' separated):
+ *
+ *     seed=42;drop=0.2;delay=0.1;delay_ms=5;stall=0.05;stall_ms=700;
+ *     truncate=0.1;bitflip=0.1;reset=0.1
+ *
+ * Probabilities must lie in [0, 1] and sum to at most 1.
+ */
+
+#ifndef PPM_SERVE_FAULT_INJECTOR_HH
+#define PPM_SERVE_FAULT_INJECTOR_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ppm::serve {
+
+/** Environment variable holding the fault spec. */
+inline constexpr const char *kFaultSpecEnvVar = "PPM_FAULT_SPEC";
+
+enum class FaultKind : int
+{
+    None = 0,
+    Drop,
+    Delay,
+    Stall,
+    Truncate,
+    BitFlip,
+    Reset,
+};
+
+/** Number of FaultKind values (for counters). */
+inline constexpr int kFaultKinds = 7;
+
+const char *faultKindName(FaultKind kind);
+
+/** Per-frame fault probabilities and fault shaping knobs. */
+struct FaultSpec
+{
+    std::uint64_t seed = 1;
+    double drop = 0.0;
+    double delay = 0.0;
+    double stall = 0.0;
+    double truncate = 0.0;
+    double bitflip = 0.0;
+    double reset = 0.0;
+    /** Sleep before sending a delayed frame (keep under timeouts). */
+    int delay_ms = 5;
+    /** Sleep before sending a stalled frame (size past timeouts). */
+    int stall_ms = 700;
+
+    /**
+     * Parse the grammar in the file comment.
+     * @throws std::invalid_argument on unknown keys, unparsable
+     *         values, probabilities outside [0, 1], or a total fault
+     *         probability above 1.
+     */
+    static FaultSpec parse(const std::string &text);
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultSpec spec) : spec_(spec) {}
+
+    /** What to do to one frame. */
+    struct Decision
+    {
+        FaultKind kind = FaultKind::None;
+        int sleep_ms = 0;       //!< Delay/Stall: sleep before sending
+        std::uint64_t target = 0; //!< BitFlip: bit, Truncate: length
+    };
+
+    /**
+     * Pure decision function: the fate of frame @p index of
+     * @p frame_size bytes. Depends only on (spec.seed, index), never
+     * on thread or wall clock.
+     */
+    Decision decide(std::uint64_t index,
+                    std::size_t frame_size) const;
+
+    /** Decision for the next frame (advances the sequence). */
+    Decision
+    nextSendFault(std::size_t frame_size)
+    {
+        const std::uint64_t index =
+            frames_.fetch_add(1, std::memory_order_relaxed);
+        const Decision d = decide(index, frame_size);
+        counts_[static_cast<int>(d.kind)].fetch_add(
+            1, std::memory_order_relaxed);
+        return d;
+    }
+
+    /** Frames that consulted the injector so far. */
+    std::uint64_t
+    framesSeen() const
+    {
+        return frames_.load(std::memory_order_relaxed);
+    }
+
+    /** Frames that drew @p kind so far. */
+    std::uint64_t
+    count(FaultKind kind) const
+    {
+        return counts_[static_cast<int>(kind)].load(
+            std::memory_order_relaxed);
+    }
+
+    /** Frames that drew any fault (everything but None). */
+    std::uint64_t injectedTotal() const;
+
+    const FaultSpec &spec() const { return spec_; }
+
+    /**
+     * Install @p injector as the process-wide interposer consulted by
+     * writeFrame (nullptr uninstalls). Overrides any env-configured
+     * injector.
+     */
+    static void install(std::shared_ptr<FaultInjector> injector);
+
+    /**
+     * The active interposer, or nullptr. On first call, constructs
+     * one from PPM_FAULT_SPEC if set (a malformed spec throws
+     * std::invalid_argument once, loudly, then stays disabled).
+     */
+    static std::shared_ptr<FaultInjector> active();
+
+  private:
+    FaultSpec spec_;
+    std::atomic<std::uint64_t> frames_{0};
+    std::array<std::atomic<std::uint64_t>, kFaultKinds> counts_{};
+};
+
+} // namespace ppm::serve
+
+#endif // PPM_SERVE_FAULT_INJECTOR_HH

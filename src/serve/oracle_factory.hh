@@ -3,10 +3,12 @@
  * Oracle factory: the one-line entry point benches and examples use
  * to get a CpiOracle that honours the service environment —
  *
- *   PPM_SERVE_SOCKET  comma-separated ppm_serve sockets; when set the
- *                     factory returns a RemoteOracle sharding batches
- *                     across them (with in-process fallback), else a
- *                     plain SimulatorOracle
+ *   PPM_SERVE_SOCKET  comma-separated ppm_serve endpoints — Unix
+ *                     socket paths and TCP host:port specs mix freely
+ *                     (see transport.hh); when set the factory
+ *                     returns a RemoteOracle sharding batches across
+ *                     them (with in-process fallback), else a plain
+ *                     SimulatorOracle
  *   PPM_ARCHIVE_DIR   directory of ResultArchive files; when set the
  *                     local oracle (or the remote oracle's fallback)
  *                     persists every simulation, so re-running any

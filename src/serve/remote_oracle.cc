@@ -51,6 +51,23 @@ RemoteOracle::RemoteOracle(const dspace::DesignSpace &space,
         options_.max_connections = 1;
     if (options_.max_attempts < 1)
         options_.max_attempts = 1;
+    endpoints_.reserve(options_.sockets.size());
+    for (const std::string &spec : options_.sockets)
+        endpoints_.push_back(parseEndpoint(spec));
+#ifndef PPM_OBS_DISABLED
+    endpoint_metrics_.reserve(endpoints_.size());
+    for (const Endpoint &ep : endpoints_) {
+        const std::string prefix = "remote.ep." + ep.display();
+        EndpointMetrics m;
+        m.connects = &obs::Registry::instance().counter(
+            prefix + ".connects");
+        m.connect_failures = &obs::Registry::instance().counter(
+            prefix + ".connect_failures");
+        m.retries = &obs::Registry::instance().counter(
+            prefix + ".retries");
+        endpoint_metrics_.push_back(m);
+    }
+#endif
 }
 
 double
@@ -67,7 +84,8 @@ RemoteOracle::requestChunk(
     if (options_.sockets.empty() ||
         socket_dead_[socket_index].load(std::memory_order_relaxed))
         return std::nullopt;
-    const std::string &socket = options_.sockets[socket_index];
+    const Endpoint &endpoint = endpoints_[socket_index];
+    const std::string socket = endpoint.display();
 
     EvalRequest req;
     req.benchmark = benchmark_;
@@ -86,6 +104,9 @@ RemoteOracle::requestChunk(
         if (attempt > 0) {
             OBS_ADD(retries, 1);
             OBS_ADD(backoff_sleeps, 1);
+#ifndef PPM_OBS_DISABLED
+            endpoint_metrics_[socket_index].retries->add(1);
+#endif
             obs::logEvent(obs::LogLevel::Debug, "remote", "backoff",
                           {{"socket", socket},
                            {"attempt", attempt},
@@ -97,8 +118,23 @@ RemoteOracle::requestChunk(
                 nextBackoffMs(backoff_ms, options_.backoff_max_ms);
         }
         try {
-            FdGuard fd =
-                connectUnix(socket, options_.connect_timeout_ms);
+            FdGuard fd = [&] {
+                OBS_SPAN("remote.connect");
+                try {
+                    FdGuard conn = connectEndpoint(
+                        endpoint, options_.connect_timeout_ms);
+#ifndef PPM_OBS_DISABLED
+                    endpoint_metrics_[socket_index].connects->add(1);
+#endif
+                    return conn;
+                } catch (const IoError &) {
+#ifndef PPM_OBS_DISABLED
+                    endpoint_metrics_[socket_index]
+                        .connect_failures->add(1);
+#endif
+                    throw;
+                }
+            }();
             writeFrame(fd.get(), frame, options_.io_timeout_ms);
             const Frame reply =
                 readFrame(fd.get(), options_.io_timeout_ms);

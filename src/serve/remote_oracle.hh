@@ -1,11 +1,12 @@
 /**
  * @file
  * RemoteOracle: a CpiOracle that shards evaluation batches across one
- * or more SimServer processes over Unix-domain sockets, with
- * per-request timeouts, bounded exponential-backoff retry, and
- * transparent fallback to in-process simulation when a server is
- * unreachable — so every caller of the CpiOracle interface works
- * unchanged against a remote backend.
+ * or more SimServer processes over Unix-domain sockets, TCP
+ * endpoints, or any mix of the two (see transport.hh for the
+ * endpoint grammar), with per-request timeouts, bounded
+ * exponential-backoff retry, and transparent fallback to in-process
+ * simulation when a server is unreachable — so every caller of the
+ * CpiOracle interface works unchanged against a remote backend.
  *
  * Determinism contract: results are returned in input order and are
  * bit-identical to local evaluation for every shard count and socket
@@ -33,18 +34,21 @@
 
 #include "core/oracle.hh"
 #include "dspace/design_space.hh"
+#include "obs/metrics.hh"
 #include "serve/protocol.hh"
+#include "serve/transport.hh"
 #include "sim/simulator.hh"
 #include "trace/trace.hh"
 
 namespace ppm::serve {
 
-/** Name of the environment variable naming server sockets. */
+/** Name of the environment variable naming server endpoints. */
 inline constexpr const char *kSocketEnvVar = "PPM_SERVE_SOCKET";
 
 /**
- * Socket paths from PPM_SERVE_SOCKET (comma-separated; empty when
- * unset). One running ppm_serve process per socket.
+ * Endpoint specs from PPM_SERVE_SOCKET (comma-separated; empty when
+ * unset). One running ppm_serve process per endpoint; Unix socket
+ * paths and TCP host:port specs can be mixed freely.
  */
 std::vector<std::string> socketsFromEnv();
 
@@ -64,8 +68,9 @@ nextBackoffMs(int backoff_ms, int backoff_max_ms)
 struct RemoteOptions
 {
     /**
-     * Server sockets to shard across; chunk c goes to
-     * sockets[c % sockets.size()]. Empty = always evaluate locally.
+     * Server endpoints (Unix paths and/or TCP host:port specs) to
+     * shard across; chunk c goes to sockets[c % sockets.size()].
+     * Empty = always evaluate locally.
      */
     std::vector<std::string> sockets;
     /** Per-connection-attempt timeout. */
@@ -160,6 +165,23 @@ class RemoteOracle final : public core::CpiOracle
     core::Metric metric_;
     RemoteOptions options_;
     core::SimulatorOracle fallback_;
+
+    /** Parsed options_.sockets, one per shard slot. */
+    std::vector<Endpoint> endpoints_;
+
+    /**
+     * Per-endpoint registry counters, named
+     * remote.ep.<spec>.{connects,connect_failures,retries}, so
+     * ppm_stats (and the merged multi-client view) can tell a flaky
+     * shard from a healthy one. Empty when obs is compiled out.
+     */
+    struct EndpointMetrics
+    {
+        obs::Counter *connects = nullptr;
+        obs::Counter *connect_failures = nullptr;
+        obs::Counter *retries = nullptr;
+    };
+    std::vector<EndpointMetrics> endpoint_metrics_;
 
     /**
      * Latched per-socket failure flags: once a socket exhausts its

@@ -53,7 +53,10 @@ SimServer::start()
         throw std::logic_error("SimServer already started");
     if (!options_.archive_dir.empty())
         std::filesystem::create_directories(options_.archive_dir);
-    listen_fd_ = listenUnix(options_.socket_path);
+    endpoint_ = parseEndpoint(options_.socket_path);
+    listen_fd_ = listenEndpoint(endpoint_);
+    if (endpoint_.kind == Endpoint::Kind::Tcp && endpoint_.port == 0)
+        endpoint_.port = boundTcpPort(listen_fd_.get());
     if (::pipe2(stop_pipe_, O_CLOEXEC | O_NONBLOCK) < 0) {
         listen_fd_.reset();
         throw IoError(std::string("pipe2: ") + std::strerror(errno));
@@ -87,7 +90,8 @@ SimServer::stop()
     ::close(stop_pipe_[0]);
     ::close(stop_pipe_[1]);
     stop_pipe_[0] = stop_pipe_[1] = -1;
-    ::unlink(options_.socket_path.c_str());
+    if (endpoint_.kind == Endpoint::Kind::Unix)
+        ::unlink(endpoint_.path.c_str());
     started_ = false;
 }
 
@@ -272,6 +276,8 @@ SimServer::workerLoop()
                                  SOCK_CLOEXEC | SOCK_NONBLOCK);
         if (fd < 0)
             continue;
+        if (endpoint_.kind == Endpoint::Kind::Tcp)
+            setTcpNoDelay(fd);
         // A worker serves one connection at a time, so the number of
         // connections in conns_ is also the number of busy workers —
         // the live proxy for queue depth exported to ppm_stats.

@@ -1,7 +1,8 @@
 /**
  * @file
  * SimServer: the process-level sharding backend. Listens on a
- * Unix-domain socket, owns one memoizing SimulatorOracle per
+ * Unix-domain socket or a TCP endpoint (see transport.hh for the
+ * spec grammar), owns one memoizing SimulatorOracle per
  * benchmark-trace context, and services EvalRequest batches from a
  * pool of worker threads (every worker accepts connections, so
  * num_workers requests proceed concurrently; each oracle additionally
@@ -36,13 +37,18 @@
 #include "dspace/design_space.hh"
 #include "serve/protocol.hh"
 #include "serve/socket_io.hh"
+#include "serve/transport.hh"
 #include "trace/trace.hh"
 
 namespace ppm::serve {
 
 struct ServerOptions
 {
-    /** Unix-domain socket path to listen on. Required. */
+    /**
+     * Endpoint to listen on: a Unix-domain socket path or a TCP
+     * "host:port" spec (port 0 = kernel-assigned; read the bound
+     * endpoint back with endpointSpec()). Required.
+     */
     std::string socket_path;
     /** Concurrent request-serving workers (>= 1). */
     unsigned num_workers = 1;
@@ -89,6 +95,13 @@ class SimServer
         return options_.socket_path;
     }
 
+    /**
+     * The endpoint actually bound, valid after start(). For a TCP
+     * spec with port 0 this carries the kernel-assigned port, so it
+     * is the string clients should connect to.
+     */
+    std::string endpointSpec() const { return endpoint_.display(); }
+
     /** EvalRequests answered (successfully) so far. */
     std::uint64_t
     requestsServed() const
@@ -117,6 +130,7 @@ class SimServer
 
     ServerOptions options_;
     dspace::DesignSpace space_;
+    Endpoint endpoint_;
     FdGuard listen_fd_;
     int stop_pipe_[2] = {-1, -1};
     std::vector<std::thread> workers_;

@@ -3,12 +3,18 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "serve/fault_injector.hh"
 
 namespace ppm::serve {
 
@@ -70,6 +76,53 @@ unixAddress(const std::string &path)
     return addr;
 }
 
+/** RAII owner of a getaddrinfo result list. */
+struct AddrInfoGuard
+{
+    addrinfo *list = nullptr;
+    ~AddrInfoGuard()
+    {
+        if (list != nullptr)
+            ::freeaddrinfo(list);
+    }
+};
+
+AddrInfoGuard
+resolveTcp(const std::string &host, std::uint16_t port, bool passive)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+    const std::string service = std::to_string(port);
+    AddrInfoGuard result;
+    const int rc = ::getaddrinfo(host.c_str(), service.c_str(),
+                                 &hints, &result.list);
+    if (rc != 0)
+        throw IoError("resolve " + host + ":" + service + ": " +
+                      ::gai_strerror(rc));
+    return result;
+}
+
+/**
+ * Finish a non-blocking connect on @p fd: wait for writability, then
+ * surface the socket error if the connect failed.
+ */
+void
+finishConnect(int fd, Clock::time_point deadline,
+              const std::string &what)
+{
+    waitReady(fd, POLLOUT, deadline);
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0)
+        throwErrno("getsockopt(SO_ERROR)");
+    if (err != 0) {
+        errno = err;
+        throwErrno("connect " + what);
+    }
+}
+
 } // namespace
 
 void
@@ -112,16 +165,100 @@ connectUnix(const std::string &path, int timeout_ms)
         return fd;
     if (errno != EINPROGRESS && errno != EAGAIN)
         throwErrno("connect " + path);
-    waitReady(fd.get(), POLLOUT, deadline);
-    int err = 0;
-    socklen_t len = sizeof(err);
-    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0)
-        throwErrno("getsockopt(SO_ERROR)");
-    if (err != 0) {
-        errno = err;
-        throwErrno("connect " + path);
-    }
+    finishConnect(fd.get(), deadline, path);
     return fd;
+}
+
+FdGuard
+listenTcp(const std::string &host, std::uint16_t port, int backlog)
+{
+    const AddrInfoGuard addrs = resolveTcp(host, port, true);
+    std::string last_error = "no addresses resolved";
+    for (const addrinfo *ai = addrs.list; ai != nullptr;
+         ai = ai->ai_next) {
+        FdGuard fd(::socket(ai->ai_family,
+                            ai->ai_socktype | SOCK_CLOEXEC,
+                            ai->ai_protocol));
+        if (!fd.valid()) {
+            last_error = std::string("socket: ") +
+                         std::strerror(errno);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) < 0 ||
+            ::listen(fd.get(), backlog) < 0) {
+            last_error = std::string("bind/listen: ") +
+                         std::strerror(errno);
+            continue;
+        }
+        setNonBlocking(fd.get());
+        return fd;
+    }
+    throw IoError("listen " + host + ":" + std::to_string(port) +
+                  ": " + last_error);
+}
+
+FdGuard
+connectTcp(const std::string &host, std::uint16_t port,
+           int timeout_ms)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    const AddrInfoGuard addrs = resolveTcp(host, port, false);
+    const std::string what = host + ":" + std::to_string(port);
+    std::string last_error = "no addresses resolved";
+    for (const addrinfo *ai = addrs.list; ai != nullptr;
+         ai = ai->ai_next) {
+        FdGuard fd(::socket(ai->ai_family,
+                            ai->ai_socktype | SOCK_CLOEXEC,
+                            ai->ai_protocol));
+        if (!fd.valid()) {
+            last_error = std::string("socket: ") +
+                         std::strerror(errno);
+            continue;
+        }
+        setNonBlocking(fd.get());
+        try {
+            if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+                if (errno != EINPROGRESS && errno != EAGAIN)
+                    throwErrno("connect " + what);
+                finishConnect(fd.get(), deadline, what);
+            }
+        } catch (const IoError &e) {
+            last_error = e.what();
+            continue;
+        }
+        setTcpNoDelay(fd.get());
+        return fd;
+    }
+    throw IoError("connect " + what + ": " + last_error);
+}
+
+std::uint16_t
+boundTcpPort(int fd)
+{
+    sockaddr_storage addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) < 0)
+        throwErrno("getsockname");
+    if (addr.ss_family == AF_INET)
+        return ntohs(
+            reinterpret_cast<const sockaddr_in *>(&addr)->sin_port);
+    if (addr.ss_family == AF_INET6)
+        return ntohs(
+            reinterpret_cast<const sockaddr_in6 *>(&addr)->sin6_port);
+    throw IoError("getsockname: not a TCP socket");
+}
+
+void
+setTcpNoDelay(int fd)
+{
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
 }
 
 void
@@ -179,7 +316,49 @@ void
 writeFrame(int fd, const std::vector<std::uint8_t> &frame,
            int timeout_ms)
 {
-    sendAll(fd, frame.data(), frame.size(), timeout_ms);
+    const std::shared_ptr<FaultInjector> injector =
+        FaultInjector::active();
+    if (!injector) {
+        sendAll(fd, frame.data(), frame.size(), timeout_ms);
+        return;
+    }
+    const FaultInjector::Decision d =
+        injector->nextSendFault(frame.size());
+    switch (d.kind) {
+      case FaultKind::None:
+        sendAll(fd, frame.data(), frame.size(), timeout_ms);
+        return;
+      case FaultKind::Drop:
+        // Swallowed: the sender believes it succeeded, the peer's
+        // read runs into its timeout.
+        return;
+      case FaultKind::Delay:
+      case FaultKind::Stall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(d.sleep_ms));
+        // A stall sized past the peer's read timeout typically makes
+        // this send fail with EPIPE once the peer gave up — exactly
+        // the IoError the retry machinery expects.
+        sendAll(fd, frame.data(), frame.size(), timeout_ms);
+        return;
+      case FaultKind::Truncate:
+        sendAll(fd, frame.data(),
+                static_cast<std::size_t>(d.target), timeout_ms);
+        // EOF mid-frame on the peer, instead of a silent short frame
+        // that would stall it until timeout.
+        ::shutdown(fd, SHUT_WR);
+        return;
+      case FaultKind::BitFlip: {
+        std::vector<std::uint8_t> corrupted = frame;
+        corrupted[d.target / 8] ^= static_cast<std::uint8_t>(
+            1u << (d.target % 8));
+        sendAll(fd, corrupted.data(), corrupted.size(), timeout_ms);
+        return;
+      }
+      case FaultKind::Reset:
+        ::shutdown(fd, SHUT_RDWR);
+        throw IoError("fault injection: connection reset");
+    }
 }
 
 Frame

@@ -1,13 +1,21 @@
 /**
  * @file
- * Unix-domain socket plumbing for the simulation service: RAII fd
- * ownership, listen/connect with explicit timeouts, and poll-driven
- * whole-frame reads and writes on non-blocking descriptors.
+ * Socket plumbing for the simulation service: RAII fd ownership,
+ * Unix-domain and TCP listen/connect with explicit timeouts, and
+ * poll-driven whole-frame reads and writes on non-blocking
+ * descriptors.
  *
  * All timeouts are in milliseconds and apply to the entire operation
  * (a frame read must finish within one timeout, not one timeout per
  * syscall). Failures — timeouts, resets, clean EOF mid-frame — raise
  * IoError; malformed bytes raise protocol::ProtocolError.
+ *
+ * writeFrame is also the fault-injection seam: when a
+ * serve::FaultInjector is installed (PPM_FAULT_SPEC or an explicit
+ * install()), every outgoing frame — client requests and server
+ * replies alike — passes through it and may be dropped, delayed,
+ * stalled, truncated, bit-flipped, or reset before it reaches the
+ * wire. See fault_injector.hh.
  */
 
 #ifndef PPM_SERVE_SOCKET_IO_HH
@@ -79,6 +87,30 @@ FdGuard listenUnix(const std::string &path, int backlog = 64);
  */
 FdGuard connectUnix(const std::string &path, int timeout_ms);
 
+/**
+ * Create a non-blocking TCP listening socket bound to
+ * @p host:@p port (port 0 lets the kernel pick; read it back with
+ * boundTcpPort). SO_REUSEADDR is set so restarts rebind instantly.
+ * @throws IoError on resolution or bind/listen failure.
+ */
+FdGuard listenTcp(const std::string &host, std::uint16_t port,
+                  int backlog = 64);
+
+/**
+ * Connect to @p host:@p port within @p timeout_ms. The connected
+ * socket is non-blocking with TCP_NODELAY set (frames are
+ * latency-bound request/response exchanges, never bulk streams).
+ * @throws IoError when unresolvable, refused, or timed out.
+ */
+FdGuard connectTcp(const std::string &host, std::uint16_t port,
+                   int timeout_ms);
+
+/** Port a TCP listener actually bound (resolves a port-0 bind). */
+std::uint16_t boundTcpPort(int fd);
+
+/** Best-effort TCP_NODELAY (no-op on non-TCP descriptors). */
+void setTcpNoDelay(int fd);
+
 /** Send all @p size bytes within @p timeout_ms. @throws IoError */
 void sendAll(int fd, const void *data, std::size_t size,
              int timeout_ms);
@@ -89,7 +121,11 @@ void sendAll(int fd, const void *data, std::size_t size,
  */
 void recvAll(int fd, void *data, std::size_t size, int timeout_ms);
 
-/** Write one encoded frame. @throws IoError */
+/**
+ * Write one encoded frame. When a FaultInjector is installed the
+ * frame first passes through it and may be perturbed or swallowed
+ * (see file comment). @throws IoError
+ */
 void writeFrame(int fd, const std::vector<std::uint8_t> &frame,
                 int timeout_ms);
 

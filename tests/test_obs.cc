@@ -414,6 +414,94 @@ TEST(ObsMetrics, MergeSumsByName)
     EXPECT_EQ(a.gauges[0].value, 3);
 }
 
+TEST(ObsMetrics, DeltaSubtractsCountersClampedAtZero)
+{
+    Snapshot older;
+    older.counters = {{"gone", 9}, {"grew", 10}, {"reset", 500}};
+    Snapshot newer;
+    newer.counters = {{"fresh", 7}, {"grew", 25}, {"reset", 40}};
+    const Snapshot d = delta(newer, older);
+    ASSERT_EQ(d.counters.size(), 3u);
+    // Order follows `newer`; "gone" (only in older) is dropped.
+    EXPECT_EQ(d.counters[0].name, "fresh");
+    EXPECT_EQ(d.counters[0].value, 7u); // no baseline = started at 0
+    EXPECT_EQ(d.counters[1].name, "grew");
+    EXPECT_EQ(d.counters[1].value, 15u);
+    // A server restart reset the counter below its old value: the
+    // delta clamps to zero instead of wrapping to ~2^64.
+    EXPECT_EQ(d.counters[2].name, "reset");
+    EXPECT_EQ(d.counters[2].value, 0u);
+}
+
+TEST(ObsMetrics, DeltaKeepsGaugeLevels)
+{
+    Snapshot older;
+    older.gauges = {{"depth", 12}};
+    Snapshot newer;
+    newer.gauges = {{"depth", 3}, {"new_level", -4}};
+    const Snapshot d = delta(newer, older);
+    // Gauges are levels, not accumulating totals: report the current
+    // reading, never a difference.
+    ASSERT_EQ(d.gauges.size(), 2u);
+    EXPECT_EQ(d.gauges[0].value, 3);
+    EXPECT_EQ(d.gauges[1].value, -4);
+}
+
+TEST(ObsMetrics, DeltaSubtractsHistogramsBucketwise)
+{
+    HistogramValue before;
+    before.name = "lat";
+    before.count = 10;
+    before.total_ns = 1000;
+    before.buckets = {4, 6, 0};
+    HistogramValue after = before;
+    after.count = 17;
+    after.total_ns = 1800;
+    after.buckets = {6, 10, 1};
+    Snapshot older, newer;
+    older.histograms = {before};
+    newer.histograms = {after};
+    const Snapshot d = delta(newer, older);
+    ASSERT_EQ(d.histograms.size(), 1u);
+    EXPECT_EQ(d.histograms[0].count, 7u);
+    EXPECT_EQ(d.histograms[0].total_ns, 800u);
+    const std::vector<std::uint64_t> want = {2, 4, 1};
+    EXPECT_EQ(d.histograms[0].buckets, want);
+
+    // Restarted source: every histogram field clamps independently.
+    const Snapshot wrapped = delta(older, newer);
+    EXPECT_EQ(wrapped.histograms[0].count, 0u);
+    EXPECT_EQ(wrapped.histograms[0].total_ns, 0u);
+    const std::vector<std::uint64_t> zeros = {0, 0, 0};
+    EXPECT_EQ(wrapped.histograms[0].buckets, zeros);
+}
+
+TEST(ObsMetrics, DeltaOfLivePollsMatchesHandIncrements)
+{
+    // The exact scenario ppm_stats --watch runs: two snapshots of a
+    // live registry with known traffic in between.
+    Registry &reg = Registry::instance();
+    Counter &c = reg.counter("test.obs.delta_live");
+    Histogram &h = reg.histogram("test.obs.delta_live_hist");
+    c.add(5);
+    h.observe(1500);
+    const Snapshot first = reg.snapshot();
+    c.add(37);
+    h.observe(1500);
+    h.observe(900);
+    const Snapshot d = delta(reg.snapshot(), first);
+    std::uint64_t counter_delta = 0;
+    for (const auto &cv : d.counters)
+        if (cv.name == "test.obs.delta_live")
+            counter_delta = cv.value;
+    EXPECT_EQ(counter_delta, 37u);
+    for (const auto &hv : d.histograms)
+        if (hv.name == "test.obs.delta_live_hist") {
+            EXPECT_EQ(hv.count, 2u);
+            EXPECT_EQ(hv.total_ns, 2400u);
+        }
+}
+
 TEST(ObsMetrics, QuantileFindsBucketUpperBound)
 {
     HistogramValue hv;

@@ -37,6 +37,7 @@
 #include "serve/result_archive.hh"
 #include "serve/sim_server.hh"
 #include "serve/socket_io.hh"
+#include "serve/transport.hh"
 #include "trace/benchmark_profile.hh"
 #include "trace/trace_generator.hh"
 
@@ -499,6 +500,144 @@ TEST(ServeE2E, PpmStatsCliPollsSpawnedServer)
     EXPECT_NE(output.find("span.serve.request"), std::string::npos)
         << output;
 #endif
+}
+
+// --- TCP transport ----------------------------------------------------
+
+TEST(Transport, EndpointGrammar)
+{
+    using serve::Endpoint;
+    const Endpoint unix_ep = serve::parseEndpoint("/tmp/x.sock");
+    EXPECT_EQ(unix_ep.kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(unix_ep.path, "/tmp/x.sock");
+    EXPECT_EQ(unix_ep.display(), "/tmp/x.sock");
+
+    const Endpoint tcp = serve::parseEndpoint("127.0.0.1:7070");
+    EXPECT_EQ(tcp.kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(tcp.host, "127.0.0.1");
+    EXPECT_EQ(tcp.port, 7070);
+    EXPECT_EQ(tcp.display(), "127.0.0.1:7070");
+
+    const Endpoint named = serve::parseEndpoint("sim-host:0");
+    EXPECT_EQ(named.kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(named.host, "sim-host");
+    EXPECT_EQ(named.port, 0);
+
+    // A path containing a colon-digit suffix is still a path: the
+    // '/' wins, so pre-TCP socket configs parse exactly as before.
+    const Endpoint path = serve::parseEndpoint("/tmp/srv:8080");
+    EXPECT_EQ(path.kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(path.path, "/tmp/srv:8080");
+
+    // A name with no port is a (relative) Unix path, not TCP.
+    EXPECT_EQ(serve::parseEndpoint("localhost").kind,
+              Endpoint::Kind::Unix);
+
+    EXPECT_THROW(serve::parseEndpoint(""), serve::IoError);
+    EXPECT_THROW(serve::parseEndpoint(":7070"), serve::IoError);
+    EXPECT_THROW(serve::parseEndpoint("host:65536"), serve::IoError);
+
+    const auto list =
+        serve::parseEndpointList("/tmp/a.sock,10.0.0.1:7070");
+    ASSERT_EQ(list.size(), 2u);
+    EXPECT_EQ(list[0].kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(list[1].kind, Endpoint::Kind::Tcp);
+}
+
+TEST(ServeE2E, TcpShardBitIdenticalToLocal)
+{
+    // Port 0: the kernel picks a free port, endpointSpec() reads it
+    // back, so the test never races another process for a port.
+    Scenario &s = scenario();
+    serve::SimServer server(serverOptions("127.0.0.1:0", 2));
+    server.start();
+    const std::string endpoint = server.endpointSpec();
+    ASSERT_NE(endpoint, "127.0.0.1:0") << "port 0 was not resolved";
+
+    serve::RemoteOracle remote(s.space, "mcf", s.trace, simOptions(),
+                               core::Metric::Cpi,
+                               fastRemote({endpoint}));
+    const PipelineArtifacts got = runPipeline(remote);
+    EXPECT_EQ(got.responses, localReference().responses);
+    EXPECT_EQ(got.predictions, localReference().predictions);
+    EXPECT_EQ(remote.remotePoints(), s.batch.size());
+    EXPECT_EQ(remote.fallbackPoints(), 0u);
+    server.stop();
+}
+
+TEST(ServeE2E, MixedUnixAndTcpShardsBitIdenticalToLocal)
+{
+    // One Unix shard plus one TCP shard behind a single oracle:
+    // chunks alternate between transports and the merged batch is
+    // still bit-identical to local simulation.
+    Scenario &s = scenario();
+    const std::string unix_sock = uniqueSocket("mixed");
+    serve::SimServer unix_server(serverOptions(unix_sock, 1));
+    serve::SimServer tcp_server(serverOptions("127.0.0.1:0", 1));
+    unix_server.start();
+    tcp_server.start();
+
+    serve::RemoteOracle remote(
+        s.space, "mcf", s.trace, simOptions(), core::Metric::Cpi,
+        fastRemote({unix_sock, tcp_server.endpointSpec()}));
+    const PipelineArtifacts got = runPipeline(remote);
+    EXPECT_EQ(got.responses, localReference().responses);
+    EXPECT_EQ(got.predictions, localReference().predictions);
+    EXPECT_EQ(remote.remotePoints(), s.batch.size());
+    EXPECT_EQ(remote.fallbackPoints(), 0u);
+    // Both transports actually served work.
+    EXPECT_GT(unix_server.totalEvaluations(), 0u);
+    EXPECT_GT(tcp_server.totalEvaluations(), 0u);
+    unix_server.stop();
+    tcp_server.stop();
+}
+
+TEST(ServeE2E, PpmStatsCliPollsTcpEndpoint)
+{
+    // The stats CLI speaks the same endpoint grammar: poll an
+    // in-process server over TCP loopback, then take a --watch rate
+    // reading against it.
+    Scenario &s = scenario();
+    serve::SimServer server(serverOptions("127.0.0.1:0", 2));
+    server.start();
+    const std::string endpoint = server.endpointSpec();
+
+    serve::RemoteOracle remote(s.space, "mcf", s.trace, simOptions(),
+                               core::Metric::Cpi,
+                               fastRemote({endpoint}));
+    (void)remote.evaluateAll(s.batch);
+
+    auto runCli = [](const std::string &args) {
+        const std::string cmd = std::string(PPM_STATS_BIN) + " " +
+                                args + " 2>/dev/null";
+        FILE *pipe = ::popen(cmd.c_str(), "r");
+        EXPECT_NE(pipe, nullptr);
+        std::string output;
+        char buf[4096];
+        std::size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), pipe)) > 0)
+            output.append(buf, got);
+        EXPECT_EQ(::pclose(pipe), 0) << output;
+        return output;
+    };
+
+    const std::string polled =
+        runCli("--no-local --json --socket " + endpoint);
+    ASSERT_FALSE(polled.empty());
+    EXPECT_EQ(polled.front(), '{') << polled;
+#ifndef PPM_OBS_DISABLED
+    EXPECT_NE(polled.find("\"serve.requests\""), std::string::npos)
+        << polled;
+#endif
+
+    const std::string watched = runCli(
+        "--no-local --json --watch 0.2 --socket " + endpoint);
+    ASSERT_FALSE(watched.empty());
+    EXPECT_NE(watched.find("\"interval_s\""), std::string::npos)
+        << watched;
+    EXPECT_NE(watched.find("\"counter_rates\""), std::string::npos)
+        << watched;
+    server.stop();
 }
 
 TEST(ServeE2E, FactoryHonoursExplicitOptions)

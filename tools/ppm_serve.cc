@@ -1,17 +1,26 @@
 /**
  * @file
- * ppm_serve: run a sharded simulation server on a Unix-domain socket.
+ * ppm_serve: run a sharded simulation server on a Unix-domain socket
+ * or a TCP endpoint.
  *
- *   ppm_serve [--socket PATH] [--workers N] [--archive-dir DIR]
- *             [--verbose]
+ *   ppm_serve [--socket PATH | --listen HOST:PORT] [--workers N]
+ *             [--archive-dir DIR] [--fault-spec SPEC] [--verbose]
  *
- * Clients reach it by exporting PPM_SERVE_SOCKET=PATH (comma-separate
- * several paths to shard across several server processes) — every
- * bench and example built on serve::makeOracle() then evaluates its
- * batches remotely, with transparent fallback to in-process
+ * Clients reach it by exporting PPM_SERVE_SOCKET=ENDPOINT
+ * (comma-separate several endpoints — Unix paths and host:port specs
+ * mix freely — to shard across several server processes or hosts) —
+ * every bench and example built on serve::makeOracle() then evaluates
+ * its batches remotely, with transparent fallback to in-process
  * simulation if the server goes away. With --archive-dir, every
  * simulation result is persisted to a CRC-checked append-only log and
  * replayed for free across restarts.
+ *
+ * TCP mode is unauthenticated and unencrypted: bind loopback or a
+ * trusted network only.
+ *
+ * --fault-spec (or PPM_FAULT_SPEC) installs the deterministic
+ * transport fault injector for chaos rehearsal; see
+ * serve/fault_injector.hh for the grammar.
  *
  * Stops cleanly on SIGINT/SIGTERM.
  */
@@ -20,8 +29,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "serve/fault_injector.hh"
 #include "serve/remote_oracle.hh"
 #include "serve/sim_server.hh"
 
@@ -32,14 +43,21 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--socket PATH] [--workers N] [--archive-dir DIR]"
-        " [--verbose]\n"
+        "usage: %s [--socket PATH | --listen HOST:PORT] [--workers N]"
+        " [--archive-dir DIR] [--fault-spec SPEC] [--verbose]\n"
         "  --socket PATH       Unix socket to listen on (default:\n"
         "                      first entry of $PPM_SERVE_SOCKET, else\n"
         "                      /tmp/ppm_serve.sock)\n"
+        "  --listen HOST:PORT  TCP endpoint to listen on instead\n"
+        "                      (port 0 = kernel-assigned; printed on\n"
+        "                      startup). Unauthenticated: bind\n"
+        "                      loopback or a trusted network only\n"
         "  --workers N         concurrent request workers (default 1)\n"
         "  --archive-dir DIR   persist results to DIR (CRC-checked\n"
         "                      append-only archive, replayed on reuse)\n"
+        "  --fault-spec SPEC   install the deterministic transport\n"
+        "                      fault injector (chaos rehearsal), e.g.\n"
+        "                      seed=1;drop=0.1;delay=0.1;delay_ms=5\n"
         "  --verbose           log requests to stderr\n",
         argv0);
 }
@@ -63,8 +81,17 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool has_value = i + 1 < argc;
-        if (arg == "--socket" && has_value) {
+        if ((arg == "--socket" || arg == "--listen") && has_value) {
             options.socket_path = argv[++i];
+        } else if (arg == "--fault-spec" && has_value) {
+            try {
+                ppm::serve::FaultInjector::install(
+                    std::make_shared<ppm::serve::FaultInjector>(
+                        ppm::serve::FaultSpec::parse(argv[++i])));
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "ppm_serve: %s\n", e.what());
+                return 2;
+            }
         } else if (arg == "--workers" && has_value) {
             options.num_workers = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
@@ -99,9 +126,11 @@ main(int argc, char **argv)
                      e.what());
         return 1;
     }
+    // Print the *bound* endpoint: for --listen host:0 this carries
+    // the kernel-assigned port clients must connect to.
     std::fprintf(stderr,
                  "ppm_serve: listening on %s (%u worker%s%s%s)\n",
-                 options.socket_path.c_str(), options.num_workers,
+                 server.endpointSpec().c_str(), options.num_workers,
                  options.num_workers == 1 ? "" : "s",
                  options.archive_dir.empty() ? "" : ", archive ",
                  options.archive_dir.c_str());

@@ -3,29 +3,38 @@
  * ppm_stats: poll running ppm_serve processes for their metric
  * registries (the v2 Stats frame) and print the merged view.
  *
- *   ppm_stats [--socket PATH[,PATH...]] [--json] [--no-local]
- *             [--timeout MS]
+ *   ppm_stats [--socket ENDPOINT[,ENDPOINT...]] [--json] [--no-local]
+ *             [--timeout MS] [--watch SECONDS]
  *
- * Sockets default to $PPM_SERVE_SOCKET (comma-separated). Every
- * reachable server contributes one snapshot; snapshots are merged by
- * metric name (counters and histogram buckets sum, gauges sum) along
- * with this process's own registry, and the result prints as an
- * aligned table (default) or a single JSON object (--json).
+ * Endpoints default to $PPM_SERVE_SOCKET (comma-separated; Unix
+ * socket paths and TCP host:port specs mix freely). Every reachable
+ * server contributes one snapshot; snapshots are merged by metric
+ * name (counters and histogram buckets sum, gauges sum) along with
+ * this process's own registry, and the result prints as an aligned
+ * table (default) or a single JSON object (--json).
  *
- * Exit status: 0 when every requested socket answered, 1 when at
- * least one was unreachable (the merged view of the rest still
- * prints), 2 on usage errors.
+ * --watch SECONDS polls twice, SECONDS apart, and prints per-second
+ * rates over the interval instead of absolute totals: counter and
+ * histogram deltas divided by the interval (clamped at zero across
+ * server restarts), gauges as their current level.
+ *
+ * Exit status: 0 when every requested endpoint answered (on every
+ * poll), 1 when at least one was unreachable (the merged view of the
+ * rest still prints), 2 on usage errors.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.hh"
 #include "serve/remote_oracle.hh"
 #include "serve/socket_io.hh"
+#include "serve/transport.hh"
 
 namespace {
 
@@ -34,14 +43,18 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--socket PATH[,PATH...]] [--json] [--no-local]"
-        " [--timeout MS]\n"
-        "  --socket PATHS   comma-separated server sockets to poll\n"
-        "                   (default: $PPM_SERVE_SOCKET)\n"
-        "  --json           print one JSON object instead of a table\n"
-        "  --no-local       skip this process's own registry\n"
-        "  --timeout MS     per-socket connect/IO timeout (default"
-        " 2000)\n",
+        "usage: %s [--socket ENDPOINT[,ENDPOINT...]] [--json]"
+        " [--no-local] [--timeout MS] [--watch SECONDS]\n"
+        "  --socket ENDPOINTS  comma-separated server endpoints to\n"
+        "                      poll: Unix paths and/or host:port\n"
+        "                      (default: $PPM_SERVE_SOCKET)\n"
+        "  --json              print one JSON object instead of a"
+        " table\n"
+        "  --no-local          skip this process's own registry\n"
+        "  --timeout MS        per-endpoint connect/IO timeout"
+        " (default 2000)\n"
+        "  --watch SECONDS     poll twice, SECONDS apart, and print\n"
+        "                      per-second rates over the interval\n",
         argv0);
 }
 
@@ -66,7 +79,7 @@ ppm::obs::Snapshot
 pollSocket(const std::string &socket, int timeout_ms)
 {
     using namespace ppm::serve;
-    FdGuard fd = connectUnix(socket, timeout_ms);
+    FdGuard fd = connectEndpoint(parseEndpoint(socket), timeout_ms);
     writeFrame(fd.get(), encodeStatsRequest(1), timeout_ms);
     const Frame reply = readFrame(fd.get(), timeout_ms);
     if (reply.type == MsgType::Error)
@@ -75,6 +88,110 @@ pollSocket(const std::string &socket, int timeout_ms)
     if (reply.type != MsgType::StatsResponse)
         throw ProtocolError("unexpected reply type");
     return parseStatsResponse(reply.payload);
+}
+
+/** Merged view across the local registry and every endpoint. */
+ppm::obs::Snapshot
+pollAll(const std::vector<std::string> &sockets, bool include_local,
+        int timeout_ms, int &unreachable)
+{
+    ppm::obs::Snapshot merged;
+    if (include_local)
+        merged = ppm::obs::Registry::instance().snapshot();
+    for (const std::string &socket : sockets) {
+        try {
+            ppm::obs::merge(merged, pollSocket(socket, timeout_ms));
+        } catch (const std::exception &e) {
+            ++unreachable;
+            std::fprintf(stderr, "ppm_stats: %s: %s\n",
+                         socket.c_str(), e.what());
+        }
+    }
+    return merged;
+}
+
+/** The --watch rate view: per-second rates of a poll-to-poll delta. */
+std::string
+rateTable(const ppm::obs::Snapshot &d, double seconds)
+{
+    std::string out;
+    char line[256];
+    if (!d.counters.empty()) {
+        out += "counters (per second):\n";
+        for (const auto &c : d.counters) {
+            std::snprintf(line, sizeof(line), "  %-36s %14.2f\n",
+                          c.name.c_str(),
+                          static_cast<double>(c.value) / seconds);
+            out += line;
+        }
+    }
+    if (!d.gauges.empty()) {
+        out += "gauges (level):\n";
+        for (const auto &g : d.gauges) {
+            std::snprintf(line, sizeof(line), "  %-36s %14lld\n",
+                          g.name.c_str(),
+                          static_cast<long long>(g.value));
+            out += line;
+        }
+    }
+    if (!d.histograms.empty()) {
+        out += "histograms:                             "
+               "    per_s   mean_us\n";
+        for (const auto &h : d.histograms) {
+            const double mean_us =
+                h.count == 0 ? 0.0
+                             : static_cast<double>(h.total_ns) /
+                                   static_cast<double>(h.count) / 1e3;
+            std::snprintf(line, sizeof(line),
+                          "  %-36s %9.2f %9.1f\n", h.name.c_str(),
+                          static_cast<double>(h.count) / seconds,
+                          mean_us);
+            out += line;
+        }
+    }
+    if (out.empty())
+        out = "(no metrics)\n";
+    return out;
+}
+
+std::string
+rateJson(const ppm::obs::Snapshot &d, double seconds)
+{
+    // Rates as doubles keyed like toJson; gauges stay integer levels.
+    std::string out = "{\"interval_s\":" + std::to_string(seconds) +
+                      ",\"counter_rates\":{";
+    char num[64];
+    bool first = true;
+    for (const auto &c : d.counters) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        out += "\"" + c.name + "\":";
+        std::snprintf(num, sizeof(num), "%.6f",
+                      static_cast<double>(c.value) / seconds);
+        out += num;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &g : d.gauges) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        out += "\"" + g.name + "\":" + std::to_string(g.value);
+    }
+    out += "},\"histogram_rates\":{";
+    first = true;
+    for (const auto &h : d.histograms) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        out += "\"" + h.name + "\":";
+        std::snprintf(num, sizeof(num), "%.6f",
+                      static_cast<double>(h.count) / seconds);
+        out += num;
+    }
+    out += "}}";
+    return out;
 }
 
 } // namespace
@@ -86,6 +203,7 @@ main(int argc, char **argv)
     bool json = false;
     bool include_local = true;
     int timeout_ms = 2000;
+    double watch_s = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -98,6 +216,13 @@ main(int argc, char **argv)
             include_local = false;
         } else if (arg == "--timeout" && has_value) {
             timeout_ms = std::atoi(argv[++i]);
+        } else if (arg == "--watch" && has_value) {
+            watch_s = std::atof(argv[++i]);
+            if (watch_s <= 0.0) {
+                std::fprintf(stderr,
+                             "--watch needs a positive interval\n");
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
@@ -109,24 +234,26 @@ main(int argc, char **argv)
         }
     }
 
-    ppm::obs::Snapshot merged;
-    if (include_local)
-        merged = ppm::obs::Registry::instance().snapshot();
-
     int unreachable = 0;
-    for (const std::string &socket : sockets) {
-        try {
-            ppm::obs::merge(merged, pollSocket(socket, timeout_ms));
-        } catch (const std::exception &e) {
-            ++unreachable;
-            std::fprintf(stderr, "ppm_stats: %s: %s\n",
-                         socket.c_str(), e.what());
-        }
+    const ppm::obs::Snapshot first =
+        pollAll(sockets, include_local, timeout_ms, unreachable);
+
+    if (watch_s > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(watch_s));
+        const ppm::obs::Snapshot second =
+            pollAll(sockets, include_local, timeout_ms, unreachable);
+        const ppm::obs::Snapshot d = ppm::obs::delta(second, first);
+        if (json)
+            std::printf("%s\n", rateJson(d, watch_s).c_str());
+        else
+            std::fputs(rateTable(d, watch_s).c_str(), stdout);
+        return unreachable == 0 ? 0 : 1;
     }
 
     if (json)
-        std::printf("%s\n", ppm::obs::toJson(merged).c_str());
+        std::printf("%s\n", ppm::obs::toJson(first).c_str());
     else
-        std::fputs(ppm::obs::toTable(merged).c_str(), stdout);
+        std::fputs(ppm::obs::toTable(first).c_str(), stdout);
     return unreachable == 0 ? 0 : 1;
 }
