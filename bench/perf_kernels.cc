@@ -20,6 +20,8 @@
 #include "sampling/batch_acquisition.hh"
 #include "sampling/discrepancy.hh"
 #include "sampling/sample_gen.hh"
+#include "serve/model_snapshot.hh"
+#include "serve/predict_oracle.hh"
 #include "serve/remote_oracle.hh"
 #include "serve/sim_server.hh"
 #include "sim/simulator.hh"
@@ -233,6 +235,82 @@ BM_OracleBatchSharded(benchmark::State &state)
 }
 BENCHMARK(BM_OracleBatchSharded)->Unit(benchmark::kMillisecond)
     ->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/**
+ * A PREDICT batch served end to end through the prediction plane
+ * (argument = batch size): PredictOracle -> Unix socket -> SimServer
+ * hosting a snapshot -> predictWithSnapshot -> response. Against
+ * BM_RbfPrediction (the bare in-process kernel) this quantifies the
+ * serving overhead — framing, CRC, syscalls — and how the batch size
+ * amortizes it, which is the number that justifies shipping model
+ * snapshots to a server instead of shipping simulators.
+ */
+void
+BM_PredictServe(benchmark::State &state)
+{
+    const auto batch_size = static_cast<int>(state.range(0));
+    auto space = dspace::paperTrainSpace();
+    static const serve::ModelSnapshot snap = [] {
+        const auto sp = dspace::paperTrainSpace();
+        math::Rng rng(23);
+        std::vector<rbf::GaussianBasis> bases;
+        std::vector<double> weights;
+        for (int b = 0; b < 32; ++b) {
+            dspace::UnitPoint center(sp.size());
+            std::vector<double> radius(sp.size());
+            for (std::size_t d = 0; d < sp.size(); ++d) {
+                center[d] = rng.uniform();
+                radius[d] = 0.2 + rng.uniform();
+            }
+            bases.emplace_back(std::move(center), std::move(radius));
+            weights.push_back(rng.uniform() * 4 - 2);
+        }
+        serve::ModelSnapshot s;
+        s.model_version = 1;
+        s.benchmark = "twolf";
+        s.trace_length = 100000;
+        s.train_points = 30;
+        s.p_min = 2;
+        s.alpha = 1.5;
+        s.space = sp;
+        s.network =
+            rbf::RbfNetwork(std::move(bases), std::move(weights));
+        return s;
+    }();
+
+    const std::string path = "/tmp/ppm_bench_" +
+                             std::to_string(::getpid()) + ".ppmm";
+    serve::saveSnapshot(snap, path);
+    serve::ServerOptions server_opts;
+    server_opts.socket_path = "/tmp/ppm_bench_predict_" +
+                              std::to_string(::getpid()) + ".sock";
+    server_opts.num_workers = 2;
+    server_opts.predict_snapshot = path;
+    serve::SimServer server(server_opts);
+    server.start();
+
+    serve::RemoteOptions remote_opts;
+    remote_opts.sockets = {server_opts.socket_path};
+    remote_opts.chunk_points = 64;
+    remote_opts.max_connections = 2;
+    serve::PredictOracle oracle(snap, remote_opts);
+
+    math::Rng rng(31);
+    std::vector<dspace::DesignPoint> points;
+    for (int i = 0; i < batch_size; ++i)
+        points.push_back(space.randomPoint(rng));
+
+    for (auto _ : state) {
+        auto ys = oracle.evaluateAll(points);
+        benchmark::DoNotOptimize(ys.data());
+    }
+    server.stop();
+    ::unlink(path.c_str());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * batch_size);
+}
+BENCHMARK(BM_PredictServe)->Unit(benchmark::kMicrosecond)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->UseRealTime();
 
 /** (p_min, alpha) grid training under the same thread sweep. */
 void

@@ -72,6 +72,14 @@ LinearModel::LinearModel(std::vector<Term> terms,
     train_sse_ = fit.residual_sum_squares;
 }
 
+LinearModel::LinearModel(std::vector<Term> terms,
+                         std::vector<double> coefficients)
+    : terms_(std::move(terms)), coeffs_(std::move(coefficients))
+{
+    assert(!terms_.empty());
+    assert(terms_.size() == coeffs_.size());
+}
+
 double
 LinearModel::predict(const dspace::UnitPoint &x) const
 {

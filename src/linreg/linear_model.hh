@@ -69,6 +69,17 @@ class LinearModel
                 const std::vector<dspace::UnitPoint> &xs,
                 const std::vector<double> &ys);
 
+    /**
+     * Rebuild a fitted model from its terms and coefficients (e.g.
+     * when loading a serialized model). No fitting happens; trainSse()
+     * is zero.
+     *
+     * @param terms Model terms.
+     * @param coefficients One coefficient per term.
+     */
+    LinearModel(std::vector<Term> terms,
+                std::vector<double> coefficients);
+
     /** Model response at @p x. */
     double predict(const dspace::UnitPoint &x) const;
 

@@ -1,5 +1,6 @@
 #include "rbf/serialize.hh"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -18,11 +19,40 @@ fail(const std::string &what)
     throw std::runtime_error("rbf::loadNetwork: " + what);
 }
 
+/**
+ * Refuse to serialize a poisoned network: a NaN or infinite weight
+ * (least squares on a degenerate system can produce one) would
+ * round-trip through the text format and silently poison every
+ * prediction served from the reloaded model.
+ */
+void
+checkFinite(const RbfNetwork &network)
+{
+    for (std::size_t j = 0; j < network.numBases(); ++j) {
+        const auto &basis = network.bases()[j];
+        for (double c : basis.center())
+            if (!std::isfinite(c))
+                throw std::runtime_error(
+                    "rbf::saveNetwork: non-finite center in basis " +
+                    std::to_string(j));
+        for (double r : basis.radius())
+            if (!std::isfinite(r))
+                throw std::runtime_error(
+                    "rbf::saveNetwork: non-finite radius in basis " +
+                    std::to_string(j));
+        if (!std::isfinite(network.weights()[j]))
+            throw std::runtime_error(
+                "rbf::saveNetwork: non-finite weight in basis " +
+                std::to_string(j));
+    }
+}
+
 } // namespace
 
 void
 saveNetwork(const RbfNetwork &network, std::ostream &os)
 {
+    checkFinite(network);
     os << kMagic << " " << kVersion << "\n";
     os << "dims " << network.dimensions() << " bases "
        << network.numBases() << "\n";
@@ -81,18 +111,27 @@ loadNetwork(std::istream &is)
         dspace::UnitPoint center(dims);
         std::vector<double> radius(dims);
         double weight = 0;
-        for (auto &c : center)
+        for (auto &c : center) {
             if (!(is >> c))
                 fail("truncated center in basis " + std::to_string(j));
+            if (!std::isfinite(c))
+                fail("non-finite center in basis " +
+                     std::to_string(j));
+        }
         for (auto &r : radius) {
             if (!(is >> r))
                 fail("truncated radius in basis " + std::to_string(j));
+            if (!std::isfinite(r))
+                fail("non-finite radius in basis " +
+                     std::to_string(j));
             if (r <= 0)
                 fail("non-positive radius in basis " +
                      std::to_string(j));
         }
         if (!(is >> weight))
             fail("missing weight in basis " + std::to_string(j));
+        if (!std::isfinite(weight))
+            fail("non-finite weight in basis " + std::to_string(j));
         bases.emplace_back(std::move(center), std::move(radius));
         weights.push_back(weight);
     }

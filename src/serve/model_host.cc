@@ -1,0 +1,161 @@
+#include "serve/model_host.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <vector>
+
+#include "obs/event_log.hh"
+#include "obs/trace_span.hh"
+
+namespace ppm::serve {
+
+namespace fs = std::filesystem;
+
+ModelHost::~ModelHost()
+{
+    stopWatching();
+}
+
+std::shared_ptr<const ModelSnapshot>
+ModelHost::current() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return model_;
+}
+
+std::uint64_t
+ModelHost::version() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return model_ ? model_->model_version : 0;
+}
+
+bool
+ModelHost::install(ModelSnapshot snap, const std::string &origin)
+{
+    auto next = std::make_shared<const ModelSnapshot>(std::move(snap));
+    bool replaced = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (model_ &&
+            next->model_version <= model_->model_version)
+            return false;
+        replaced = model_ != nullptr;
+        // The swap: one pointer store. Handlers that copied the old
+        // shared_ptr keep a live, immutable model until their batch
+        // completes.
+        model_ = std::move(next);
+    }
+    if (replaced) {
+        swaps_.fetch_add(1, std::memory_order_relaxed);
+        OBS_STATIC_COUNTER(model_swaps, "model.swaps");
+        OBS_ADD(model_swaps, 1);
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        OBS_STATIC_GAUGE(model_version, "model.version");
+#ifndef PPM_OBS_DISABLED
+        model_version.set(
+            static_cast<std::int64_t>(model_->model_version));
+#endif
+        obs::logEvent(obs::LogLevel::Info, "model", "installed",
+                      {{"version", model_->model_version},
+                       {"origin", origin},
+                       {"swap", replaced ? 1 : 0}});
+    }
+    return true;
+}
+
+bool
+ModelHost::loadFile(const std::string &path)
+{
+    try {
+        return install(loadSnapshot(path), "file:" + path);
+    } catch (const SnapshotError &e) {
+        load_failures_.fetch_add(1, std::memory_order_relaxed);
+        OBS_STATIC_COUNTER(load_failures, "model.load_failures");
+        OBS_ADD(load_failures, 1);
+        obs::logEvent(obs::LogLevel::Warn, "model", "load_failed",
+                      {{"path", path}, {"error", e.what()}});
+        return false;
+    }
+}
+
+void
+ModelHost::scanDirectory()
+{
+    // Deterministic name order so concurrent publishes of several
+    // versions converge on the greatest one regardless of readdir
+    // order (install() is version-gated anyway).
+    std::vector<fs::path> candidates;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(watch_dir_, ec)) {
+        if (ec)
+            return;
+        if (!entry.is_regular_file(ec) || ec)
+            continue;
+        const fs::path &p = entry.path();
+        if (p.extension() == kSnapshotSuffix)
+            candidates.push_back(p);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const fs::path &p : candidates) {
+        const auto mtime = fs::last_write_time(p, ec);
+        if (ec)
+            continue;
+        const auto size = fs::file_size(p, ec);
+        if (ec)
+            continue;
+        const std::pair<std::int64_t, std::uint64_t> stamp{
+            mtime.time_since_epoch().count(),
+            static_cast<std::uint64_t>(size)};
+        auto it = seen_.find(p.string());
+        if (it != seen_.end() && it->second == stamp)
+            continue;
+        seen_[p.string()] = stamp;
+        loadFile(p.string());
+    }
+}
+
+void
+ModelHost::watch(std::string dir, int poll_ms)
+{
+    stopWatching();
+    watch_dir_ = std::move(dir);
+    poll_ms_ = poll_ms < 1 ? 1 : poll_ms;
+    // Synchronous first scan: a snapshot already sitting in the
+    // directory is active before the server answers its first query.
+    scanDirectory();
+    {
+        std::lock_guard<std::mutex> lock(watch_mutex_);
+        watch_stop_ = false;
+    }
+    watcher_ = std::thread([this] {
+        std::unique_lock<std::mutex> lock(watch_mutex_);
+        while (!watch_stop_) {
+            watch_cv_.wait_for(
+                lock, std::chrono::milliseconds(poll_ms_),
+                [this] { return watch_stop_; });
+            if (watch_stop_)
+                break;
+            lock.unlock();
+            scanDirectory();
+            lock.lock();
+        }
+    });
+}
+
+void
+ModelHost::stopWatching()
+{
+    {
+        std::lock_guard<std::mutex> lock(watch_mutex_);
+        watch_stop_ = true;
+    }
+    watch_cv_.notify_all();
+    if (watcher_.joinable())
+        watcher_.join();
+}
+
+} // namespace ppm::serve

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ModelHost: the hot-swappable model slot of a prediction server.
+ *
+ * The active snapshot lives behind a shared_ptr that handlers copy at
+ * request start, so a swap is one pointer store: in-flight batches
+ * finish on the model they started with, new requests see the new
+ * version, and no request ever observes a torn model. Swaps are
+ * version-gated — a snapshot is installed only when its
+ * model_version is strictly greater than the active one — so
+ * replayed or stale pushes can never roll a server backwards.
+ *
+ * New snapshots arrive two ways: a ModelPush frame (install()), or a
+ * watched directory (watch()) polled for changed "*.ppmm" files — the
+ * PPM_MODEL_DIR deployment path, where publishing is an atomic
+ * rename into the directory (see model_snapshot.hh) and every
+ * serving process picks the new model up within one poll interval.
+ */
+
+#ifndef PPM_SERVE_MODEL_HOST_HH
+#define PPM_SERVE_MODEL_HOST_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "serve/model_snapshot.hh"
+
+namespace ppm::serve {
+
+/** File suffix the directory watcher considers a snapshot. */
+inline constexpr const char *kSnapshotSuffix = ".ppmm";
+
+class ModelHost
+{
+  public:
+    ModelHost() = default;
+
+    /** Stops the watcher if running. */
+    ~ModelHost();
+
+    ModelHost(const ModelHost &) = delete;
+    ModelHost &operator=(const ModelHost &) = delete;
+
+    /**
+     * The active model, or nullptr when none is installed. The
+     * returned pointer stays valid (and immutable) for as long as the
+     * caller holds it, across any number of swaps.
+     */
+    std::shared_ptr<const ModelSnapshot> current() const;
+
+    /**
+     * Install @p snap if it is the first model or carries a strictly
+     * greater model_version than the active one; @p origin names the
+     * source for the event log ("file:...", "push").
+     * @return true iff the snapshot became the active model.
+     */
+    bool install(ModelSnapshot snap, const std::string &origin);
+
+    /**
+     * Decode the snapshot at @p path and install() it.
+     * @return true iff it became the active model; false on a decode
+     *         failure (counted in loadFailures()) or a stale version.
+     */
+    bool loadFile(const std::string &path);
+
+    /**
+     * Start polling @p dir every @p poll_ms for new or modified
+     * "*.ppmm" files, installing whichever load to a newer version.
+     * One synchronous scan runs before this returns, so a directory
+     * that already holds a snapshot serves it immediately.
+     */
+    void watch(std::string dir, int poll_ms);
+
+    /** Stop the watcher thread. Idempotent. */
+    void stopWatching();
+
+    /** Times the active model was replaced (first install excluded). */
+    std::uint64_t
+    swaps() const
+    {
+        return swaps_.load(std::memory_order_relaxed);
+    }
+
+    /** Snapshot files or pushes that failed to decode/validate. */
+    std::uint64_t
+    loadFailures() const
+    {
+        return load_failures_.load(std::memory_order_relaxed);
+    }
+
+    /** Active model version (0 = none installed). */
+    std::uint64_t version() const;
+
+  private:
+    void scanDirectory();
+
+    mutable std::mutex mutex_;
+    std::shared_ptr<const ModelSnapshot> model_;
+
+    std::atomic<std::uint64_t> swaps_{0};
+    std::atomic<std::uint64_t> load_failures_{0};
+
+    std::string watch_dir_;
+    int poll_ms_ = 200;
+    std::thread watcher_;
+    std::mutex watch_mutex_;
+    std::condition_variable watch_cv_;
+    bool watch_stop_ = false;
+    /** Per-file (mtime ns, size) seen by the last scan. */
+    std::map<std::string, std::pair<std::int64_t, std::uint64_t>>
+        seen_;
+};
+
+} // namespace ppm::serve
+
+#endif // PPM_SERVE_MODEL_HOST_HH

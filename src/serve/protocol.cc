@@ -1,132 +1,19 @@
 #include "serve/protocol.hh"
 
-#include <bit>
 #include <cstring>
 
+#include "serve/wire_codec.hh"
 #include "util/crc32.hh"
 
 namespace ppm::serve {
 
 namespace {
 
-/** Append-only little-endian byte writer. */
-class PayloadWriter
-{
-  public:
-    void u16(std::uint16_t v) { put<2>(v); }
-    void u32(std::uint32_t v) { put<4>(v); }
-    void u64(std::uint64_t v) { put<8>(v); }
-
-    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
-
-    void
-    str(const std::string &s)
-    {
-        if (s.size() > kMaxString)
-            throw ProtocolError("string too long to encode");
-        u32(static_cast<std::uint32_t>(s.size()));
-        bytes_.insert(bytes_.end(), s.begin(), s.end());
-    }
-
-    std::vector<std::uint8_t> take() { return std::move(bytes_); }
-
-  private:
-    template <int N>
-    void
-    put(std::uint64_t v)
-    {
-        std::uint8_t le[N];
-        for (int i = 0; i < N; ++i)
-            le[i] = static_cast<std::uint8_t>(v >> (8 * i));
-        bytes_.insert(bytes_.end(), le, le + N);
-    }
-
-    std::vector<std::uint8_t> bytes_;
-};
-
-/** Bounds-checked little-endian byte reader. */
-class PayloadReader
-{
-  public:
-    PayloadReader(const std::uint8_t *data, std::size_t size)
-        : data_(data), size_(size)
-    {
-    }
-
-    std::uint16_t
-    u16()
-    {
-        need(2);
-        std::uint16_t v = static_cast<std::uint16_t>(
-            data_[pos_] | (data_[pos_ + 1] << 8));
-        pos_ += 2;
-        return v;
-    }
-
-    std::uint32_t
-    u32()
-    {
-        need(4);
-        std::uint32_t v = 0;
-        for (int i = 3; i >= 0; --i)
-            v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
-        pos_ += 4;
-        return v;
-    }
-
-    std::uint64_t
-    u64()
-    {
-        need(8);
-        std::uint64_t v = 0;
-        for (int i = 7; i >= 0; --i)
-            v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
-        pos_ += 8;
-        return v;
-    }
-
-    double f64() { return std::bit_cast<double>(u64()); }
-
-    std::string
-    str()
-    {
-        const std::uint32_t len = u32();
-        if (len > kMaxString)
-            throw ProtocolError("encoded string too long");
-        need(len);
-        std::string s(reinterpret_cast<const char *>(data_ + pos_),
-                      len);
-        pos_ += len;
-        return s;
-    }
-
-    std::size_t remaining() const { return size_ - pos_; }
-
-    void
-    expectEnd() const
-    {
-        if (pos_ != size_)
-            throw ProtocolError("trailing bytes in payload");
-    }
-
-  private:
-    void
-    need(std::size_t n) const
-    {
-        if (size_ - pos_ < n)
-            throw ProtocolError("payload truncated");
-    }
-
-    const std::uint8_t *data_;
-    std::size_t size_;
-    std::size_t pos_ = 0;
-};
-
 bool
 knownType(std::uint16_t t)
 {
     return t >= static_cast<std::uint16_t>(MsgType::EvalRequest) &&
-           t <= static_cast<std::uint16_t>(MsgType::StatsResponse);
+           t <= static_cast<std::uint16_t>(MsgType::ModelPushAck);
 }
 
 std::vector<std::uint8_t>
@@ -448,6 +335,203 @@ parseStatsResponse(const std::vector<std::uint8_t> &payload)
     }
     r.expectEnd();
     return snap;
+}
+
+std::vector<std::uint8_t>
+encodePredictRequest(const PredictRequest &req)
+{
+    PayloadWriter w;
+    w.u16(static_cast<std::uint16_t>(req.model));
+    if (req.points.size() > kMaxPoints)
+        throw ProtocolError("too many points in request");
+    w.u32(static_cast<std::uint32_t>(req.points.size()));
+    const std::size_t dims =
+        req.points.empty() ? 0 : req.points.front().size();
+    w.u32(static_cast<std::uint32_t>(dims));
+    for (const auto &p : req.points) {
+        if (p.size() != dims)
+            throw ProtocolError("ragged point batch");
+        for (double v : p)
+            w.f64(v);
+    }
+    return encodeFrame(MsgType::PredictRequest, w.take());
+}
+
+PredictRequest
+parsePredictRequest(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    PredictRequest req;
+    const std::uint16_t model = r.u16();
+    if (model > static_cast<std::uint16_t>(ModelKind::Linear))
+        throw ProtocolError("unknown model kind " +
+                            std::to_string(model));
+    req.model = static_cast<ModelKind>(model);
+    const std::uint32_t n = r.u32();
+    const std::uint32_t dims = r.u32();
+    if (n > kMaxPoints)
+        throw ProtocolError("too many points in request");
+    if (dims > 256)
+        throw ProtocolError("point dimensionality too large");
+    if (r.remaining() != std::size_t{n} * dims * sizeof(double))
+        throw ProtocolError("point data size mismatch");
+    req.points.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        dspace::DesignPoint p(dims);
+        for (auto &v : p)
+            v = r.f64();
+        req.points.push_back(std::move(p));
+    }
+    r.expectEnd();
+    return req;
+}
+
+std::vector<std::uint8_t>
+encodePredictResponse(const PredictResponse &resp)
+{
+    PayloadWriter w;
+    w.u64(resp.model_version);
+    if (resp.values.size() > kMaxPoints)
+        throw ProtocolError("too many values in response");
+    w.u32(static_cast<std::uint32_t>(resp.values.size()));
+    for (double v : resp.values)
+        w.f64(v);
+    return encodeFrame(MsgType::PredictResponse, w.take());
+}
+
+PredictResponse
+parsePredictResponse(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    PredictResponse resp;
+    resp.model_version = r.u64();
+    const std::uint32_t n = r.u32();
+    if (n > kMaxPoints)
+        throw ProtocolError("too many values in response");
+    if (r.remaining() != std::size_t{n} * sizeof(double))
+        throw ProtocolError("response size mismatch");
+    resp.values.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        resp.values.push_back(r.f64());
+    r.expectEnd();
+    return resp;
+}
+
+std::vector<std::uint8_t>
+encodeModelInfoRequest(std::uint64_t nonce)
+{
+    return encodeNonce(MsgType::ModelInfoRequest, nonce);
+}
+
+std::uint64_t
+parseModelInfoRequest(const std::vector<std::uint8_t> &payload)
+{
+    return parseNonce(payload);
+}
+
+std::vector<std::uint8_t>
+encodeModelInfoResponse(const ModelInfo &info)
+{
+    PayloadWriter w;
+    w.u16(info.loaded ? 1 : 0);
+    w.u64(info.model_version);
+    w.str(info.benchmark);
+    w.u16(static_cast<std::uint16_t>(info.metric));
+    w.u64(info.trace_length);
+    w.u64(info.warmup);
+    w.u32(info.num_bases);
+    w.u32(info.num_linear_terms);
+    if (info.param_names.size() > 256)
+        throw ProtocolError("too many parameter names");
+    w.u32(static_cast<std::uint32_t>(info.param_names.size()));
+    for (const std::string &name : info.param_names)
+        w.str(name);
+    return encodeFrame(MsgType::ModelInfoResponse, w.take());
+}
+
+ModelInfo
+parseModelInfoResponse(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    ModelInfo info;
+    const std::uint16_t loaded = r.u16();
+    if (loaded > 1)
+        throw ProtocolError("bad loaded flag in model info");
+    info.loaded = loaded == 1;
+    info.model_version = r.u64();
+    info.benchmark = r.str();
+    const std::uint16_t metric = r.u16();
+    if (metric > static_cast<std::uint16_t>(
+                     core::Metric::EnergyDelaySquared))
+        throw ProtocolError("unknown metric " + std::to_string(metric));
+    info.metric = static_cast<core::Metric>(metric);
+    info.trace_length = r.u64();
+    info.warmup = r.u64();
+    info.num_bases = r.u32();
+    info.num_linear_terms = r.u32();
+    const std::uint32_t n_params = r.u32();
+    if (n_params > 256)
+        throw ProtocolError("too many parameter names");
+    info.param_names.reserve(n_params);
+    for (std::uint32_t i = 0; i < n_params; ++i)
+        info.param_names.push_back(r.str());
+    r.expectEnd();
+    return info;
+}
+
+std::vector<std::uint8_t>
+encodeModelPush(const std::vector<std::uint8_t> &snapshot_bytes)
+{
+    if (snapshot_bytes.size() > kMaxModelBytes)
+        throw ProtocolError("snapshot image exceeds kMaxModelBytes");
+    PayloadWriter w;
+    w.u32(static_cast<std::uint32_t>(snapshot_bytes.size()));
+    std::vector<std::uint8_t> payload = w.take();
+    payload.insert(payload.end(), snapshot_bytes.begin(),
+                   snapshot_bytes.end());
+    return encodeFrame(MsgType::ModelPush, payload);
+}
+
+std::vector<std::uint8_t>
+parseModelPush(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    const std::uint32_t len = r.u32();
+    if (len > kMaxModelBytes)
+        throw ProtocolError("snapshot image exceeds kMaxModelBytes");
+    if (r.remaining() != len)
+        throw ProtocolError("snapshot image size mismatch");
+    const std::size_t offset = payload.size() - len;
+    return std::vector<std::uint8_t>(
+        payload.begin() + static_cast<std::ptrdiff_t>(offset),
+        payload.end());
+}
+
+std::vector<std::uint8_t>
+encodeModelPushAck(const ModelPushAck &ack)
+{
+    PayloadWriter w;
+    w.u16(ack.accepted ? 1 : 0);
+    w.u64(ack.model_version);
+    w.str(ack.message.size() <= kMaxString
+              ? ack.message
+              : ack.message.substr(0, kMaxString));
+    return encodeFrame(MsgType::ModelPushAck, w.take());
+}
+
+ModelPushAck
+parseModelPushAck(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    ModelPushAck ack;
+    const std::uint16_t accepted = r.u16();
+    if (accepted > 1)
+        throw ProtocolError("bad accepted flag in push ack");
+    ack.accepted = accepted == 1;
+    ack.model_version = r.u64();
+    ack.message = r.str();
+    r.expectEnd();
+    return ack;
 }
 
 } // namespace ppm::serve

@@ -46,9 +46,10 @@ inline constexpr std::uint32_t kMagic = 0x50504D53u; // "PPMS"
 
 /**
  * Protocol version carried in (and required of) every frame.
- * v2 added the Stats request/response pair.
+ * v2 added the Stats request/response pair; v3 added the PREDICT and
+ * MODEL frame families of the prediction-serving plane.
  */
-inline constexpr std::uint16_t kVersion = 2;
+inline constexpr std::uint16_t kVersion = 3;
 
 /** Bytes before the payload: magic + version + type + payload_len. */
 inline constexpr std::size_t kHeaderSize = 12;
@@ -77,6 +78,12 @@ inline constexpr std::uint32_t kMaxStatsEntries = 4096;
 /** Hard cap on histogram buckets in a Stats payload. */
 inline constexpr std::uint32_t kMaxStatsBuckets = 64;
 
+/**
+ * Hard cap on an encoded model snapshot image carried in a ModelPush
+ * frame (and on snapshot files; see model_snapshot.hh).
+ */
+inline constexpr std::uint32_t kMaxModelBytes = 8u << 20;
+
 enum class MsgType : std::uint16_t
 {
     EvalRequest = 1,   //!< evaluate a batch of design points
@@ -86,6 +93,13 @@ enum class MsgType : std::uint16_t
     Pong = 5,          //!< reply to Ping with the same nonce
     StatsRequest = 6,  //!< poll the server's metric registry
     StatsResponse = 7, //!< snapshot of the server's metric registry
+    // v3: the prediction-serving plane.
+    PredictRequest = 8,    //!< predict a batch from the loaded model
+    PredictResponse = 9,   //!< predictions + model version echo
+    ModelInfoRequest = 10, //!< query loaded-model metadata/version
+    ModelInfoResponse = 11, //!< loaded-model metadata/version
+    ModelPush = 12,        //!< push a snapshot image for hot-swap
+    ModelPushAck = 13,     //!< result of a ModelPush
 };
 
 /** A batch of design points to evaluate on a benchmark trace. */
@@ -125,6 +139,54 @@ struct ErrorReply
     std::string message;
 };
 
+/** Which trained model a PredictRequest asks to evaluate. */
+enum class ModelKind : std::uint16_t
+{
+    Rbf = 0,    //!< the RBF network (the paper's model)
+    Linear = 1, //!< the linear regression baseline
+};
+
+/** A batch of raw design points to predict from the loaded model. */
+struct PredictRequest
+{
+    ModelKind model = ModelKind::Rbf;
+    std::vector<dspace::DesignPoint> points;
+};
+
+/** Result of a PredictRequest. */
+struct PredictResponse
+{
+    /** Version of the snapshot that produced the values. */
+    std::uint64_t model_version = 0;
+    std::vector<double> values; //!< one per request point, in order
+};
+
+/** Metadata of the server's loaded model (ModelInfoResponse). */
+struct ModelInfo
+{
+    bool loaded = false; //!< false = no snapshot installed yet
+    std::uint64_t model_version = 0;
+    std::string benchmark;
+    core::Metric metric = core::Metric::Cpi;
+    std::uint64_t trace_length = 0;
+    std::uint64_t warmup = 0;
+    std::uint32_t num_bases = 0;        //!< RBF hidden units
+    std::uint32_t num_linear_terms = 0; //!< 0 = no linear baseline
+    /** Design-space parameter names, in point order. */
+    std::vector<std::string> param_names;
+};
+
+/** Result of a ModelPush. */
+struct ModelPushAck
+{
+    /** True iff the pushed snapshot was installed (hot-swapped). */
+    bool accepted = false;
+    /** Active model version after the push (0 = none loaded). */
+    std::uint64_t model_version = 0;
+    /** Human-readable disposition ("installed", rejection reason). */
+    std::string message;
+};
+
 /** A decoded frame: its type and raw payload bytes. */
 struct Frame
 {
@@ -148,6 +210,15 @@ std::vector<std::uint8_t> encodePing(std::uint64_t nonce);
 std::vector<std::uint8_t> encodePong(std::uint64_t nonce);
 std::vector<std::uint8_t> encodeStatsRequest(std::uint64_t nonce);
 std::vector<std::uint8_t> encodeStatsResponse(const obs::Snapshot &snap);
+std::vector<std::uint8_t> encodePredictRequest(
+    const PredictRequest &req);
+std::vector<std::uint8_t> encodePredictResponse(
+    const PredictResponse &resp);
+std::vector<std::uint8_t> encodeModelInfoRequest(std::uint64_t nonce);
+std::vector<std::uint8_t> encodeModelInfoResponse(const ModelInfo &info);
+std::vector<std::uint8_t> encodeModelPush(
+    const std::vector<std::uint8_t> &snapshot_bytes);
+std::vector<std::uint8_t> encodeModelPushAck(const ModelPushAck &ack);
 
 /** Frame an arbitrary payload (building block of the encoders). */
 std::vector<std::uint8_t> encodeFrame(
@@ -176,6 +247,18 @@ std::uint64_t parsePing(const std::vector<std::uint8_t> &payload);
 std::uint64_t parsePong(const std::vector<std::uint8_t> &payload);
 std::uint64_t parseStatsRequest(const std::vector<std::uint8_t> &payload);
 obs::Snapshot parseStatsResponse(const std::vector<std::uint8_t> &payload);
+PredictRequest parsePredictRequest(
+    const std::vector<std::uint8_t> &payload);
+PredictResponse parsePredictResponse(
+    const std::vector<std::uint8_t> &payload);
+std::uint64_t parseModelInfoRequest(
+    const std::vector<std::uint8_t> &payload);
+ModelInfo parseModelInfoResponse(
+    const std::vector<std::uint8_t> &payload);
+std::vector<std::uint8_t> parseModelPush(
+    const std::vector<std::uint8_t> &payload);
+ModelPushAck parseModelPushAck(
+    const std::vector<std::uint8_t> &payload);
 
 } // namespace ppm::serve
 

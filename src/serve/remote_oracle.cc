@@ -1,38 +1,13 @@
 #include "serve/remote_oracle.hh"
 
 #include <algorithm>
-#include <chrono>
-#include <cstdlib>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include <cstddef>
+#include <utility>
 
-#include "obs/event_log.hh"
+#include "obs/metrics.hh"
 #include "obs/trace_span.hh"
-#include "serve/socket_io.hh"
 
 namespace ppm::serve {
-
-std::vector<std::string>
-socketsFromEnv()
-{
-    std::vector<std::string> sockets;
-    const char *env = std::getenv(kSocketEnvVar);
-    if (env == nullptr)
-        return sockets;
-    std::string value(env);
-    std::size_t start = 0;
-    while (start <= value.size()) {
-        std::size_t comma = value.find(',', start);
-        if (comma == std::string::npos)
-            comma = value.size();
-        const std::string item = value.substr(start, comma - start);
-        if (!item.empty())
-            sockets.push_back(item);
-        start = comma + 1;
-    }
-    return sockets;
-}
 
 RemoteOracle::RemoteOracle(const dspace::DesignSpace &space,
                            std::string benchmark,
@@ -41,33 +16,9 @@ RemoteOracle::RemoteOracle(const dspace::DesignSpace &space,
                            core::Metric metric, RemoteOptions options)
     : benchmark_(std::move(benchmark)), trace_(trace),
       sim_options_(sim_options), metric_(metric),
-      options_(std::move(options)),
-      fallback_(space, trace, sim_options, metric),
-      socket_dead_(options_.sockets.size())
+      client_(std::move(options)),
+      fallback_(space, trace, sim_options, metric)
 {
-    if (options_.chunk_points == 0)
-        options_.chunk_points = 1;
-    if (options_.max_connections == 0)
-        options_.max_connections = 1;
-    if (options_.max_attempts < 1)
-        options_.max_attempts = 1;
-    endpoints_.reserve(options_.sockets.size());
-    for (const std::string &spec : options_.sockets)
-        endpoints_.push_back(parseEndpoint(spec));
-#ifndef PPM_OBS_DISABLED
-    endpoint_metrics_.reserve(endpoints_.size());
-    for (const Endpoint &ep : endpoints_) {
-        const std::string prefix = "remote.ep." + ep.display();
-        EndpointMetrics m;
-        m.connects = &obs::Registry::instance().counter(
-            prefix + ".connects");
-        m.connect_failures = &obs::Registry::instance().counter(
-            prefix + ".connect_failures");
-        m.retries = &obs::Registry::instance().counter(
-            prefix + ".retries");
-        endpoint_metrics_.push_back(m);
-    }
-#endif
 }
 
 double
@@ -81,90 +32,29 @@ RemoteOracle::requestChunk(
     std::size_t socket_index,
     const std::vector<dspace::DesignPoint> &points)
 {
-    if (options_.sockets.empty() ||
-        socket_dead_[socket_index].load(std::memory_order_relaxed))
-        return std::nullopt;
-    const Endpoint &endpoint = endpoints_[socket_index];
-    const std::string socket = endpoint.display();
-
     EvalRequest req;
     req.benchmark = benchmark_;
     req.metric = metric_;
     req.trace_length = trace_.size();
     req.warmup = sim_options_.warmup_instructions;
-    req.seed = options_.seed;
+    req.seed = client_.options().seed;
     req.points = points;
     const std::vector<std::uint8_t> frame = encodeEvalRequest(req);
 
-    OBS_SPAN("remote.chunk");
-    OBS_STATIC_COUNTER(retries, "remote.retries");
-    OBS_STATIC_COUNTER(backoff_sleeps, "remote.backoff_sleeps");
-    int backoff_ms = options_.backoff_initial_ms;
-    for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
-        if (attempt > 0) {
-            OBS_ADD(retries, 1);
-            OBS_ADD(backoff_sleeps, 1);
-#ifndef PPM_OBS_DISABLED
-            endpoint_metrics_[socket_index].retries->add(1);
-#endif
-            obs::logEvent(obs::LogLevel::Debug, "remote", "backoff",
-                          {{"socket", socket},
-                           {"attempt", attempt},
-                           {"sleep_ms", std::min(backoff_ms,
-                                                 options_.backoff_max_ms)}});
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                std::min(backoff_ms, options_.backoff_max_ms)));
-            backoff_ms =
-                nextBackoffMs(backoff_ms, options_.backoff_max_ms);
-        }
-        try {
-            FdGuard fd = [&] {
-                OBS_SPAN("remote.connect");
-                try {
-                    FdGuard conn = connectEndpoint(
-                        endpoint, options_.connect_timeout_ms);
-#ifndef PPM_OBS_DISABLED
-                    endpoint_metrics_[socket_index].connects->add(1);
-#endif
-                    return conn;
-                } catch (const IoError &) {
-#ifndef PPM_OBS_DISABLED
-                    endpoint_metrics_[socket_index]
-                        .connect_failures->add(1);
-#endif
-                    throw;
-                }
-            }();
-            writeFrame(fd.get(), frame, options_.io_timeout_ms);
-            const Frame reply =
-                readFrame(fd.get(), options_.io_timeout_ms);
-            if (reply.type == MsgType::Error) {
-                // A semantic rejection (unknown benchmark, bad
-                // dimensionality) will not improve with retries;
-                // evaluate locally, where the same condition raises
-                // a meaningful exception.
-                break;
-            }
-            if (reply.type != MsgType::EvalResponse)
-                throw ProtocolError("unexpected reply type");
-            EvalResponse resp = parseEvalResponse(reply.payload);
-            if (resp.values.size() != points.size())
+    // Parse inside the retry loop: a well-framed reply carrying the
+    // wrong batch size is as suspect as a corrupt one.
+    std::optional<EvalResponse> resp;
+    std::optional<Frame> reply = client_.exchange(
+        socket_index, frame, MsgType::EvalResponse,
+        [&](const Frame &f) {
+            EvalResponse r = parseEvalResponse(f.payload);
+            if (r.values.size() != points.size())
                 throw ProtocolError("response batch size mismatch");
-            return resp;
-        } catch (const IoError &) {
-            // Unreachable, reset, or timed out: retry with backoff.
-        } catch (const ProtocolError &) {
-            // Corrupt reply: the transport is suspect; retry too.
-        }
-    }
-    socket_dead_[socket_index].store(true,
-                                     std::memory_order_relaxed);
-    OBS_STATIC_COUNTER(dead_latches, "remote.dead_latches");
-    OBS_ADD(dead_latches, 1);
-    obs::logEvent(obs::LogLevel::Warn, "remote", "socket_dead",
-                  {{"socket", socket},
-                   {"attempts", options_.max_attempts}});
-    return std::nullopt;
+            resp = std::move(r);
+        });
+    if (!reply)
+        return std::nullopt;
+    return resp;
 }
 
 std::vector<double>
@@ -176,9 +66,9 @@ RemoteOracle::evaluateAll(
     if (n == 0)
         return out;
 
-    const std::size_t chunk = options_.chunk_points;
+    const std::size_t chunk = client_.options().chunk_points;
     const std::size_t num_chunks = (n + chunk - 1) / chunk;
-    const std::size_t num_sockets = options_.sockets.size();
+    const std::size_t num_sockets = client_.numEndpoints();
 
     // Chunk c covers points [c*chunk, min(n, (c+1)*chunk)) and is
     // pinned to socket c % num_sockets.
@@ -213,37 +103,7 @@ RemoteOracle::evaluateAll(
         OBS_ADD(fallback_points, end - begin);
     };
 
-    const std::size_t num_threads = std::min<std::size_t>(
-        options_.max_connections, num_chunks);
-    if (num_threads <= 1 || num_sockets == 0) {
-        for (std::size_t c = 0; c < num_chunks; ++c)
-            runChunk(c);
-        return out;
-    }
-
-    // Dedicated dispatch threads (see file comment); thread t owns
-    // chunks t, t+T, t+2T, ... so slot writes never overlap.
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (std::size_t t = 0; t < num_threads; ++t) {
-        threads.emplace_back([&, t] {
-            try {
-                for (std::size_t c = t; c < num_chunks;
-                     c += num_threads)
-                    runChunk(c);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-            }
-        });
-    }
-    for (auto &thread : threads)
-        thread.join();
-    if (first_error)
-        std::rethrow_exception(first_error);
+    client_.forEachChunk(num_chunks, runChunk);
     return out;
 }
 

@@ -17,10 +17,10 @@
  * remotely versus locally can vary with failures, but never the
  * values.
  *
- * Dispatch deliberately uses dedicated threads, NOT the process-wide
- * util::ThreadPool: a chunk blocks on socket I/O, and parking blocked
- * work inside the pool could starve a same-process SimServer (tests,
- * benches) whose oracles need the pool to make progress.
+ * The transport mechanics — connect/retry/backoff schedule, the
+ * per-socket dead latch, endpoint health counters, and the dedicated
+ * dispatch-thread fan-out — live in ShardedClient, shared with the
+ * prediction-serving client (PredictOracle).
  */
 
 #ifndef PPM_SERVE_REMOTE_ORACLE_HH
@@ -34,61 +34,12 @@
 
 #include "core/oracle.hh"
 #include "dspace/design_space.hh"
-#include "obs/metrics.hh"
 #include "serve/protocol.hh"
-#include "serve/transport.hh"
+#include "serve/sharded_client.hh"
 #include "sim/simulator.hh"
 #include "trace/trace.hh"
 
 namespace ppm::serve {
-
-/** Name of the environment variable naming server endpoints. */
-inline constexpr const char *kSocketEnvVar = "PPM_SERVE_SOCKET";
-
-/**
- * Endpoint specs from PPM_SERVE_SOCKET (comma-separated; empty when
- * unset). One running ppm_serve process per endpoint; Unix socket
- * paths and TCP host:port specs can be mixed freely.
- */
-std::vector<std::string> socketsFromEnv();
-
-/**
- * Next delay of a bounded exponential-backoff schedule: doubles
- * @p backoff_ms, saturating at @p backoff_max_ms. Saturation is
- * checked before the doubling, so the schedule can never overflow
- * however many attempts are configured.
- */
-constexpr int
-nextBackoffMs(int backoff_ms, int backoff_max_ms)
-{
-    return backoff_ms > backoff_max_ms / 2 ? backoff_max_ms
-                                           : backoff_ms * 2;
-}
-
-struct RemoteOptions
-{
-    /**
-     * Server endpoints (Unix paths and/or TCP host:port specs) to
-     * shard across; chunk c goes to sockets[c % sockets.size()].
-     * Empty = always evaluate locally.
-     */
-    std::vector<std::string> sockets;
-    /** Per-connection-attempt timeout. */
-    int connect_timeout_ms = 2'000;
-    /** Per-request I/O timeout (covers the simulations themselves). */
-    int io_timeout_ms = 120'000;
-    /** Attempts per chunk before falling back locally (>= 1). */
-    int max_attempts = 3;
-    /** First retry delay; doubles per attempt up to backoff_max_ms. */
-    int backoff_initial_ms = 25;
-    int backoff_max_ms = 500;
-    /** Points per request frame. */
-    std::size_t chunk_points = 8;
-    /** Concurrent in-flight requests (dispatch threads). */
-    unsigned max_connections = 4;
-    /** Base seed carried in requests (see protocol::EvalRequest). */
-    std::uint64_t seed = 0;
-};
 
 class RemoteOracle final : public core::CpiOracle
 {
@@ -147,7 +98,7 @@ class RemoteOracle final : public core::CpiOracle
      */
     core::SimulatorOracle &fallbackOracle() { return fallback_; }
 
-    const RemoteOptions &options() const { return options_; }
+    const RemoteOptions &options() const { return client_.options(); }
 
   private:
     /**
@@ -163,33 +114,8 @@ class RemoteOracle final : public core::CpiOracle
     const trace::Trace &trace_;
     sim::SimOptions sim_options_;
     core::Metric metric_;
-    RemoteOptions options_;
+    ShardedClient client_;
     core::SimulatorOracle fallback_;
-
-    /** Parsed options_.sockets, one per shard slot. */
-    std::vector<Endpoint> endpoints_;
-
-    /**
-     * Per-endpoint registry counters, named
-     * remote.ep.<spec>.{connects,connect_failures,retries}, so
-     * ppm_stats (and the merged multi-client view) can tell a flaky
-     * shard from a healthy one. Empty when obs is compiled out.
-     */
-    struct EndpointMetrics
-    {
-        obs::Counter *connects = nullptr;
-        obs::Counter *connect_failures = nullptr;
-        obs::Counter *retries = nullptr;
-    };
-    std::vector<EndpointMetrics> endpoint_metrics_;
-
-    /**
-     * Latched per-socket failure flags: once a socket exhausts its
-     * retries it is not attempted again for the oracle's lifetime, so
-     * a killed server degrades to local evaluation instead of paying
-     * the full retry schedule on every remaining chunk.
-     */
-    std::vector<std::atomic<bool>> socket_dead_;
 
     std::atomic<std::uint64_t> remote_fresh_{0};
     std::atomic<std::uint64_t> remote_points_{0};

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * ShardedClient: the transport-and-retry core shared by every client
+ * of the serve plane (RemoteOracle for simulation batches,
+ * PredictOracle for model predictions). One place owns endpoint
+ * parsing, per-endpoint health counters, the bounded
+ * exponential-backoff retry schedule, the per-socket dead latch, and
+ * the dedicated dispatch-thread fan-out — so fault-injection chaos
+ * coverage and the remote.* observability counters apply to every
+ * frame family without duplication.
+ *
+ * Dispatch deliberately uses dedicated threads, NOT the process-wide
+ * util::ThreadPool: a chunk blocks on socket I/O, and parking blocked
+ * work inside the pool could starve a same-process SimServer (tests,
+ * benches) whose oracles need the pool to make progress.
+ */
+
+#ifndef PPM_SERVE_SHARDED_CLIENT_HH
+#define PPM_SERVE_SHARDED_CLIENT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "serve/protocol.hh"
+#include "serve/transport.hh"
+
+namespace ppm::serve {
+
+/** Name of the environment variable naming server endpoints. */
+inline constexpr const char *kSocketEnvVar = "PPM_SERVE_SOCKET";
+
+/**
+ * Endpoint specs from PPM_SERVE_SOCKET (comma-separated; empty when
+ * unset). One running ppm_serve process per endpoint; Unix socket
+ * paths and TCP host:port specs can be mixed freely.
+ */
+std::vector<std::string> socketsFromEnv();
+
+/**
+ * Next delay of a bounded exponential-backoff schedule: doubles
+ * @p backoff_ms, saturating at @p backoff_max_ms. Saturation is
+ * checked before the doubling, so the schedule can never overflow
+ * however many attempts are configured.
+ */
+constexpr int
+nextBackoffMs(int backoff_ms, int backoff_max_ms)
+{
+    return backoff_ms > backoff_max_ms / 2 ? backoff_max_ms
+                                           : backoff_ms * 2;
+}
+
+struct RemoteOptions
+{
+    /**
+     * Server endpoints (Unix paths and/or TCP host:port specs) to
+     * shard across; chunk c goes to sockets[c % sockets.size()].
+     * Empty = always evaluate locally.
+     */
+    std::vector<std::string> sockets;
+    /** Per-connection-attempt timeout. */
+    int connect_timeout_ms = 2'000;
+    /** Per-request I/O timeout (covers the simulations themselves). */
+    int io_timeout_ms = 120'000;
+    /** Attempts per chunk before falling back locally (>= 1). */
+    int max_attempts = 3;
+    /** First retry delay; doubles per attempt up to backoff_max_ms. */
+    int backoff_initial_ms = 25;
+    int backoff_max_ms = 500;
+    /** Points per request frame. */
+    std::size_t chunk_points = 8;
+    /** Concurrent in-flight requests (dispatch threads). */
+    unsigned max_connections = 4;
+    /** Base seed carried in requests (see protocol::EvalRequest). */
+    std::uint64_t seed = 0;
+};
+
+class ShardedClient
+{
+  public:
+    /**
+     * Parse the endpoints of @p options and register per-endpoint
+     * health counters (remote.ep.<spec>.*). Also normalizes the
+     * options: chunk_points, max_connections, max_attempts >= 1.
+     */
+    explicit ShardedClient(RemoteOptions options);
+
+    const RemoteOptions &options() const { return options_; }
+    std::size_t numEndpoints() const { return endpoints_.size(); }
+
+    /** True once @p endpoint_index exhausted its retries for good. */
+    bool
+    endpointDead(std::size_t endpoint_index) const
+    {
+        return socket_dead_[endpoint_index].load(
+            std::memory_order_relaxed);
+    }
+
+    /**
+     * One request/reply exchange against an endpoint, with the full
+     * connect-timeout / retry / backoff / dead-latch schedule. Every
+     * attempt opens a fresh connection. An Error reply aborts without
+     * further retries (a semantic rejection will not improve); any
+     * other reply type than @p expect — or a @p validate callback
+     * throwing ProtocolError — marks the transport suspect and
+     * retries.
+     *
+     * @return The reply frame (type == @p expect), or nullopt when
+     *         the endpoint is dead, all attempts failed (the endpoint
+     *         is then latched dead), or the server replied Error —
+     *         the caller falls back locally.
+     */
+    std::optional<Frame> exchange(
+        std::size_t endpoint_index,
+        const std::vector<std::uint8_t> &request, MsgType expect,
+        const std::function<void(const Frame &)> &validate = {});
+
+    /**
+     * Run @p run(c) for every chunk index in [0, num_chunks) across
+     * min(options().max_connections, num_chunks) dedicated threads;
+     * thread t owns chunks t, t+T, t+2T, ... so per-chunk output
+     * slots never overlap. With one thread (or zero endpoints) runs
+     * inline. Rethrows the first exception any chunk raised.
+     */
+    void forEachChunk(std::size_t num_chunks,
+                      const std::function<void(std::size_t)> &run);
+
+  private:
+    RemoteOptions options_;
+
+    /** Parsed options_.sockets, one per shard slot. */
+    std::vector<Endpoint> endpoints_;
+
+    /**
+     * Per-endpoint registry counters, named
+     * remote.ep.<spec>.{connects,connect_failures,retries}, so
+     * ppm_stats (and the merged multi-client view) can tell a flaky
+     * shard from a healthy one. Empty when obs is compiled out.
+     */
+    struct EndpointMetrics
+    {
+        obs::Counter *connects = nullptr;
+        obs::Counter *connect_failures = nullptr;
+        obs::Counter *retries = nullptr;
+    };
+    std::vector<EndpointMetrics> endpoint_metrics_;
+
+    /**
+     * Latched per-socket failure flags: once a socket exhausts its
+     * retries it is not attempted again for the client's lifetime, so
+     * a killed server degrades to local evaluation instead of paying
+     * the full retry schedule on every remaining chunk.
+     */
+    std::vector<std::atomic<bool>> socket_dead_;
+};
+
+} // namespace ppm::serve
+
+#endif // PPM_SERVE_SHARDED_CLIENT_HH

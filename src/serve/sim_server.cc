@@ -53,6 +53,15 @@ SimServer::start()
         throw std::logic_error("SimServer already started");
     if (!options_.archive_dir.empty())
         std::filesystem::create_directories(options_.archive_dir);
+    // Host the model before accepting connections, so the very first
+    // PREDICT query already sees it. An unreadable preload snapshot
+    // is a startup error (throws); the watched directory tolerates
+    // bad files (they only count model.load_failures).
+    if (!options_.predict_snapshot.empty())
+        model_host_.install(loadSnapshot(options_.predict_snapshot),
+                            "file:" + options_.predict_snapshot);
+    if (!options_.model_dir.empty())
+        model_host_.watch(options_.model_dir, options_.model_poll_ms);
     endpoint_ = parseEndpoint(options_.socket_path);
     listen_fd_ = listenEndpoint(endpoint_);
     if (endpoint_.kind == Endpoint::Kind::Tcp && endpoint_.port == 0)
@@ -71,6 +80,7 @@ SimServer::start()
 void
 SimServer::stop()
 {
+    model_host_.stopWatching();
     if (!started_)
         return;
     stopping_.store(true, std::memory_order_relaxed);
@@ -188,6 +198,81 @@ SimServer::handleRequest(const Frame &frame)
     return encodeEvalResponse(resp);
 }
 
+std::vector<std::uint8_t>
+SimServer::handlePredict(const Frame &frame)
+{
+    const PredictRequest req = parsePredictRequest(frame.payload);
+    if (req.points.empty())
+        return encodeError({"empty point batch"});
+    // Pin the model for the whole batch: a concurrent hot-swap
+    // cannot tear it, and the version echoed below is exactly the
+    // model every value was computed with.
+    const std::shared_ptr<const ModelSnapshot> model =
+        model_host_.current();
+    if (!model)
+        return encodeError({"no model loaded"});
+
+    OBS_SPAN("span.predict");
+    OBS_STATIC_COUNTER(predict_requests, "predict.requests");
+    OBS_ADD(predict_requests, 1);
+    OBS_STATIC_COUNTER(predict_points, "predict.points");
+    OBS_ADD(predict_points, req.points.size());
+    PredictResponse resp;
+    resp.model_version = model->model_version;
+    resp.values = predictWithSnapshot(*model, req.points, req.model);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.verbose)
+        std::fprintf(stderr,
+                     "ppm_serve: predict v%llu, %zu points\n",
+                     static_cast<unsigned long long>(
+                         resp.model_version),
+                     req.points.size());
+    return encodePredictResponse(resp);
+}
+
+std::vector<std::uint8_t>
+SimServer::handleModelInfo(const Frame &frame)
+{
+    const std::uint64_t nonce = parseModelInfoRequest(frame.payload);
+    const std::shared_ptr<const ModelSnapshot> model =
+        model_host_.current();
+    ModelInfo info;
+    if (model)
+        info = describeSnapshot(*model);
+    (void)nonce; // request/reply pairing is per-connection
+    return encodeModelInfoResponse(info);
+}
+
+std::vector<std::uint8_t>
+SimServer::handleModelPush(const Frame &frame)
+{
+    const std::vector<std::uint8_t> blob =
+        parseModelPush(frame.payload);
+    ModelPushAck ack;
+    try {
+        ModelSnapshot snap = decodeSnapshot(blob);
+        const std::uint64_t version = snap.model_version;
+        ack.accepted = model_host_.install(std::move(snap), "push");
+        ack.model_version = model_host_.version();
+        if (!ack.accepted)
+            ack.message = "stale version " + std::to_string(version) +
+                          " (active " +
+                          std::to_string(ack.model_version) + ")";
+    } catch (const SnapshotError &e) {
+        ack.accepted = false;
+        ack.model_version = model_host_.version();
+        ack.message = e.what();
+    }
+    if (options_.verbose)
+        std::fprintf(stderr, "ppm_serve: model push %s (v%llu)%s%s\n",
+                     ack.accepted ? "accepted" : "rejected",
+                     static_cast<unsigned long long>(
+                         ack.model_version),
+                     ack.message.empty() ? "" : ": ",
+                     ack.message.c_str());
+    return encodeModelPushAck(ack);
+}
+
 void
 SimServer::serveConnection(int fd)
 {
@@ -221,6 +306,33 @@ SimServer::serveConnection(int fd)
                 (void)parseStatsRequest(frame.payload);
                 reply = encodeStatsResponse(
                     obs::Registry::instance().snapshot());
+            } catch (const ProtocolError &e) {
+                reply = encodeError({e.what()});
+            }
+            break;
+          case MsgType::PredictRequest:
+            try {
+                reply = handlePredict(frame);
+            } catch (const std::exception &e) {
+                // Point outside the trained space, wrong
+                // dimensionality, no linear baseline, ... — the
+                // client falls back to its own snapshot copy.
+                if (options_.verbose)
+                    std::fprintf(stderr, "ppm_serve: error: %s\n",
+                                 e.what());
+                reply = encodeError({e.what()});
+            }
+            break;
+          case MsgType::ModelInfoRequest:
+            try {
+                reply = handleModelInfo(frame);
+            } catch (const ProtocolError &e) {
+                reply = encodeError({e.what()});
+            }
+            break;
+          case MsgType::ModelPush:
+            try {
+                reply = handleModelPush(frame);
             } catch (const ProtocolError &e) {
                 reply = encodeError({e.what()});
             }

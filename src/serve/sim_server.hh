@@ -18,6 +18,13 @@
  * results through a ResultArchive, so simulations survive server
  * restarts and are shared between servers pointed at the same
  * directory.
+ *
+ * The same server is also the prediction plane: with
+ * ServerOptions::predict_snapshot and/or model_dir set it hosts a
+ * trained model snapshot (see model_snapshot.hh) behind a
+ * hot-swappable ModelHost and answers PREDICT / MODEL frames — batch
+ * predictions with a model-version echo, snapshot metadata queries,
+ * and snapshot pushes that swap the model with zero downtime.
  */
 
 #ifndef PPM_SERVE_SIM_SERVER_HH
@@ -35,6 +42,7 @@
 
 #include "core/oracle.hh"
 #include "dspace/design_space.hh"
+#include "serve/model_host.hh"
 #include "serve/protocol.hh"
 #include "serve/socket_io.hh"
 #include "serve/transport.hh"
@@ -63,6 +71,20 @@ struct ServerOptions
     std::uint64_t max_trace_length = 50'000'000;
     /** Log accepted requests and errors to stderr. */
     bool verbose = false;
+    /**
+     * Model snapshot to serve PREDICT queries from; empty = no model
+     * preloaded (one may still arrive via ModelPush or model_dir).
+     * start() throws SnapshotError when the file does not decode.
+     */
+    std::string predict_snapshot;
+    /**
+     * Directory watched for "*.ppmm" snapshots; any new or changed
+     * file carrying a greater model_version is hot-swapped in. Empty
+     * disables the watcher.
+     */
+    std::string model_dir;
+    /** Poll interval of the model_dir watcher. */
+    int model_poll_ms = 200;
 };
 
 class SimServer
@@ -115,6 +137,15 @@ class SimServer
     /** Distinct (benchmark, trace, options, metric) oracles created. */
     std::uint64_t oracleCount() const;
 
+    /** Active model version (0 = no model hosted). */
+    std::uint64_t modelVersion() const { return model_host_.version(); }
+
+    /** Times the hosted model was hot-swapped (first load excluded). */
+    std::uint64_t modelSwaps() const { return model_host_.swaps(); }
+
+    /** The hot-swappable model slot (tests install models directly). */
+    ModelHost &modelHost() { return model_host_; }
+
   private:
     /** One benchmark-trace oracle and the trace backing it. */
     struct Backend
@@ -127,6 +158,9 @@ class SimServer
     void workerLoop();
     void serveConnection(int fd);
     std::vector<std::uint8_t> handleRequest(const Frame &frame);
+    std::vector<std::uint8_t> handlePredict(const Frame &frame);
+    std::vector<std::uint8_t> handleModelInfo(const Frame &frame);
+    std::vector<std::uint8_t> handleModelPush(const Frame &frame);
 
     ServerOptions options_;
     dspace::DesignSpace space_;
@@ -144,6 +178,7 @@ class SimServer
     std::set<int> conns_;
 
     std::atomic<std::uint64_t> requests_{0};
+    ModelHost model_host_;
 };
 
 } // namespace ppm::serve

@@ -30,9 +30,13 @@
 
 #include "core/oracle.hh"
 #include "dspace/paper_space.hh"
+#include "linreg/linear_model.hh"
 #include "math/rng.hh"
+#include "rbf/network.hh"
 #include "sampling/sample_gen.hh"
 #include "serve/fault_injector.hh"
+#include "serve/model_snapshot.hh"
+#include "serve/predict_oracle.hh"
 #include "serve/remote_oracle.hh"
 #include "serve/sim_server.hh"
 #include "serve/socket_io.hh"
@@ -424,6 +428,135 @@ TEST(FaultChaosE2E, KitchenSinkOverTcp)
     runChaos("seed=18;drop=0.1;delay=0.1;delay_ms=5;stall=0.05;"
              "stall_ms=800;truncate=0.1;bitflip=0.1;reset=0.1",
              "127.0.0.1:0", 2, false);
+}
+
+// --- chaos over the prediction plane ----------------------------------
+
+/**
+ * PREDICT rides the same ShardedClient as EvalRequest, so the whole
+ * chaos matrix applies unchanged: under any fault pattern the batch
+ * must complete with predictions bit-identical to evaluating the
+ * snapshot in-process — remote answers and local-fallback answers go
+ * through the same predictWithSnapshot() on the same bytes.
+ */
+struct PredictScenario
+{
+    serve::ModelSnapshot snap;
+    std::vector<dspace::DesignPoint> batch;
+    std::vector<double> reference;
+
+    PredictScenario()
+    {
+        const dspace::DesignSpace space = dspace::paperTrainSpace();
+        const std::size_t dims = space.size();
+        math::Rng rng(55);
+        std::vector<rbf::GaussianBasis> bases;
+        std::vector<double> weights;
+        for (int b = 0; b < 6; ++b) {
+            dspace::UnitPoint center(dims);
+            std::vector<double> radius(dims);
+            for (std::size_t d = 0; d < dims; ++d) {
+                center[d] = rng.uniform();
+                radius[d] = 0.2 + rng.uniform();
+            }
+            bases.emplace_back(std::move(center), std::move(radius));
+            weights.push_back(rng.uniform() * 4 - 2);
+        }
+        snap.model_version = 1;
+        snap.benchmark = "twolf";
+        snap.trace_length = 100000;
+        snap.train_points = 30;
+        snap.p_min = 2;
+        snap.alpha = 1.5;
+        snap.space = space;
+        snap.network =
+            rbf::RbfNetwork(std::move(bases), std::move(weights));
+
+        for (int i = 0; i < kBatchSize; ++i)
+            batch.push_back(space.randomPoint(rng));
+        reference = serve::predictWithSnapshot(snap, batch);
+    }
+};
+
+PredictScenario &
+predictScenario()
+{
+    static PredictScenario s;
+    return s;
+}
+
+/** Sharded PREDICT under @p spec; values must match the snapshot. */
+void
+runPredictChaos(const std::string &spec, const std::string &endpoint,
+                bool expect_remote_progress)
+{
+    PredictScenario &s = predictScenario();
+    const std::string path =
+        uniqueSocket("model") + ".ppmm"; // unique temp name
+    serve::saveSnapshot(s.snap, path);
+    serve::ServerOptions opts = chaosServer(endpoint, 2);
+    opts.predict_snapshot = path;
+    serve::SimServer server(opts);
+    server.start();
+
+    InjectorGuard guard(spec);
+    serve::PredictOracle oracle(
+        s.snap, chaosRemote({server.endpointSpec()}));
+    const std::vector<double> got = oracle.evaluateAll(s.batch);
+    serve::FaultInjector::install(nullptr); // quiesce before stop()
+    server.stop();
+    ::unlink(path.c_str());
+
+    EXPECT_EQ(got, s.reference)
+        << "fault spec \"" << spec
+        << "\" perturbed predictions instead of only the transport";
+    EXPECT_EQ(oracle.remotePoints() + oracle.fallbackPoints(),
+              s.batch.size());
+    EXPECT_GT(guard.injector->framesSeen(), 0u);
+    if (expect_remote_progress)
+        EXPECT_GT(oracle.remotePoints(), 0u);
+    else
+        EXPECT_GT(guard.injector->injectedTotal(), 0u);
+}
+
+TEST(PredictChaosE2E, EveryFrameDroppedStillPredicts)
+{
+    runPredictChaos("seed=21;drop=1", "127.0.0.1:0", false);
+}
+
+TEST(PredictChaosE2E, EveryFrameDelayedPredictsRemotely)
+{
+    runPredictChaos("seed=22;delay=1;delay_ms=10", "127.0.0.1:0",
+                    true);
+}
+
+TEST(PredictChaosE2E, StallPastTimeoutStillPredicts)
+{
+    runPredictChaos("seed=23;stall=1;stall_ms=800", "127.0.0.1:0",
+                    false);
+}
+
+TEST(PredictChaosE2E, TruncatedFramesStillPredict)
+{
+    runPredictChaos("seed=24;truncate=1", "127.0.0.1:0", false);
+}
+
+TEST(PredictChaosE2E, BitFlippedFramesStillPredict)
+{
+    runPredictChaos("seed=25;bitflip=1", "127.0.0.1:0", false);
+}
+
+TEST(PredictChaosE2E, ConnectionResetsStillPredict)
+{
+    runPredictChaos("seed=26;reset=1", "127.0.0.1:0", false);
+}
+
+TEST(PredictChaosE2E, KitchenSinkOverTcp)
+{
+    runPredictChaos(
+        "seed=27;drop=0.1;delay=0.1;delay_ms=5;stall=0.05;"
+        "stall_ms=800;truncate=0.1;bitflip=0.1;reset=0.1",
+        "127.0.0.1:0", false);
 }
 
 TEST(FaultChaosE2E, ServerSigkilledMidBatchOverTcp)

@@ -105,6 +105,41 @@ corpus()
     snap.histograms.push_back(hist);
     frames.push_back(serve::encodeStatsResponse(snap));
 
+    serve::PredictRequest preq;
+    preq.model = serve::ModelKind::Rbf;
+    preq.points.push_back(space.randomPoint(rng));
+    preq.points.push_back(space.randomPoint(rng));
+    frames.push_back(serve::encodePredictRequest(preq));
+
+    serve::PredictResponse presp;
+    presp.model_version = 3;
+    presp.values = {0.75, 1.5};
+    frames.push_back(serve::encodePredictResponse(presp));
+
+    frames.push_back(serve::encodeModelInfoRequest(0xC0FFEE));
+
+    serve::ModelInfo info;
+    info.loaded = true;
+    info.model_version = 3;
+    info.benchmark = "mcf";
+    info.metric = core::Metric::Cpi;
+    info.trace_length = 12000;
+    info.warmup = 2000;
+    info.num_bases = 7;
+    info.num_linear_terms = 5;
+    info.param_names = {"depth", "rob"};
+    frames.push_back(serve::encodeModelInfoResponse(info));
+
+    // A model push whose blob is opaque bytes at this layer (the
+    // snapshot decoder has its own fuzz suite).
+    frames.push_back(serve::encodeModelPush({0xDE, 0xAD, 0xBE, 0xEF}));
+
+    serve::ModelPushAck ack;
+    ack.accepted = false;
+    ack.model_version = 3;
+    ack.message = "stale version 2 (active 3)";
+    frames.push_back(serve::encodeModelPushAck(ack));
+
     return frames;
 }
 
@@ -136,6 +171,24 @@ dispatchParse(const serve::Frame &frame)
         break;
       case serve::MsgType::StatsResponse:
         (void)serve::parseStatsResponse(frame.payload);
+        break;
+      case serve::MsgType::PredictRequest:
+        (void)serve::parsePredictRequest(frame.payload);
+        break;
+      case serve::MsgType::PredictResponse:
+        (void)serve::parsePredictResponse(frame.payload);
+        break;
+      case serve::MsgType::ModelInfoRequest:
+        (void)serve::parseModelInfoRequest(frame.payload);
+        break;
+      case serve::MsgType::ModelInfoResponse:
+        (void)serve::parseModelInfoResponse(frame.payload);
+        break;
+      case serve::MsgType::ModelPush:
+        (void)serve::parseModelPush(frame.payload);
+        break;
+      case serve::MsgType::ModelPushAck:
+        (void)serve::parseModelPushAck(frame.payload);
         break;
     }
 }
@@ -245,7 +298,7 @@ const Mutator kMutators[] = {
              rng.bernoulli(0.25)
                  ? 0
                  : static_cast<std::uint16_t>(
-                       8 + rng.uniformInt(0x10000 - 8));
+                       14 + rng.uniformInt(0x10000 - 14));
          putU16(m, kTypeOffset, t);
          return m;
      }},
@@ -321,7 +374,9 @@ TEST(ProtocolFuzz, Version1FramesAreRejected)
 TEST(ProtocolFuzz, HeaderRejectsEveryUnknownTypeCode)
 {
     // Exhaustive, not sampled: all 2^16 type codes against a valid
-    // frame; exactly the seven known codes may pass the header check.
+    // frame; exactly the thirteen known codes may pass the header
+    // check (v3: Eval/Error/nonce/Stats plus the PREDICT and MODEL
+    // families).
     const Bytes frame = serve::encodePing(1);
     int accepted = 0;
     for (std::uint32_t t = 0; t < 0x10000; ++t) {
@@ -331,11 +386,11 @@ TEST(ProtocolFuzz, HeaderRejectsEveryUnknownTypeCode)
             (void)serve::decodeHeader(m.data(), m.size());
             ++accepted;
             EXPECT_GE(t, 1u);
-            EXPECT_LE(t, 7u);
+            EXPECT_LE(t, 13u);
         } catch (const serve::ProtocolError &) {
         }
     }
-    EXPECT_EQ(accepted, 7);
+    EXPECT_EQ(accepted, 13);
 }
 
 TEST(ProtocolFuzz, EveryTruncationLengthIsRejected)

@@ -320,6 +320,169 @@ TEST(ServeProtocol, RejectsTooManyHistogramBuckets)
     EXPECT_THROW(encodeStatsResponse(snap), ProtocolError);
 }
 
+TEST(ServeProtocol, PredictRequestRoundTrip)
+{
+    PredictRequest req;
+    req.model = ModelKind::Linear;
+    req.points = {
+        {14, 64, 0.5, 0.25, 1024, 12, 32, 32, 2},
+        {7, 128, 0.75, 0.5, 256, 5, 8, 64, 1.0000001},
+    };
+    const Frame frame = decodeFrame(encodePredictRequest(req));
+    ASSERT_EQ(frame.type, MsgType::PredictRequest);
+    const PredictRequest out = parsePredictRequest(frame.payload);
+    EXPECT_EQ(out.model, req.model);
+    ASSERT_EQ(out.points.size(), req.points.size());
+    for (std::size_t i = 0; i < req.points.size(); ++i)
+        EXPECT_EQ(out.points[i], req.points[i]) << "point " << i;
+}
+
+TEST(ServeProtocol, PredictResponseRoundTrip)
+{
+    PredictResponse resp;
+    resp.model_version = 0xABCDEF0123456789ULL;
+    resp.values = {0.5, -0.0, 1e-300};
+    const Frame frame = decodeFrame(encodePredictResponse(resp));
+    ASSERT_EQ(frame.type, MsgType::PredictResponse);
+    const PredictResponse out = parsePredictResponse(frame.payload);
+    EXPECT_EQ(out.model_version, resp.model_version);
+    EXPECT_EQ(out.values, resp.values);
+    EXPECT_TRUE(std::signbit(out.values[1]));
+}
+
+TEST(ServeProtocol, RejectsPredictRequestUnknownModelKind)
+{
+    PredictRequest req;
+    req.points = {{1, 2, 3}};
+    Frame frame = decodeFrame(encodePredictRequest(req));
+    frame.payload[0] = 0x7F; // model kind is bytes 0-1
+    const auto reframed =
+        encodeFrame(MsgType::PredictRequest, frame.payload);
+    EXPECT_THROW(parsePredictRequest(decodeFrame(reframed).payload),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsPredictBatchCountLie)
+{
+    PredictRequest req;
+    req.points = {{1, 2, 3}, {4, 5, 6}};
+    Frame frame = decodeFrame(encodePredictRequest(req));
+    frame.payload[2] += 1; // num_points is bytes 2-5
+    const auto reframed =
+        encodeFrame(MsgType::PredictRequest, frame.payload);
+    EXPECT_THROW(parsePredictRequest(decodeFrame(reframed).payload),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsPredictResponseValueCountLie)
+{
+    PredictResponse resp;
+    resp.model_version = 1;
+    resp.values = {1.0, 2.0};
+    Frame frame = decodeFrame(encodePredictResponse(resp));
+    frame.payload[8] += 1; // num_values follows the u64 version
+    const auto reframed =
+        encodeFrame(MsgType::PredictResponse, frame.payload);
+    EXPECT_THROW(parsePredictResponse(decodeFrame(reframed).payload),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, ModelInfoRoundTrip)
+{
+    const Frame req = decodeFrame(encodeModelInfoRequest(0xF00D));
+    ASSERT_EQ(req.type, MsgType::ModelInfoRequest);
+    EXPECT_EQ(parseModelInfoRequest(req.payload), 0xF00Du);
+
+    ModelInfo info;
+    info.loaded = true;
+    info.model_version = 42;
+    info.benchmark = "twolf";
+    info.metric = core::Metric::EnergyPerInst;
+    info.trace_length = 100000;
+    info.warmup = 5000;
+    info.num_bases = 17;
+    info.num_linear_terms = 9;
+    info.param_names = {"depth", "rob", "l2size"};
+    const Frame frame = decodeFrame(encodeModelInfoResponse(info));
+    ASSERT_EQ(frame.type, MsgType::ModelInfoResponse);
+    const ModelInfo out = parseModelInfoResponse(frame.payload);
+    EXPECT_TRUE(out.loaded);
+    EXPECT_EQ(out.model_version, info.model_version);
+    EXPECT_EQ(out.benchmark, info.benchmark);
+    EXPECT_EQ(out.metric, info.metric);
+    EXPECT_EQ(out.trace_length, info.trace_length);
+    EXPECT_EQ(out.warmup, info.warmup);
+    EXPECT_EQ(out.num_bases, info.num_bases);
+    EXPECT_EQ(out.num_linear_terms, info.num_linear_terms);
+    EXPECT_EQ(out.param_names, info.param_names);
+}
+
+TEST(ServeProtocol, EmptyModelInfoRoundTrip)
+{
+    // A server with no model yet answers loaded=false.
+    const ModelInfo out = parseModelInfoResponse(
+        decodeFrame(encodeModelInfoResponse({})).payload);
+    EXPECT_FALSE(out.loaded);
+    EXPECT_EQ(out.model_version, 0u);
+    EXPECT_TRUE(out.param_names.empty());
+}
+
+TEST(ServeProtocol, RejectsModelInfoBadLoadedFlag)
+{
+    Frame frame = decodeFrame(encodeModelInfoResponse({}));
+    frame.payload[0] = 2; // loaded flag must be 0/1
+    const auto reframed =
+        encodeFrame(MsgType::ModelInfoResponse, frame.payload);
+    EXPECT_THROW(
+        parseModelInfoResponse(decodeFrame(reframed).payload),
+        ProtocolError);
+}
+
+TEST(ServeProtocol, ModelPushRoundTrip)
+{
+    const std::vector<std::uint8_t> blob = {1, 2, 3, 4, 5, 0xFF};
+    const Frame frame = decodeFrame(encodeModelPush(blob));
+    ASSERT_EQ(frame.type, MsgType::ModelPush);
+    EXPECT_EQ(parseModelPush(frame.payload), blob);
+
+    ModelPushAck ack;
+    ack.accepted = true;
+    ack.model_version = 7;
+    ack.message = "";
+    const Frame aframe = decodeFrame(encodeModelPushAck(ack));
+    ASSERT_EQ(aframe.type, MsgType::ModelPushAck);
+    const ModelPushAck out = parseModelPushAck(aframe.payload);
+    EXPECT_TRUE(out.accepted);
+    EXPECT_EQ(out.model_version, 7u);
+    EXPECT_TRUE(out.message.empty());
+}
+
+TEST(ServeProtocol, RejectsModelPushLengthLie)
+{
+    Frame frame = decodeFrame(encodeModelPush({1, 2, 3}));
+    frame.payload[0] += 1; // blob length is bytes 0-3
+    const auto reframed =
+        encodeFrame(MsgType::ModelPush, frame.payload);
+    EXPECT_THROW(parseModelPush(decodeFrame(reframed).payload),
+                 ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsOversizedModelPushAtEncodeTime)
+{
+    const std::vector<std::uint8_t> blob(kMaxModelBytes + 1, 0xAA);
+    EXPECT_THROW(encodeModelPush(blob), ProtocolError);
+}
+
+TEST(ServeProtocol, RejectsModelPushAckBadFlag)
+{
+    Frame frame = decodeFrame(encodeModelPushAck({}));
+    frame.payload[0] = 3; // accepted flag must be 0/1
+    const auto reframed =
+        encodeFrame(MsgType::ModelPushAck, frame.payload);
+    EXPECT_THROW(parseModelPushAck(decodeFrame(reframed).payload),
+                 ProtocolError);
+}
+
 TEST(ServeProtocol, Crc32KnownVector)
 {
     // The catalogue value for "123456789" pins the polynomial.

@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Structure-aware snapshot fuzzing, the companion of
+ * test_protocol_fuzz.cc one layer down: a corpus of valid model
+ * snapshot images is pushed through fourteen mutators — blind bit
+ * flips, byte substitutions, raw truncations/extensions, header
+ * corruption (magic, format, flags, payload_len), CRC corruption,
+ * and checksum-*valid* semantic poison where payload fields are
+ * rewritten and the CRC re-stamped so only decodeSnapshot's semantic
+ * validation stands between a hostile image and the predictor
+ * (version zero, dimension/basis-count lies, non-finite weights and
+ * centers, non-positive radii, consistent payload cuts/extensions).
+ *
+ * Every mutant must be rejected with SnapshotError (a ProtocolError):
+ * no crash, no assert, no other exception type, never silent
+ * acceptance — a snapshot that decodes serves predictions, so
+ * "mostly valid" is not a state this format has. All mutants are
+ * deterministic (math::Rng::stream): every run fuzzes the exact same
+ * inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "dspace/paper_space.hh"
+#include "linreg/linear_model.hh"
+#include "math/rng.hh"
+#include "rbf/network.hh"
+#include "serve/model_snapshot.hh"
+#include "util/crc32.hh"
+
+namespace {
+
+using namespace ppm;
+using Bytes = std::vector<std::uint8_t>;
+
+constexpr std::size_t kFormatOffset = 4;
+constexpr std::size_t kFlagsOffset = 6;
+constexpr std::size_t kLenOffset = 8;
+
+void
+putU32(Bytes &b, std::size_t off, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b[off + static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+getU32(const Bytes &b, std::size_t off)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 b[off + static_cast<std::size_t>(i)])
+             << (8 * i);
+    return v;
+}
+
+void
+putF64(Bytes &b, std::size_t off, double v)
+{
+    std::memcpy(b.data() + off, &v, sizeof(double));
+}
+
+/** Re-stamp the CRC trailer so only semantic checks can object. */
+void
+fixCrc(Bytes &image)
+{
+    const std::size_t payload_len =
+        image.size() - serve::kSnapshotHeaderSize - 4;
+    putU32(image, image.size() - 4,
+           util::crc32(image.data() + serve::kSnapshotHeaderSize,
+                       payload_len));
+}
+
+/**
+ * Payload offsets of the fields the semantic mutators target,
+ * recovered by walking the documented image layout (model_snapshot.hh)
+ * rather than duplicating encoder internals: if the layout drifts,
+ * CorpusImagesAreValid and this walker disagree loudly.
+ */
+struct Layout
+{
+    std::size_t dims_off = 0;
+    std::size_t num_bases_off = 0;
+    std::size_t bases_off = 0; //!< first basis center
+    std::size_t weights_off = 0;
+    std::uint32_t dims = 0;
+    std::uint32_t num_bases = 0;
+};
+
+Layout
+walkLayout(const Bytes &image)
+{
+    const std::uint8_t *p = image.data() + serve::kSnapshotHeaderSize;
+    std::size_t off = 8; // u64 model_version
+    const auto u32at = [&](std::size_t o) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     p[o + static_cast<std::size_t>(i)])
+                 << (8 * i);
+        return v;
+    };
+    off += 4 + u32at(off);   // str benchmark
+    off += 2 + 8 + 8 + 4 + 4 + 8; // metric..alpha
+    Layout l;
+    l.dims_off = off;
+    l.dims = u32at(off);
+    off += 4;
+    for (std::uint32_t d = 0; d < l.dims; ++d) {
+        off += 4 + u32at(off);    // str name
+        off += 8 + 8 + 4 + 1 + 1; // min max levels transform integer
+    }
+    l.num_bases_off = off;
+    l.num_bases = u32at(off);
+    l.bases_off = off + 4;
+    l.weights_off =
+        l.bases_off + std::size_t{l.num_bases} * l.dims * 16;
+    return l;
+}
+
+/** A deterministic hand-built snapshot (no training run needed). */
+serve::ModelSnapshot
+buildSnapshot(const dspace::DesignSpace &space, int num_bases,
+              bool with_linear, std::uint64_t seed)
+{
+    math::Rng rng(seed);
+    const std::size_t dims = space.size();
+    std::vector<rbf::GaussianBasis> bases;
+    std::vector<double> weights;
+    for (int b = 0; b < num_bases; ++b) {
+        dspace::UnitPoint center(dims);
+        std::vector<double> radius(dims);
+        for (std::size_t d = 0; d < dims; ++d) {
+            center[d] = rng.uniform();
+            radius[d] = 0.1 + rng.uniform();
+        }
+        bases.emplace_back(std::move(center), std::move(radius));
+        weights.push_back(rng.uniform() * 4 - 2);
+    }
+
+    serve::ModelSnapshot snap;
+    snap.model_version = 3;
+    snap.benchmark = "twolf";
+    snap.metric = core::Metric::Cpi;
+    snap.trace_length = 50000;
+    snap.warmup = 1000;
+    snap.train_points = static_cast<std::uint32_t>(num_bases);
+    snap.p_min = 2;
+    snap.alpha = 1.5;
+    snap.space = space;
+    snap.network =
+        rbf::RbfNetwork(std::move(bases), std::move(weights));
+    if (with_linear) {
+        std::vector<linreg::Term> terms =
+            linreg::fullTwoFactorTerms(dims);
+        std::vector<double> coeffs;
+        for (std::size_t t = 0; t < terms.size(); ++t)
+            coeffs.push_back(rng.uniform() * 2 - 1);
+        snap.linear =
+            linreg::LinearModel(std::move(terms), std::move(coeffs));
+    }
+    return snap;
+}
+
+dspace::DesignSpace
+smallSpace()
+{
+    dspace::DesignSpace space;
+    space.add(dspace::Parameter("depth", 6, 30, 5,
+                                dspace::Transform::Linear, true));
+    space.add(dspace::Parameter("l2_kb", 256, 4096,
+                                dspace::kSampleSizeLevels,
+                                dspace::Transform::Log, true));
+    space.add(dspace::Parameter("frac", 0.1, 0.9, 3,
+                                dspace::Transform::Linear, false));
+    return space;
+}
+
+/**
+ * Three images spanning the format's branches: a small space with
+ * the linear baseline, the same without it (has_linear = 0), and the
+ * full 9-parameter paper space with a larger basis set.
+ */
+std::vector<Bytes>
+corpus()
+{
+    std::vector<Bytes> images;
+    images.push_back(
+        serve::encodeSnapshot(buildSnapshot(smallSpace(), 6, true, 1)));
+    images.push_back(serve::encodeSnapshot(
+        buildSnapshot(smallSpace(), 3, false, 2)));
+    images.push_back(serve::encodeSnapshot(
+        buildSnapshot(dspace::paperTrainSpace(), 24, true, 3)));
+    return images;
+}
+
+/** NaN with random mantissa bits, or a random-sign infinity. */
+double
+randomNonFinite(math::Rng &rng)
+{
+    std::uint64_t bits = 0x7FF0000000000000ULL;
+    if (rng.bernoulli(0.5))
+        bits |= 0x8000000000000000ULL;
+    if (rng.bernoulli(0.75)) // NaN: nonzero mantissa
+        bits |= 1 + static_cast<std::uint64_t>(
+                        rng.uniformInt(1u << 20));
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+struct Mutator
+{
+    const char *name;
+    Bytes (*mutate)(const Bytes &image, const Layout &layout,
+                    math::Rng &rng);
+};
+
+const Mutator kMutators[] = {
+    // --- blind corruption: framing checks and the CRC must hold ---
+    {"bit-flip",
+     [](const Bytes &image, const Layout &, math::Rng &rng) {
+         Bytes m = image;
+         const std::size_t off =
+             static_cast<std::size_t>(rng.uniformInt(m.size()));
+         m[off] ^= static_cast<std::uint8_t>(1u << rng.uniformInt(8));
+         return m;
+     }},
+    {"byte-substitute",
+     [](const Bytes &image, const Layout &, math::Rng &rng) {
+         Bytes m = image;
+         const std::size_t off =
+             static_cast<std::size_t>(rng.uniformInt(m.size()));
+         m[off] ^= static_cast<std::uint8_t>(1 + rng.uniformInt(255));
+         return m;
+     }},
+    {"truncate",
+     [](const Bytes &image, const Layout &, math::Rng &rng) {
+         Bytes m = image;
+         m.resize(
+             static_cast<std::size_t>(rng.uniformInt(image.size())));
+         return m;
+     }},
+    {"extend",
+     [](const Bytes &image, const Layout &, math::Rng &rng) {
+         // decodeSnapshot requires size == header + payload_len + 4
+         // exactly; any raw growth is a framing error.
+         Bytes m = image;
+         const std::size_t extra =
+             1 + static_cast<std::size_t>(rng.uniformInt(16));
+         for (std::size_t i = 0; i < extra; ++i)
+             m.push_back(
+                 static_cast<std::uint8_t>(rng.uniformInt(256)));
+         return m;
+     }},
+    {"magic-skew",
+     [](const Bytes &image, const Layout &, math::Rng &rng) {
+         Bytes m = image;
+         m[static_cast<std::size_t>(rng.uniformInt(4))] ^=
+             static_cast<std::uint8_t>(1 + rng.uniformInt(255));
+         return m;
+     }},
+    {"format-skew",
+     [](const Bytes &image, const Layout &, math::Rng &rng) {
+         Bytes m = image;
+         std::uint16_t v;
+         do {
+             v = static_cast<std::uint16_t>(rng.uniformInt(0x10000));
+         } while (v == serve::kSnapshotFormat);
+         m[kFormatOffset] = static_cast<std::uint8_t>(v & 0xFF);
+         m[kFormatOffset + 1] = static_cast<std::uint8_t>(v >> 8);
+         return m;
+     }},
+    {"flags-nonzero",
+     [](const Bytes &image, const Layout &, math::Rng &rng) {
+         Bytes m = image;
+         const std::uint16_t v = static_cast<std::uint16_t>(
+             1 + rng.uniformInt(0xFFFF));
+         m[kFlagsOffset] = static_cast<std::uint8_t>(v & 0xFF);
+         m[kFlagsOffset + 1] = static_cast<std::uint8_t>(v >> 8);
+         return m;
+     }},
+    {"length-lie",
+     [](const Bytes &image, const Layout &, math::Rng &rng) {
+         Bytes m = image;
+         const std::uint32_t orig = getU32(m, kLenOffset);
+         std::uint32_t lie = rng.bernoulli(0.5)
+                                 ? static_cast<std::uint32_t>(
+                                       rng.uniformInt(1u << 22))
+                                 : 0xFFFFFFFFu - static_cast<
+                                       std::uint32_t>(
+                                       rng.uniformInt(1u << 22));
+         if (lie == orig)
+             lie ^= 1u;
+         putU32(m, kLenOffset, lie);
+         return m;
+     }},
+    {"crc-corrupt",
+     [](const Bytes &image, const Layout &, math::Rng &rng) {
+         Bytes m = image;
+         const std::uint32_t x = static_cast<std::uint32_t>(
+             1 + rng.uniformInt(0xFFFFFFFFu));
+         for (int i = 0; i < 4; ++i)
+             m[m.size() - 4 + static_cast<std::size_t>(i)] ^=
+                 static_cast<std::uint8_t>(x >> (8 * i));
+         return m;
+     }},
+    // --- checksum-valid semantic poison: only the validator holds ---
+    {"version-zero",
+     [](const Bytes &image, const Layout &, math::Rng &) {
+         Bytes m = image;
+         for (std::size_t i = 0; i < 8; ++i)
+             m[serve::kSnapshotHeaderSize + i] = 0;
+         fixCrc(m);
+         return m;
+     }},
+    {"dims-lie",
+     [](const Bytes &image, const Layout &layout, math::Rng &rng) {
+         // Zero dims, or a count past the cap: both unconditionally
+         // invalid no matter what follows.
+         Bytes m = image;
+         const std::uint32_t lie =
+             rng.bernoulli(0.5)
+                 ? 0
+                 : serve::kMaxSnapshotDims + 1 +
+                       static_cast<std::uint32_t>(
+                           rng.uniformInt(1u << 24));
+         putU32(m, serve::kSnapshotHeaderSize + layout.dims_off, lie);
+         fixCrc(m);
+         return m;
+     }},
+    {"bases-lie",
+     [](const Bytes &image, const Layout &layout, math::Rng &rng) {
+         Bytes m = image;
+         const std::uint32_t lie =
+             rng.bernoulli(0.5)
+                 ? 0
+                 : serve::kMaxSnapshotBases + 1 +
+                       static_cast<std::uint32_t>(
+                           rng.uniformInt(1u << 24));
+         putU32(m, serve::kSnapshotHeaderSize + layout.num_bases_off,
+                lie);
+         fixCrc(m);
+         return m;
+     }},
+    {"float-poison",
+     [](const Bytes &image, const Layout &layout, math::Rng &rng) {
+         // A non-finite center, a non-positive or non-finite radius,
+         // or a non-finite weight — targeted at a random slot.
+         Bytes m = image;
+         const std::uint32_t basis = static_cast<std::uint32_t>(
+             rng.uniformInt(layout.num_bases));
+         const std::uint32_t dim = static_cast<std::uint32_t>(
+             rng.uniformInt(layout.dims));
+         const std::size_t basis_off =
+             layout.bases_off +
+             std::size_t{basis} * layout.dims * 16;
+         const std::size_t payload = serve::kSnapshotHeaderSize;
+         switch (rng.uniformInt(4)) {
+           case 0: // center
+             putF64(m, payload + basis_off + std::size_t{dim} * 8,
+                    randomNonFinite(rng));
+             break;
+           case 1: // radius, non-finite
+             putF64(m,
+                    payload + basis_off + layout.dims * 8 +
+                        std::size_t{dim} * 8,
+                    randomNonFinite(rng));
+             break;
+           case 2: // radius, zero or negative
+             putF64(m,
+                    payload + basis_off + layout.dims * 8 +
+                        std::size_t{dim} * 8,
+                    rng.bernoulli(0.5) ? 0.0 : -rng.uniform());
+             break;
+           default: // weight
+             putF64(m,
+                    payload + layout.weights_off +
+                        std::size_t{basis} * 8,
+                    randomNonFinite(rng));
+             break;
+         }
+         fixCrc(m);
+         return m;
+     }},
+    {"consistent-resize",
+     [](const Bytes &image, const Layout &, math::Rng &rng) {
+         // Cut or grow the payload and keep payload_len and the CRC
+         // honest: framing passes, so the payload reader itself must
+         // notice the missing or trailing bytes.
+         Bytes m = image;
+         const std::size_t payload_len =
+             image.size() - serve::kSnapshotHeaderSize - 4;
+         m.resize(m.size() - 4); // drop the trailer, resize, re-add
+         if (rng.bernoulli(0.5)) {
+             m.resize(serve::kSnapshotHeaderSize +
+                      static_cast<std::size_t>(
+                          rng.uniformInt(payload_len)));
+         } else {
+             const std::size_t extra =
+                 1 + static_cast<std::size_t>(rng.uniformInt(64));
+             for (std::size_t i = 0; i < extra; ++i)
+                 m.push_back(static_cast<std::uint8_t>(
+                     rng.uniformInt(256)));
+         }
+         putU32(m, kLenOffset,
+                static_cast<std::uint32_t>(
+                    m.size() - serve::kSnapshotHeaderSize));
+         m.resize(m.size() + 4);
+         fixCrc(m);
+         return m;
+     }},
+};
+
+constexpr int kMutantsPerPair = 125;
+
+TEST(SnapshotFuzz, CorpusImagesAreValid)
+{
+    for (const Bytes &image : corpus()) {
+        serve::ModelSnapshot snap;
+        ASSERT_NO_THROW(snap = serve::decodeSnapshot(image));
+        // The layout walker and the real decoder must agree, or the
+        // targeted mutators are poking the wrong bytes.
+        const Layout layout = walkLayout(image);
+        EXPECT_EQ(layout.dims, snap.space.size());
+        EXPECT_EQ(layout.num_bases, snap.network.numBases());
+    }
+}
+
+TEST(SnapshotFuzz, EveryMutantRejectedWithSnapshotError)
+{
+    const std::vector<Bytes> images = corpus();
+    std::uint64_t stream_index = 0;
+    std::uint64_t mutants = 0;
+    std::uint64_t unchanged = 0;
+    for (const Bytes &image : images) {
+        const Layout layout = walkLayout(image);
+        for (const Mutator &mutator : kMutators) {
+            for (int i = 0; i < kMutantsPerPair; ++i) {
+                math::Rng rng =
+                    math::Rng::stream(0x5F22, stream_index++);
+                const Bytes mutant =
+                    mutator.mutate(image, layout, rng);
+                if (mutant == image) {
+                    ++unchanged;
+                    continue;
+                }
+                ++mutants;
+                bool rejected = false;
+                try {
+                    (void)serve::decodeSnapshot(mutant);
+                } catch (const serve::ProtocolError &) {
+                    // SnapshotError or the base: the transport's
+                    // catch clauses cover both.
+                    rejected = true;
+                } catch (const std::exception &e) {
+                    FAIL() << mutator.name << " mutant "
+                           << stream_index - 1
+                           << " raised a non-snapshot exception: "
+                           << e.what();
+                }
+                EXPECT_TRUE(rejected)
+                    << mutator.name << " mutant " << stream_index - 1
+                    << " (" << mutant.size()
+                    << " bytes) was silently accepted";
+            }
+        }
+    }
+    EXPECT_EQ(unchanged, 0u);
+    EXPECT_GE(mutants, 5000u) << "fuzz corpus shrank below spec";
+}
+
+TEST(SnapshotFuzz, EverySingleBitFlipIsRejected)
+{
+    // Exhaustive Hamming-distance-1 sweep of the smallest corpus
+    // image: CRC-32 detects every 1-bit payload error, and the header
+    // fields are individually validated, so no flipped bit anywhere
+    // may yield a decodable image.
+    Bytes smallest;
+    for (const Bytes &image : corpus())
+        if (smallest.empty() || image.size() < smallest.size())
+            smallest = image;
+    for (std::size_t off = 0; off < smallest.size(); ++off) {
+        for (int bit = 0; bit < 8; ++bit) {
+            Bytes m = smallest;
+            m[off] ^= static_cast<std::uint8_t>(1u << bit);
+            EXPECT_THROW((void)serve::decodeSnapshot(m),
+                         serve::ProtocolError)
+                << "byte " << off << " bit " << bit;
+        }
+    }
+}
+
+TEST(SnapshotFuzz, EveryTruncationLengthIsRejected)
+{
+    Bytes smallest;
+    for (const Bytes &image : corpus())
+        if (smallest.empty() || image.size() < smallest.size())
+            smallest = image;
+    for (std::size_t n = 0; n < smallest.size(); ++n) {
+        EXPECT_THROW((void)serve::decodeSnapshot(smallest.data(), n),
+                     serve::ProtocolError)
+            << "prefix length " << n;
+    }
+}
+
+TEST(SnapshotFuzz, EveryConsistentPayloadCutIsRejected)
+{
+    // The hardest class exhaustively: every proper payload prefix
+    // with an honest payload_len and CRC. Framing is impeccable; the
+    // payload grammar alone must refuse.
+    const Bytes image =
+        serve::encodeSnapshot(buildSnapshot(smallSpace(), 2, true, 4));
+    const std::size_t payload_len =
+        image.size() - serve::kSnapshotHeaderSize - 4;
+    for (std::size_t n = 0; n < payload_len; ++n) {
+        Bytes m(image.begin(),
+                image.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        serve::kSnapshotHeaderSize + n));
+        putU32(m, kLenOffset, static_cast<std::uint32_t>(n));
+        m.resize(m.size() + 4);
+        fixCrc(m);
+        EXPECT_THROW((void)serve::decodeSnapshot(m),
+                     serve::ProtocolError)
+            << "payload prefix " << n;
+    }
+}
+
+} // namespace

@@ -4,7 +4,16 @@
  * or a TCP endpoint.
  *
  *   ppm_serve [--socket PATH | --listen HOST:PORT] [--workers N]
- *             [--archive-dir DIR] [--fault-spec SPEC] [--verbose]
+ *             [--archive-dir DIR] [--predict SNAPSHOT]
+ *             [--model-dir DIR] [--model-poll-ms N]
+ *             [--fault-spec SPEC] [--verbose]
+ *
+ * With --predict the server additionally answers PREDICT batches from
+ * the given model snapshot (published by ppm_publish); with
+ * --model-dir (or PPM_MODEL_DIR) it watches a directory and
+ * hot-swaps, with zero downtime, to any snapshot that appears there
+ * with a greater model version. Snapshots can also be pushed over the
+ * wire (MODEL push frames).
  *
  * Clients reach it by exporting PPM_SERVE_SOCKET=ENDPOINT
  * (comma-separate several endpoints — Unix paths and host:port specs
@@ -44,7 +53,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--socket PATH | --listen HOST:PORT] [--workers N]"
-        " [--archive-dir DIR] [--fault-spec SPEC] [--verbose]\n"
+        " [--archive-dir DIR] [--predict SNAPSHOT] [--model-dir DIR]"
+        " [--model-poll-ms N] [--fault-spec SPEC] [--verbose]\n"
         "  --socket PATH       Unix socket to listen on (default:\n"
         "                      first entry of $PPM_SERVE_SOCKET, else\n"
         "                      /tmp/ppm_serve.sock)\n"
@@ -55,6 +65,13 @@ usage(const char *argv0)
         "  --workers N         concurrent request workers (default 1)\n"
         "  --archive-dir DIR   persist results to DIR (CRC-checked\n"
         "                      append-only archive, replayed on reuse)\n"
+        "  --predict SNAPSHOT  serve PREDICT queries from this model\n"
+        "                      snapshot (see ppm_publish)\n"
+        "  --model-dir DIR     watch DIR for *.ppmm snapshots and\n"
+        "                      hot-swap to newer model versions\n"
+        "                      (default: $PPM_MODEL_DIR when set)\n"
+        "  --model-poll-ms N   model directory poll interval\n"
+        "                      (default 200)\n"
         "  --fault-spec SPEC   install the deterministic transport\n"
         "                      fault injector (chaos rehearsal), e.g.\n"
         "                      seed=1;drop=0.1;delay=0.1;delay_ms=5\n"
@@ -77,6 +94,8 @@ main(int argc, char **argv)
 {
     ppm::serve::ServerOptions options;
     options.socket_path = defaultSocket();
+    if (const char *dir = std::getenv("PPM_MODEL_DIR"))
+        options.model_dir = dir;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -97,6 +116,13 @@ main(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--archive-dir" && has_value) {
             options.archive_dir = argv[++i];
+        } else if (arg == "--predict" && has_value) {
+            options.predict_snapshot = argv[++i];
+        } else if (arg == "--model-dir" && has_value) {
+            options.model_dir = argv[++i];
+        } else if (arg == "--model-poll-ms" && has_value) {
+            options.model_poll_ms = static_cast<int>(
+                std::strtol(argv[++i], nullptr, 10));
         } else if (arg == "--verbose") {
             options.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -134,6 +160,10 @@ main(int argc, char **argv)
                  options.num_workers == 1 ? "" : "s",
                  options.archive_dir.empty() ? "" : ", archive ",
                  options.archive_dir.c_str());
+    if (server.modelVersion() != 0)
+        std::fprintf(stderr, "ppm_serve: serving model v%llu\n",
+                     static_cast<unsigned long long>(
+                         server.modelVersion()));
 
     int caught = 0;
     sigwait(&signals, &caught);
