@@ -1,0 +1,126 @@
+/**
+ * @file
+ * MutexMapCache: the pre-cache memo design preserved as a reference —
+ * one mutex around an ordered std::map from key to shared_future.
+ * This is what src/core/oracle.hh used before the concurrent
+ * ResultCache existed; it lives on as (a) the baseline the bench
+ * sweeps in bench/perf_kernels.cc measure ResultCache against, and
+ * (b) the independent re-implementation the bit-equivalence tests
+ * compare CPI results with.
+ *
+ * Header-only and deliberately boring: correctness by one big lock.
+ */
+
+#ifndef PPM_CACHE_BASELINE_HH
+#define PPM_CACHE_BASELINE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace ppm::cache {
+
+class MutexMapCache
+{
+  public:
+    using Key = std::vector<std::int64_t>;
+
+    /** Lookup only; returns true and sets @p out on a hit. */
+    bool lookup(const Key &key, double *out) const
+    {
+        std::shared_future<double> fut;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = memo_.find(key);
+            if (it == memo_.end())
+                return false;
+            fut = it->second;
+        }
+        if (fut.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+            return false;
+        *out = fut.get();
+        return true;
+    }
+
+    /**
+     * Batched lookup, the map's best case: one lock acquisition
+     * amortized over all @p n probes. Writes out[i] / found[i] and
+     * returns the hit count.
+     */
+    std::size_t lookupBatch(const Key *keys, std::size_t n,
+                            double *out, bool *found) const
+    {
+        std::size_t hits = 0;
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto it = memo_.find(keys[i]);
+            const bool ok =
+                it != memo_.end() &&
+                it->second.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready;
+            found[i] = ok;
+            out[i] = ok ? it->second.get() : 0.0;
+            hits += ok;
+        }
+        return hits;
+    }
+
+    /**
+     * The classic memo protocol: first thread in claims the key with
+     * a promise and computes; racers block on the shared_future.
+     */
+    double getOrCompute(const Key &key,
+                        const std::function<double()> &compute)
+    {
+        std::promise<double> promise;
+        std::shared_future<double> fut;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto [it, inserted] =
+                memo_.try_emplace(key, promise.get_future().share());
+            fut = it->second;
+            owner = inserted;
+        }
+        if (!owner)
+            return fut.get();
+        try {
+            promise.set_value(compute());
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                memo_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+            throw;
+        }
+        return fut.get();
+    }
+
+    void insert(const Key &key, double value)
+    {
+        std::promise<double> promise;
+        promise.set_value(value);
+        std::lock_guard<std::mutex> lock(mutex_);
+        memo_.try_emplace(key, promise.get_future().share());
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return memo_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_future<double>> memo_;
+};
+
+} // namespace ppm::cache
+
+#endif // PPM_CACHE_BASELINE_HH

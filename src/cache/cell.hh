@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Cell layout of the concurrent result cache (TurboHash/lightning
+ * style): fixed-footprint cache-line-sized cells whose slot metadata
+ * — partial-hash tag, occupancy, clock reference bit, dirty bit —
+ * packs into one atomic word, so a reader filters a whole cell with a
+ * single load.
+ *
+ * One cell is exactly one 64-byte cache line:
+ *
+ *     offset  0: u64 version   seqlock word; even = stable, odd = a
+ *                              writer holds the cell (the per-cell
+ *                              spinlock: writers CAS even→odd, store
+ *                              back even+2 on release)
+ *     offset  8: u64 meta      packed slot metadata (layout below)
+ *     offset 16: u64 vals[6]   per-slot value words: the bit pattern
+ *                              of the cached double, or a reserved
+ *                              NaN sentinel while the slot's result
+ *                              is still being computed (kPendingBits)
+ *
+ * meta word layout (bit 0 = least significant):
+ *
+ *     bits  0..41  six 7-bit tags, slot s at bits [7s, 7s+7)
+ *     bits 42..47  occupancy, bit 42+s set = slot s holds an entry
+ *     bits 48..53  reference bits (second-chance eviction)
+ *     bits 54..59  dirty bits (entry not yet durable; spill on evict)
+ *     bits 60..63  unused
+ *
+ * Keys are fixed-width runs of int64 words and live in a parallel
+ * array outside the cell (cache/result_cache.hh), because a key
+ * (design-point rendering plus context word) is larger than a cache
+ * line could hold inline. All key words are relaxed atomics: a reader
+ * may race a writer recycling the slot, and the seqlock version word
+ * is what certifies the (tag, key, value) triple it read was a
+ * consistent snapshot.
+ */
+
+#ifndef PPM_CACHE_CELL_HH
+#define PPM_CACHE_CELL_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace ppm::cache {
+
+/** Slots per cell: six value words fit a 64-byte line. */
+inline constexpr unsigned kCellSlots = 6;
+
+/** Cells probed per bucket group (4 adjacent lines = 24 slots). */
+inline constexpr unsigned kGroupCells = 4;
+
+/**
+ * Value-word sentinels: quiet-NaN payloads no computation produces.
+ * A computed double whose bit pattern collides with a sentinel is
+ * canonicalised to kNanBits on insert (it stays a NaN).
+ */
+inline constexpr std::uint64_t kPendingBits = 0xFFF8'0000'5050'4D01ULL;
+inline constexpr std::uint64_t kNanBits = 0x7FF8'0000'0000'0000ULL;
+
+/** Pure meta-word packing helpers (unit-tested directly). */
+namespace meta {
+
+inline constexpr std::uint64_t kTagMask = 0x7F;
+inline constexpr unsigned kOccShift = 42;
+inline constexpr unsigned kRefShift = 48;
+inline constexpr unsigned kDirtyShift = 54;
+
+constexpr std::uint64_t
+tag(std::uint64_t word, unsigned slot)
+{
+    return (word >> (7 * slot)) & kTagMask;
+}
+
+constexpr std::uint64_t
+withTag(std::uint64_t word, unsigned slot, std::uint64_t tag7)
+{
+    const unsigned shift = 7 * slot;
+    return (word & ~(kTagMask << shift)) |
+           ((tag7 & kTagMask) << shift);
+}
+
+constexpr bool
+occupied(std::uint64_t word, unsigned slot)
+{
+    return (word >> (kOccShift + slot)) & 1;
+}
+
+constexpr std::uint64_t occupiedBit(unsigned slot)
+{
+    return 1ULL << (kOccShift + slot);
+}
+
+constexpr bool
+refSet(std::uint64_t word, unsigned slot)
+{
+    return (word >> (kRefShift + slot)) & 1;
+}
+
+constexpr std::uint64_t refBit(unsigned slot)
+{
+    return 1ULL << (kRefShift + slot);
+}
+
+constexpr bool
+dirty(std::uint64_t word, unsigned slot)
+{
+    return (word >> (kDirtyShift + slot)) & 1;
+}
+
+constexpr std::uint64_t dirtyBit(unsigned slot)
+{
+    return 1ULL << (kDirtyShift + slot);
+}
+
+/** All per-slot bits of @p slot (tag + occupancy + ref + dirty). */
+constexpr std::uint64_t
+slotMask(unsigned slot)
+{
+    return (kTagMask << (7 * slot)) | occupiedBit(slot) |
+           refBit(slot) | dirtyBit(slot);
+}
+
+} // namespace meta
+
+struct alignas(64) Cell
+{
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> meta{0};
+    std::atomic<std::uint64_t> vals[kCellSlots];
+
+    Cell()
+    {
+        for (auto &v : vals)
+            v.store(0, std::memory_order_relaxed);
+    }
+};
+
+static_assert(sizeof(Cell) == 64, "a cell must be one cache line");
+
+} // namespace ppm::cache
+
+#endif // PPM_CACHE_CELL_HH

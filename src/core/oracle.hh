@@ -4,6 +4,13 @@
  * approximate. The production oracle runs the cycle-level simulator on
  * a benchmark trace and memoizes results; an analytic oracle backs
  * fast tests of the model-building machinery.
+ *
+ * Memoization is delegated to cache::ResultCache (src/cache/), the
+ * concurrent budgeted hash table: oracles render design points to
+ * fixed-point keys, prefix them with a context word, and run the
+ * cache's exactly-once getOrCompute protocol. The old design — one
+ * mutex around a std::map of shared_futures — survives as
+ * cache::MutexMapCache for benchmarks and equivalence tests.
  */
 
 #ifndef PPM_CORE_ORACLE_HH
@@ -12,13 +19,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.hh"
+#include "core/result_store.hh"
 #include "dspace/design_space.hh"
 #include "obs/trace_span.hh"
 #include "sim/simulator.hh"
@@ -81,34 +88,8 @@ enum class Metric
 /** Short name of a Metric ("CPI", "EPI", "ED2P"). */
 std::string metricName(Metric metric);
 
-/**
- * Persistent backing store for simulation results. A SimulatorOracle
- * with an attached store preloads every archived (design-point key →
- * value) pair into its memo cache at attach time and reports each
- * fresh simulation back through append(), so results survive the
- * process and are shared across concurrent processes.
- *
- * Implementations must make append() safe to call concurrently; the
- * canonical implementation is serve::ResultArchive (an append-only,
- * CRC-checked on-disk log). The store is scoped to one oracle context
- * (benchmark, trace length, options, metric) — keys from different
- * contexts must go to different stores.
- */
-class ResultStore
-{
-  public:
-    /** Memo key: the fixed-point rendering of a design point. */
-    using Key = std::vector<std::int64_t>;
-
-    virtual ~ResultStore() = default;
-
-    /** Invoke @p sink for every archived (key, value) pair. */
-    virtual void load(
-        const std::function<void(const Key &, double)> &sink) = 0;
-
-    /** Durably record one fresh result. Thread-safe. */
-    virtual void append(const Key &key, double value) = 0;
-};
+/** Zero-based index of @p metric, as packed into cache key words. */
+int metricIndex(Metric metric);
 
 /**
  * Oracle backed by the cycle-level simulator running one benchmark
@@ -116,11 +97,19 @@ class ResultStore
  * configuration is free — mirroring how a real study would archive
  * simulation results.
  *
- * cpi() is thread-safe: the memo cache is mutex-guarded and stores a
- * shared future per design point, so concurrent requests for the same
- * point deduplicate — exactly one simulation runs and every other
- * requester blocks on (and shares) its result. evaluateAll() exploits
- * this to simulate a batch across the global thread pool.
+ * cpi() is thread-safe: the memo layer is a cache::ResultCache, whose
+ * two-phase insert deduplicates concurrent requests for the same
+ * point — exactly one simulation runs and every other requester
+ * blocks on (and shares) its result. evaluateAll() exploits this to
+ * simulate a batch across the global thread pool.
+ *
+ * By default each oracle lazily creates a private table sized by
+ * PPM_CACHE_MB. Alternatively attachSharedCache() points several
+ * oracles at one process-wide table: each oracle's entries are
+ * distinguished by a context word packed from its context id and
+ * metric, and one simulation populates the sibling metrics of its
+ * context (a CPI oracle's run also fills the EPI and ED2P entries),
+ * so sibling-metric oracles never re-simulate a paid-for point.
  *
  * Despite the interface name, the oracle can report any Metric; the
  * model-building machinery is agnostic to what response it models.
@@ -147,11 +136,25 @@ class SimulatorOracle : public CpiOracle
     /**
      * Attach a persistent result store: every archived result is
      * preloaded into the memo cache (so requesting it never simulates)
-     * and every fresh simulation is appended to the store. Attach
+     * and every fresh simulation is appended to the store *before*
+     * its value is published (write-through — a cached entry is
+     * always durable, so evicting it never needs a spill). Attach
      * before issuing requests; results simulated earlier by this
      * oracle are not retroactively archived.
      */
     void attachStore(std::shared_ptr<ResultStore> store);
+
+    /**
+     * Memoize through @p cache (shared with other oracles) instead of
+     * a private table. This oracle's keys carry
+     * cache::contextWord(@p context_id, metricIndex(metric())), and a
+     * fresh simulation also inserts the sibling-metric values for the
+     * same context id. Call before the first cpi()/attachStore();
+     * @p cache must outlive the oracle's requests and its key width
+     * must be the design-point size + 1.
+     */
+    void attachSharedCache(std::shared_ptr<cache::ResultCache> cache,
+                           std::int64_t context_id);
 
     /** Results preloaded from the attached store. */
     std::uint64_t
@@ -163,7 +166,8 @@ class SimulatorOracle : public CpiOracle
     /**
      * Memo-cache key of @p point: a fixed-point rendering, so float
      * noise cannot split logically identical configurations. This is
-     * also the key persisted by an attached ResultStore.
+     * also the key persisted by an attached ResultStore. (The in-table
+     * key additionally carries a leading context word.)
      */
     static ResultStore::Key cacheKey(const dspace::DesignPoint &point);
 
@@ -186,14 +190,14 @@ class SimulatorOracle : public CpiOracle
 
     /**
      * Full statistics of the most recent (uncached) simulation,
-     * copied under the cache mutex so it can be polled while a
-     * parallel evaluateAll() is in flight. Only meaningful between
-     * batches; during a batch "most recent" depends on scheduling.
+     * copied under a mutex so it can be polled while a parallel
+     * evaluateAll() is in flight. Only meaningful between batches;
+     * during a batch "most recent" depends on scheduling.
      */
     sim::SimStats
     lastStats() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
         return last_stats_;
     }
 
@@ -201,22 +205,32 @@ class SimulatorOracle : public CpiOracle
     Metric metric() const { return metric_; }
 
   private:
+    /** Create the private table on first use (PPM_CACHE_MB-sized). */
+    void ensureCache();
+    /** Context word + fixed-point point rendering. */
+    ResultStore::Key fullKey(const dspace::DesignPoint &point) const;
+    /** Run one simulation and return the requested metric's value. */
+    double simulatePoint(const dspace::DesignPoint &point,
+                         const ResultStore::Key &bare_key);
+
     const dspace::DesignSpace &space_;
     const trace::Trace &trace_;
     sim::SimOptions options_;
     Metric metric_;
-    /**
-     * Memo cache. Each entry is created by the first requester of a
-     * key, who simulates and fulfils the future; later requesters wait
-     * on the shared state instead of simulating (in-flight dedup).
-     */
-    std::map<std::vector<std::int64_t>, std::shared_future<double>>
-        cache_;
-    mutable std::mutex mutex_;
+
+    std::once_flag cache_once_;
+    std::shared_ptr<cache::ResultCache> cache_;
+    bool shared_cache_ = false;
+    std::int64_t context_id_ = 0;
+
+    std::mutex store_mutex_;
     std::shared_ptr<ResultStore> store_;
+
     std::atomic<std::uint64_t> evaluations_{0};
     std::atomic<std::uint64_t> cache_hits_{0};
     std::atomic<std::uint64_t> archived_{0};
+
+    mutable std::mutex stats_mutex_;
     sim::SimStats last_stats_;
 };
 
@@ -224,6 +238,12 @@ class SimulatorOracle : public CpiOracle
  * Oracle defined by an arbitrary function of the raw design point.
  * Used by unit tests and by synthetic accuracy studies where ground
  * truth must be known exactly.
+ *
+ * By default every cpi() call invokes the function (no memo), keeping
+ * evaluation counting exact for tests. attachCache() opts into
+ * ResultCache memoization; with a store the oracle runs write-behind:
+ * fresh results are published dirty, spilled to the store when budget
+ * pressure evicts them, and flushDirty() persists the remainder.
  */
 class FunctionOracle : public CpiOracle
 {
@@ -232,15 +252,27 @@ class FunctionOracle : public CpiOracle
 
     explicit FunctionOracle(Fn fn) : fn_(std::move(fn)) {}
 
-    double
-    cpi(const dspace::DesignPoint &point) override
+    double cpi(const dspace::DesignPoint &point) override;
+
+    /**
+     * Memoize through @p cache (key width = design-point size + 1;
+     * entries keyed by cache::contextWord(@p context_id, 0)). When
+     * @p store is non-null the oracle preloads it, registers it as
+     * the spill route for its context word, and publishes fresh
+     * results dirty (write-behind).
+     */
+    void attachCache(std::shared_ptr<cache::ResultCache> cache,
+                     std::shared_ptr<ResultStore> store = nullptr,
+                     std::int64_t context_id = 0);
+
+    /** Spill still-dirty results through the attached store. */
+    std::size_t flushDirty();
+
+    /** Results preloaded from the attached store. */
+    std::uint64_t
+    archivedResults() const
     {
-        // Relaxed atomic: function oracles must stay safe under a
-        // parallel evaluateAll() override, matching SimulatorOracle.
-        evaluations_.fetch_add(1, std::memory_order_relaxed);
-        OBS_STATIC_COUNTER(fn_evals, "oracle.fn_evals");
-        OBS_ADD(fn_evals, 1);
-        return fn_(point);
+        return archived_.load(std::memory_order_relaxed);
     }
 
     std::uint64_t
@@ -251,7 +283,11 @@ class FunctionOracle : public CpiOracle
 
   private:
     Fn fn_;
+    std::shared_ptr<cache::ResultCache> cache_;
+    std::int64_t ctx_word_ = 0;
+    bool write_behind_ = false;
     std::atomic<std::uint64_t> evaluations_{0};
+    std::atomic<std::uint64_t> archived_{0};
 };
 
 } // namespace ppm::core

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ResultStore: the persistent backing-store interface shared by the
+ * memoizing oracles (core/oracle.hh) and the result cache
+ * (cache/result_cache.hh). Split out of oracle.hh so the cache
+ * subsystem can spill through it without a header cycle.
+ */
+
+#ifndef PPM_CORE_RESULT_STORE_HH
+#define PPM_CORE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ppm::core {
+
+/**
+ * Persistent backing store for simulation results. A SimulatorOracle
+ * with an attached store preloads every archived (design-point key →
+ * value) pair into its memo cache at attach time and reports each
+ * fresh simulation back through append(), so results survive the
+ * process and are shared across concurrent processes. The result
+ * cache additionally spills evicted not-yet-durable entries through
+ * the same interface.
+ *
+ * Implementations must make append() safe to call concurrently; the
+ * canonical implementation is serve::ResultArchive (an append-only,
+ * CRC-checked on-disk log). The store is scoped to one oracle context
+ * (benchmark, trace length, options, metric) — keys from different
+ * contexts must go to different stores.
+ */
+class ResultStore
+{
+  public:
+    /** Memo key: the fixed-point rendering of a design point. */
+    using Key = std::vector<std::int64_t>;
+
+    virtual ~ResultStore() = default;
+
+    /** Invoke @p sink for every archived (key, value) pair. */
+    virtual void load(
+        const std::function<void(const Key &, double)> &sink) = 0;
+
+    /** Durably record one fresh result. Thread-safe. */
+    virtual void append(const Key &key, double value) = 0;
+};
+
+} // namespace ppm::core
+
+#endif // PPM_CORE_RESULT_STORE_HH

@@ -32,6 +32,18 @@ contextKey(const EvalRequest &req)
            core::metricName(req.metric);
 }
 
+/**
+ * Simulation context key: the design-space config without the metric.
+ * Oracles sharing it run identical simulations, so they share one
+ * cache context id and populate each other's metric entries.
+ */
+std::string
+simContextKey(const EvalRequest &req)
+{
+    return req.benchmark + "|t" + std::to_string(req.trace_length) +
+           "|w" + std::to_string(req.warmup);
+}
+
 } // namespace
 
 SimServer::SimServer(ServerOptions options)
@@ -39,6 +51,11 @@ SimServer::SimServer(ServerOptions options)
 {
     if (options_.num_workers == 0)
         options_.num_workers = 1;
+    cache::CacheConfig cache_config;
+    cache_config.key_words = space_.size() + 1;
+    if (options_.cache_mb != 0)
+        cache_config.budget_bytes = options_.cache_mb * 1024 * 1024;
+    cache_ = std::make_shared<cache::ResultCache>(cache_config);
 }
 
 SimServer::~SimServer()
@@ -143,13 +160,27 @@ SimServer::backendFor(const EvalRequest &req)
     sim_options.warmup_instructions = req.warmup;
     backend->oracle = std::make_unique<core::SimulatorOracle>(
         space_, backend->trace, sim_options, req.metric);
+    // All oracles memoize through the server's shared table; oracles
+    // differing only in Metric share a context id, so one simulation
+    // answers all three metrics of its simulation context.
+    const auto [ctx_it, ctx_inserted] = sim_context_ids_.try_emplace(
+        simContextKey(req),
+        static_cast<std::int64_t>(sim_context_ids_.size()));
+    (void)ctx_inserted;
+    backend->oracle->attachSharedCache(cache_, ctx_it->second);
     if (!options_.archive_dir.empty()) {
         const std::string file =
             options_.archive_dir + "/" +
             ResultArchive::fileNameFor(req.benchmark, req.trace_length,
                                        req.warmup, req.metric);
-        backend->oracle->attachStore(
-            std::make_shared<ResultArchive>(file, key));
+        auto archive = std::make_shared<ResultArchive>(file, key);
+        // Sibling-metric entries for this context are published dirty
+        // by whichever oracle simulates; evicting them spills here.
+        cache_->registerSpillStore(
+            cache::contextWord(ctx_it->second,
+                               core::metricIndex(req.metric)),
+            archive);
+        backend->oracle->attachStore(std::move(archive));
     }
     it = backends_.emplace(key, std::move(backend)).first;
     if (options_.verbose)

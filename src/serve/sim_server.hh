@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_cache.hh"
 #include "core/oracle.hh"
 #include "dspace/design_space.hh"
 #include "serve/model_host.hh"
@@ -85,6 +86,13 @@ struct ServerOptions
     std::string model_dir;
     /** Poll interval of the model_dir watcher. */
     int model_poll_ms = 200;
+    /**
+     * Memory budget of the server's shared result cache in MiB;
+     * 0 = PPM_CACHE_MB (or its built-in default). All the server's
+     * oracles memoize through this one table, so contexts that differ
+     * only in Metric share each other's simulations.
+     */
+    std::size_t cache_mb = 0;
 };
 
 class SimServer
@@ -146,6 +154,9 @@ class SimServer
     /** The hot-swappable model slot (tests install models directly). */
     ModelHost &modelHost() { return model_host_; }
 
+    /** The shared result cache every backend memoizes through. */
+    const cache::ResultCache &resultCache() const { return *cache_; }
+
   private:
     /** One benchmark-trace oracle and the trace backing it. */
     struct Backend
@@ -173,6 +184,14 @@ class SimServer
 
     mutable std::mutex backends_mutex_;
     std::map<std::string, std::unique_ptr<Backend>> backends_;
+    /**
+     * One table for every backend. Oracles sharing a simulation
+     * context (benchmark, trace length, warmup) get the same context
+     * id — differing only in Metric — so one oracle's simulation
+     * fills its siblings' entries.
+     */
+    std::shared_ptr<cache::ResultCache> cache_;
+    std::map<std::string, std::int64_t> sim_context_ids_;
 
     std::mutex conns_mutex_;
     std::set<int> conns_;

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * ResultCache unit suite: meta-word packing, insert/lookup round
+ * trips, the getOrCompute outcomes, deterministic second-chance
+ * eviction on a single-group table, budget enforcement, dirty-entry
+ * spill through a recording ResultStore, flushDirty semantics, the
+ * pending-sentinel canonicalisation, and the env knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "cache/cell.hh"
+#include "cache/result_cache.hh"
+#include "core/result_store.hh"
+
+namespace {
+
+using namespace ppm;
+using cache::CacheConfig;
+using cache::Outcome;
+using cache::ResultCache;
+using Key = core::ResultStore::Key;
+
+/** In-memory ResultStore that records every append. */
+class RecordingStore : public core::ResultStore
+{
+  public:
+    void
+    load(const std::function<void(const Key &, double)> &sink) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[key, value] : records_)
+            sink(key, value);
+    }
+
+    void
+    append(const Key &key, double value) override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        records_.emplace_back(key, value);
+    }
+
+    std::vector<std::pair<Key, double>>
+    records() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return records_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::pair<Key, double>> records_;
+};
+
+/** Config for a table squeezed to one probe group (24 slots). */
+CacheConfig
+oneGroupConfig(std::size_t key_words = 2)
+{
+    CacheConfig config;
+    config.key_words = key_words;
+    config.budget_bytes = 1; // floors to a single group
+    config.shards = 1;
+    return config;
+}
+
+TEST(CacheMeta, PackingRoundTrips)
+{
+    std::uint64_t word = 0;
+    for (unsigned slot = 0; slot < cache::kCellSlots; ++slot) {
+        const std::uint64_t tag = (slot * 19 + 3) & 0x7F;
+        word = cache::meta::withTag(word, slot, tag);
+        word |= cache::meta::occupiedBit(slot);
+        EXPECT_EQ(cache::meta::tag(word, slot), tag);
+        EXPECT_TRUE(cache::meta::occupied(word, slot));
+        EXPECT_FALSE(cache::meta::refSet(word, slot));
+        word |= cache::meta::refBit(slot);
+        EXPECT_TRUE(cache::meta::refSet(word, slot));
+        EXPECT_FALSE(cache::meta::dirty(word, slot));
+        word |= cache::meta::dirtyBit(slot);
+        EXPECT_TRUE(cache::meta::dirty(word, slot));
+    }
+    // Tags survive the state bits of every other slot.
+    for (unsigned slot = 0; slot < cache::kCellSlots; ++slot)
+        EXPECT_EQ(cache::meta::tag(word, slot),
+                  (slot * 19 + 3) & 0x7FULL);
+    // Clearing one slot's mask leaves the others intact.
+    const std::uint64_t cleared = word & ~cache::meta::slotMask(2);
+    EXPECT_EQ(cache::meta::tag(cleared, 2), 0u);
+    EXPECT_FALSE(cache::meta::occupied(cleared, 2));
+    EXPECT_TRUE(cache::meta::occupied(cleared, 1));
+    EXPECT_TRUE(cache::meta::dirty(cleared, 3));
+}
+
+TEST(CacheMeta, CellIsOneCacheLine)
+{
+    EXPECT_EQ(sizeof(cache::Cell), 64u);
+}
+
+TEST(CacheMeta, ContextWordPacksIdAndMetric)
+{
+    EXPECT_EQ(cache::contextWord(0, 0), 0);
+    EXPECT_EQ(cache::contextWord(5, 2), (5 << 2) | 2);
+    EXPECT_NE(cache::contextWord(1, 0), cache::contextWord(0, 1));
+}
+
+TEST(ResultCacheTest, InsertAndLookupRoundTrip)
+{
+    CacheConfig config;
+    config.key_words = 3;
+    config.budget_bytes = 1 << 20;
+    ResultCache cache(config);
+
+    for (std::int64_t i = 0; i < 100; ++i) {
+        const Key key = {0, i, i * 7 + 1};
+        EXPECT_TRUE(cache.insert(key, i * 0.25, false));
+    }
+    for (std::int64_t i = 0; i < 100; ++i) {
+        const Key key = {0, i, i * 7 + 1};
+        double value = 0.0;
+        ASSERT_TRUE(cache.lookup(key, &value)) << "key " << i;
+        EXPECT_EQ(value, i * 0.25);
+    }
+    double value = 0.0;
+    EXPECT_FALSE(cache.lookup({1, 0, 1}, &value));
+    EXPECT_EQ(cache.liveEntries(), 100u);
+    // Re-inserting an existing key is not a new placement.
+    EXPECT_FALSE(cache.insert({0, 0, 1}, 9.0, false));
+    ASSERT_TRUE(cache.lookup({0, 0, 1}, &value));
+    EXPECT_EQ(value, 0.0) << "first value wins";
+}
+
+TEST(ResultCacheTest, LookupBatchMatchesSingleLookups)
+{
+    CacheConfig config;
+    config.key_words = 3;
+    config.budget_bytes = 1 << 20;
+    ResultCache cache(config);
+
+    for (std::int64_t i = 0; i < 200; ++i)
+        cache.insert({0, i, i * 7 + 1}, i * 0.5, false);
+
+    // A batch mixing hits, misses, and duplicates — longer than the
+    // pipeline depth so the rolling prefetch window wraps.
+    std::vector<Key> keys;
+    for (std::int64_t i = 0; i < 100; ++i) {
+        keys.push_back({0, i * 2, i * 2 * 7 + 1}); // present
+        keys.push_back({1, i, i * 7 + 1});         // absent
+    }
+    keys.push_back(keys.front());
+
+    const auto before = cache.stats();
+    std::vector<double> values(keys.size(), -1.0);
+    const auto found = std::make_unique<bool[]>(keys.size());
+    const std::size_t hits = cache.lookupBatch(
+        keys.data(), keys.size(), values.data(), found.get());
+
+    std::size_t expected_hits = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        double single = 0.0;
+        const bool present = cache.lookup(keys[i], &single);
+        EXPECT_EQ(found[i], present) << "key " << i;
+        EXPECT_EQ(values[i], present ? single : 0.0) << "key " << i;
+        expected_hits += present;
+    }
+    EXPECT_EQ(hits, expected_hits);
+    EXPECT_EQ(hits, 101u);
+
+    // The batch and the per-key re-checks each counted every probe.
+    const auto after = cache.stats();
+    EXPECT_EQ(after.hits - before.hits, 2 * hits);
+    EXPECT_EQ(after.misses - before.misses,
+              2 * (keys.size() - hits));
+
+    // Width mismatches are rejected up front, like lookup().
+    const Key narrow = {0, 1};
+    double value = 0.0;
+    bool ok = false;
+    EXPECT_THROW(cache.lookupBatch(&narrow, 1, &value, &ok),
+                 std::invalid_argument);
+}
+
+TEST(ResultCacheTest, GetOrComputeComputesExactlyOnce)
+{
+    ResultCache cache(oneGroupConfig());
+    int computes = 0;
+    const auto compute = [&] {
+        ++computes;
+        return 2.5;
+    };
+    const auto first = cache.getOrCompute({1, 2}, compute, false);
+    EXPECT_EQ(first.outcome, Outcome::Computed);
+    EXPECT_EQ(first.value, 2.5);
+    const auto second = cache.getOrCompute({1, 2}, compute, false);
+    EXPECT_EQ(second.outcome, Outcome::Hit);
+    EXPECT_EQ(second.value, 2.5);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, GetOrComputeReleasesClaimOnThrow)
+{
+    ResultCache cache(oneGroupConfig());
+    EXPECT_THROW(cache.getOrCompute(
+                     {4, 4},
+                     []() -> double {
+                         throw std::runtime_error("sim failed");
+                     },
+                     false),
+                 std::runtime_error);
+    // The failed claim is released: a retry computes fresh.
+    const auto retry =
+        cache.getOrCompute({4, 4}, [] { return 1.25; }, false);
+    EXPECT_EQ(retry.outcome, Outcome::Computed);
+    EXPECT_EQ(retry.value, 1.25);
+}
+
+TEST(ResultCacheTest, SecondChanceEvictsUnreferencedFirst)
+{
+    ResultCache cache(oneGroupConfig());
+    ASSERT_EQ(cache.capacitySlots(), 24u);
+    const auto keyOf = [](std::int64_t i) { return Key{9, i}; };
+
+    for (std::int64_t i = 0; i < 24; ++i)
+        ASSERT_TRUE(cache.insert(keyOf(i), i * 1.5, false));
+    EXPECT_EQ(cache.liveEntries(), 24u);
+
+    // 25th entry: every slot starts referenced (fresh inserts), so
+    // the clock sweep spends all reference bits and takes the first
+    // slot — key 0.
+    ASSERT_TRUE(cache.insert({10, 100}, -1.0, false));
+    double value = 0.0;
+    EXPECT_FALSE(cache.lookup(keyOf(0), &value));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.liveEntries(), 24u);
+
+    // Touch keys 1..11: their reference bits shield them, so the next
+    // eviction must take key 12 — the first unreferenced slot in
+    // probe order.
+    for (std::int64_t i = 1; i <= 11; ++i)
+        ASSERT_TRUE(cache.lookup(keyOf(i), &value));
+    ASSERT_TRUE(cache.insert({10, 101}, -2.0, false));
+    EXPECT_FALSE(cache.lookup(keyOf(12), &value));
+    for (std::int64_t i = 1; i <= 11; ++i)
+        EXPECT_TRUE(cache.lookup(keyOf(i), &value)) << "key " << i;
+    ASSERT_TRUE(cache.lookup({10, 100}, &value));
+    EXPECT_EQ(value, -1.0);
+}
+
+TEST(ResultCacheTest, BudgetCapsFootprintAndOccupancy)
+{
+    CacheConfig config;
+    config.key_words = 4;
+    config.budget_bytes = 64 * 1024;
+    config.shards = 2;
+    ResultCache cache(config);
+    EXPECT_LE(cache.footprintBytes(), config.budget_bytes);
+    EXPECT_EQ(cache.shardCount(), 2u);
+    ASSERT_GT(cache.capacitySlots(), 0u);
+
+    // Insert 4x the capacity; occupancy must never pass capacity.
+    const std::int64_t n =
+        static_cast<std::int64_t>(cache.capacitySlots()) * 4;
+    for (std::int64_t i = 0; i < n; ++i)
+        cache.insert({i, i * 3, i ^ 0x55, 7}, i * 0.5, false);
+    EXPECT_LE(cache.liveEntries(), cache.capacitySlots());
+    EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(ResultCacheTest, DirtyEvictionSpillsThroughStore)
+{
+    ResultCache cache(oneGroupConfig());
+    auto store = std::make_shared<RecordingStore>();
+    cache.registerSpillStore(7, store);
+
+    for (std::int64_t i = 0; i < 24; ++i)
+        ASSERT_TRUE(cache.insert({7, i}, i * 2.0, /*dirty=*/true));
+    ASSERT_TRUE(cache.insert({7, 100}, -1.0, /*dirty=*/true));
+
+    // The evicted dirty entry (key 0, per the clock sweep) landed in
+    // the store with its context word stripped.
+    const auto records = store->records();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].first, Key{0});
+    EXPECT_EQ(records[0].second, 0.0);
+    EXPECT_EQ(cache.stats().spills, 1u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, CleanEvictionDoesNotSpill)
+{
+    ResultCache cache(oneGroupConfig());
+    auto store = std::make_shared<RecordingStore>();
+    cache.registerSpillStore(7, store);
+    for (std::int64_t i = 0; i < 25; ++i)
+        cache.insert({7, i}, i * 2.0, /*dirty=*/false);
+    EXPECT_GT(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.stats().spills, 0u);
+    EXPECT_TRUE(store->records().empty());
+}
+
+TEST(ResultCacheTest, UnroutableDirtyEvictionIsDropped)
+{
+    ResultCache cache(oneGroupConfig());
+    // No store registered: dirty evictions drop without blocking.
+    for (std::int64_t i = 0; i < 30; ++i)
+        cache.insert({3, i}, i * 1.0, /*dirty=*/true);
+    EXPECT_GT(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.stats().spills, 0u);
+}
+
+TEST(ResultCacheTest, FlushDirtyPersistsOnceAndMarksClean)
+{
+    ResultCache cache(oneGroupConfig());
+    auto store = std::make_shared<RecordingStore>();
+    cache.registerSpillStore(7, store);
+
+    for (std::int64_t i = 0; i < 5; ++i)
+        ASSERT_TRUE(cache.insert({7, i}, i + 0.5, /*dirty=*/true));
+    EXPECT_EQ(cache.flushDirty(), 5u);
+    EXPECT_EQ(store->records().size(), 5u);
+    // Everything is clean now: a second flush finds nothing.
+    EXPECT_EQ(cache.flushDirty(), 0u);
+    EXPECT_EQ(store->records().size(), 5u);
+    // The entries themselves are still cached.
+    double value = 0.0;
+    ASSERT_TRUE(cache.lookup({7, 2}, &value));
+    EXPECT_EQ(value, 2.5);
+}
+
+TEST(ResultCacheTest, CleanInsertOverDirtyClearsDirtyBit)
+{
+    ResultCache cache(oneGroupConfig());
+    auto store = std::make_shared<RecordingStore>();
+    cache.registerSpillStore(7, store);
+    ASSERT_TRUE(cache.insert({7, 1}, 3.5, /*dirty=*/true));
+    // The caller vouches the same value is now durable.
+    EXPECT_FALSE(cache.insert({7, 1}, 3.5, /*dirty=*/false));
+    EXPECT_EQ(cache.flushDirty(), 0u);
+    EXPECT_TRUE(store->records().empty());
+}
+
+TEST(ResultCacheTest, PendingSentinelValueIsCanonicalised)
+{
+    ResultCache cache(oneGroupConfig());
+    const double sentinel =
+        std::bit_cast<double>(cache::kPendingBits);
+    ASSERT_TRUE(std::isnan(sentinel));
+    ASSERT_TRUE(cache.insert({1, 1}, sentinel, false));
+    double value = 0.0;
+    ASSERT_TRUE(cache.lookup({1, 1}, &value));
+    EXPECT_TRUE(std::isnan(value));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(value), cache::kNanBits);
+
+    const auto got = cache.getOrCompute(
+        {1, 2}, [&] { return sentinel; }, false);
+    EXPECT_EQ(got.outcome, Outcome::Computed);
+    EXPECT_TRUE(std::isnan(got.value));
+    ASSERT_TRUE(cache.lookup({1, 2}, &value));
+    EXPECT_TRUE(std::isnan(value));
+}
+
+TEST(ResultCacheTest, NegativeZeroAndNanValuesRoundTrip)
+{
+    ResultCache cache(oneGroupConfig());
+    ASSERT_TRUE(cache.insert({1, 1}, -0.0, false));
+    ASSERT_TRUE(cache.insert({1, 2}, std::nan(""), false));
+    double value = 1.0;
+    ASSERT_TRUE(cache.lookup({1, 1}, &value));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(value),
+              std::bit_cast<std::uint64_t>(-0.0));
+    ASSERT_TRUE(cache.lookup({1, 2}, &value));
+    EXPECT_TRUE(std::isnan(value));
+}
+
+TEST(ResultCacheTest, KeyWidthIsEnforced)
+{
+    ResultCache cache(oneGroupConfig(3));
+    double value = 0.0;
+    EXPECT_THROW(cache.lookup({1, 2}, &value), std::invalid_argument);
+    EXPECT_THROW(cache.insert({1, 2, 3, 4}, 1.0, false),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        cache.getOrCompute({1}, [] { return 0.0; }, false),
+        std::invalid_argument);
+    EXPECT_THROW(ResultCache(CacheConfig{}), std::invalid_argument);
+}
+
+TEST(ResultCacheTest, ShardCountAdaptsToTinyBudgets)
+{
+    CacheConfig config;
+    config.key_words = 2;
+    config.budget_bytes = 1; // one group total
+    config.shards = 8;       // more shards than groups
+    ResultCache cache(config);
+    EXPECT_EQ(cache.shardCount(), 1u);
+    EXPECT_EQ(cache.capacitySlots(), 24u);
+}
+
+TEST(ResultCacheTest, EnvKnobsParseAndFallBack)
+{
+    ::setenv("PPM_CACHE_MB", "3", 1);
+    EXPECT_EQ(cache::budgetBytesFromEnv(16), 3u << 20);
+    ::setenv("PPM_CACHE_MB", "junk", 1);
+    EXPECT_EQ(cache::budgetBytesFromEnv(16), 16u << 20);
+    ::unsetenv("PPM_CACHE_MB");
+    EXPECT_EQ(cache::budgetBytesFromEnv(16), 16u << 20);
+
+    ::setenv("PPM_CACHE_SHARDS", "4", 1);
+    EXPECT_EQ(cache::shardsFromEnv(), 4u);
+    ::setenv("PPM_CACHE_SHARDS", "-2", 1);
+    EXPECT_EQ(cache::shardsFromEnv(), 0u);
+    ::unsetenv("PPM_CACHE_SHARDS");
+    EXPECT_EQ(cache::shardsFromEnv(), 0u);
+}
+
+} // namespace

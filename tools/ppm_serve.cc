@@ -54,7 +54,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--socket PATH | --listen HOST:PORT] [--workers N]"
         " [--archive-dir DIR] [--predict SNAPSHOT] [--model-dir DIR]"
-        " [--model-poll-ms N] [--fault-spec SPEC] [--verbose]\n"
+        " [--model-poll-ms N] [--cache-mb N] [--fault-spec SPEC]"
+        " [--verbose]\n"
         "  --socket PATH       Unix socket to listen on (default:\n"
         "                      first entry of $PPM_SERVE_SOCKET, else\n"
         "                      /tmp/ppm_serve.sock)\n"
@@ -72,6 +73,10 @@ usage(const char *argv0)
         "                      (default: $PPM_MODEL_DIR when set)\n"
         "  --model-poll-ms N   model directory poll interval\n"
         "                      (default 200)\n"
+        "  --cache-mb N        shared result-cache budget in MiB\n"
+        "                      (default: $PPM_CACHE_MB, else 16);\n"
+        "                      evicted unarchived entries spill to\n"
+        "                      the archive\n"
         "  --fault-spec SPEC   install the deterministic transport\n"
         "                      fault injector (chaos rehearsal), e.g.\n"
         "                      seed=1;drop=0.1;delay=0.1;delay_ms=5\n"
@@ -123,6 +128,9 @@ main(int argc, char **argv)
         } else if (arg == "--model-poll-ms" && has_value) {
             options.model_poll_ms = static_cast<int>(
                 std::strtol(argv[++i], nullptr, 10));
+        } else if (arg == "--cache-mb" && has_value) {
+            options.cache_mb = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--verbose") {
             options.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
