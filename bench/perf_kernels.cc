@@ -19,6 +19,7 @@
 #include "core/oracle.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_span.hh"
+#include "rbf/rbf_batch.hh"
 #include "sampling/batch_acquisition.hh"
 #include "sampling/discrepancy.hh"
 #include "sampling/sample_gen.hh"
@@ -385,6 +386,76 @@ BM_RbfPrediction(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_RbfPrediction);
+
+/**
+ * Batched inference throughput over a m=64, d=9 network — the model
+ * size the paper's trainer typically lands on. args: (batch size,
+ * mode) with mode 0 = the legacy scalar AoS inference loop (one
+ * GaussianBasis::evaluate call per (point, basis) pair — the path
+ * RbfNetwork::predict ran before BatchPlan existed, and the baseline
+ * the SIMD speedup is quoted against), 1 = the BatchPlan scalar
+ * reference (SoA layout, still bit-compatible std::exp semantics),
+ * 2 = the runtime-dispatched SIMD kernel. The label names the kernel
+ * actually run so results stay honest on machines where dispatch
+ * falls back to scalar. Committed sweeps live in
+ * bench_results/BENCH_rbf_simd.json.
+ */
+void
+BM_RbfBatch(benchmark::State &state)
+{
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    const long mode = state.range(1);
+    const std::size_t m = 64, dims = 9;
+    math::Rng rng(9);
+    std::vector<rbf::GaussianBasis> bases;
+    std::vector<double> weights;
+    for (std::size_t j = 0; j < m; ++j) {
+        dspace::UnitPoint c(dims);
+        std::vector<double> r(dims);
+        for (std::size_t k = 0; k < dims; ++k) {
+            c[k] = rng.uniform();
+            r[k] = 0.1 + rng.uniform();
+        }
+        bases.emplace_back(std::move(c), std::move(r));
+        weights.push_back(rng.gaussian(0.0, 2.0));
+    }
+    const rbf::BatchPlan plan(bases, weights,
+                              mode == 2 ? rbf::activeSimd()
+                                        : rbf::SimdKind::Scalar);
+    std::vector<dspace::UnitPoint> xs(batch,
+                                      dspace::UnitPoint(dims));
+    for (auto &x : xs)
+        for (auto &v : x)
+            v = rng.uniform();
+    if (mode == 0) {
+        std::vector<double> out(batch);
+        for (auto _ : state) {
+            for (std::size_t i = 0; i < batch; ++i) {
+                double acc = 0.0;
+                for (std::size_t j = 0; j < m; ++j)
+                    acc += weights[j] * bases[j].evaluate(xs[i]);
+                out[i] = acc;
+            }
+            benchmark::DoNotOptimize(out.data());
+        }
+        state.SetLabel("legacy-aos");
+    } else {
+        for (auto _ : state) {
+            auto out = plan.predict(xs);
+            benchmark::DoNotOptimize(out.data());
+        }
+        state.SetLabel(mode == 1 ? "plan-scalar"
+                                 : rbf::simdKindName(plan.kind()));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_RbfBatch)->ArgNames({"batch", "mode"})
+    ->Args({1, 0})->Args({1, 1})->Args({1, 2})
+    ->Args({16, 0})->Args({16, 1})->Args({16, 2})
+    ->Args({256, 0})->Args({256, 1})->Args({256, 2})
+    ->Args({4096, 0})->Args({4096, 1})->Args({4096, 2});
 
 // --- observability overhead ------------------------------------------
 

@@ -85,7 +85,15 @@ Parameter::quantize(double raw) const
 bool
 Parameter::contains(double raw) const
 {
-    const double tol = 1e-9 * (max_ - min_);
+    // Inclusive bounds: min and max themselves are always inside. The
+    // tolerance has two parts — one relative to the span, and one
+    // relative to the bound magnitudes — because a narrow range at a
+    // large magnitude (say [999999, 1000001]) makes the span term
+    // smaller than one ulp of the endpoints, and a query that went
+    // through fromUnit/quantize round trips could land a few ulps
+    // past an endpoint and be spuriously rejected at the boundary.
+    const double tol = 1e-9 * (max_ - min_) +
+        1e-12 * std::max(std::fabs(min_), std::fabs(max_));
     return raw >= min_ - tol && raw <= max_ + tol;
 }
 

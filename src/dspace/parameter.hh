@@ -102,7 +102,13 @@ class Parameter
     /** Round to integer if the parameter is integral. */
     double quantize(double raw) const;
 
-    /** True iff @p raw lies within [min, max] (with small tolerance). */
+    /**
+     * True iff @p raw lies within the closed interval [min, max].
+     * Bounds are inclusive by contract — queries at exactly min or
+     * max are valid — and a small tolerance (relative to both the
+     * span and the endpoint magnitudes) absorbs round-trip error, so
+     * a value a few ulps past an endpoint is not spuriously rejected.
+     */
     bool contains(double raw) const;
 
   private:

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace ppm::rbf {
 
@@ -9,11 +11,27 @@ GaussianBasis::GaussianBasis(dspace::UnitPoint center,
                              std::vector<double> radius)
     : center_(std::move(center)), radius_(std::move(radius))
 {
-    assert(center_.size() == radius_.size());
-    assert(!center_.empty());
+    // Validated unconditionally: under NDEBUG an assert would let a
+    // zero/negative/non-finite radius through and inv_radius_sq_
+    // would silently hold inf or NaN, poisoning every later
+    // prediction instead of failing at the construction site.
+    if (center_.empty())
+        throw std::invalid_argument("rbf::GaussianBasis: empty center");
+    if (center_.size() != radius_.size())
+        throw std::invalid_argument(
+            "rbf::GaussianBasis: center has " +
+            std::to_string(center_.size()) + " dimensions, radius " +
+            std::to_string(radius_.size()));
     inv_radius_sq_.resize(radius_.size());
     for (std::size_t k = 0; k < radius_.size(); ++k) {
-        assert(radius_[k] > 0.0 && "radii must be strictly positive");
+        if (!std::isfinite(center_[k]))
+            throw std::invalid_argument(
+                "rbf::GaussianBasis: non-finite center coordinate " +
+                std::to_string(k));
+        if (!(radius_[k] > 0.0) || !std::isfinite(radius_[k]))
+            throw std::invalid_argument(
+                "rbf::GaussianBasis: radius " + std::to_string(k) +
+                " must be finite and strictly positive");
         inv_radius_sq_[k] = 1.0 / (radius_[k] * radius_[k]);
     }
 }

@@ -24,9 +24,14 @@ class GaussianBasis
 {
   public:
     /**
-     * @param center Center point c (unit space).
-     * @param radius Per-dimension radii r; strictly positive, same
-     *               dimensionality as @p center.
+     * @param center Center point c (unit space); finite, non-empty.
+     * @param radius Per-dimension radii r; finite and strictly
+     *               positive, same dimensionality as @p center.
+     * @throws std::invalid_argument on any violation — validated
+     *         unconditionally (not an assert), because a zero or
+     *         negative radius would silently poison inv_radius_sq_
+     *         with inf/NaN in release builds and every prediction
+     *         made with it afterwards.
      */
     GaussianBasis(dspace::UnitPoint center, std::vector<double> radius);
 
@@ -35,6 +40,11 @@ class GaussianBasis
 
     const dspace::UnitPoint &center() const { return center_; }
     const std::vector<double> &radius() const { return radius_; }
+    /** Precomputed 1 / r_k^2 (shared with batched evaluation plans). */
+    const std::vector<double> &invRadiusSq() const
+    {
+        return inv_radius_sq_;
+    }
     std::size_t dimensions() const { return center_.size(); }
 
   private:

@@ -1,6 +1,8 @@
 #include "rbf/network.hh"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "math/linalg.hh"
 
@@ -10,32 +12,49 @@ RbfNetwork::RbfNetwork(std::vector<GaussianBasis> bases,
                        std::vector<double> weights)
     : bases_(std::move(bases)), weights_(std::move(weights))
 {
-    assert(!bases_.empty());
-    assert(bases_.size() == weights_.size());
-    for (const auto &b : bases_) {
-        assert(b.dimensions() == bases_.front().dimensions());
-        (void)b;
-    }
+    if (bases_.empty())
+        throw std::invalid_argument(
+            "rbf::RbfNetwork: at least one basis required");
+    if (bases_.size() != weights_.size())
+        throw std::invalid_argument(
+            "rbf::RbfNetwork: " + std::to_string(bases_.size()) +
+            " bases but " + std::to_string(weights_.size()) +
+            " weights");
+    for (const auto &b : bases_)
+        if (b.dimensions() != bases_.front().dimensions())
+            throw std::invalid_argument(
+                "rbf::RbfNetwork: mixed basis dimensionalities");
+    plan_ = std::make_shared<const BatchPlan>(bases_, weights_);
 }
 
 double
 RbfNetwork::predict(const dspace::UnitPoint &x) const
 {
-    assert(!empty());
-    double acc = 0.0;
-    for (std::size_t j = 0; j < bases_.size(); ++j)
-        acc += weights_[j] * bases_[j].evaluate(x);
-    return acc;
+    if (empty())
+        throw std::logic_error(
+            "rbf::RbfNetwork::predict: empty network");
+    if (x.size() != dimensions())
+        throw std::invalid_argument(
+            "rbf::RbfNetwork::predict: point has " +
+            std::to_string(x.size()) + " dimensions, network has " +
+            std::to_string(dimensions()));
+    return plan_->predictOne(x);
 }
 
 std::vector<double>
 RbfNetwork::predict(const std::vector<dspace::UnitPoint> &xs) const
 {
-    std::vector<double> out;
-    out.reserve(xs.size());
+    if (empty())
+        throw std::logic_error(
+            "rbf::RbfNetwork::predict: empty network");
     for (const auto &x : xs)
-        out.push_back(predict(x));
-    return out;
+        if (x.size() != dimensions())
+            throw std::invalid_argument(
+                "rbf::RbfNetwork::predict: point has " +
+                std::to_string(x.size()) +
+                " dimensions, network has " +
+                std::to_string(dimensions()));
+    return plan_->predict(xs);
 }
 
 std::size_t
@@ -48,11 +67,10 @@ math::Matrix
 designMatrix(const std::vector<GaussianBasis> &bases,
              const std::vector<dspace::UnitPoint> &xs)
 {
-    math::Matrix h(xs.size(), bases.size());
-    for (std::size_t i = 0; i < xs.size(); ++i)
-        for (std::size_t j = 0; j < bases.size(); ++j)
-            h(i, j) = bases[j].evaluate(xs[i]);
-    return h;
+    if (bases.empty())
+        return math::Matrix(xs.size(), 0);
+    const BatchPlan plan(bases, {});
+    return plan.designMatrix(xs);
 }
 
 RbfNetwork

@@ -7,6 +7,7 @@
 
 #include "obs/event_log.hh"
 #include "obs/trace_span.hh"
+#include "rbf/rbf_batch.hh"
 
 namespace ppm::serve {
 
@@ -59,9 +60,17 @@ ModelHost::install(ModelSnapshot snap, const std::string &origin)
         model_version.set(
             static_cast<std::int64_t>(model_->model_version));
 #endif
+        // The network's batched evaluation plan was compiled when the
+        // snapshot was decoded, i.e. at install time — record which
+        // SIMD path this model will serve with.
+        const std::string simd =
+            model_->network.plan()
+                ? rbf::simdKindName(model_->network.plan()->kind())
+                : std::string("none");
         obs::logEvent(obs::LogLevel::Info, "model", "installed",
                       {{"version", model_->model_version},
                        {"origin", origin},
+                       {"simd", simd},
                        {"swap", replaced ? 1 : 0}});
     }
     return true;

@@ -411,6 +411,11 @@ predictWithSnapshot(const ModelSnapshot &snap,
 {
     if (model == ModelKind::Linear && snap.linear.empty())
         fail("snapshot carries no linear baseline");
+    // Decoded snapshots always carry a network, but a hand-assembled
+    // ModelSnapshot may not; fail typed here rather than letting the
+    // network throw logic_error below.
+    if (model == ModelKind::Rbf && snap.network.empty())
+        fail("snapshot carries no RBF network");
     std::vector<dspace::UnitPoint> units;
     units.reserve(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {

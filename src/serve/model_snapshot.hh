@@ -152,9 +152,14 @@ ModelSnapshot loadSnapshot(const std::string &path);
  * path and the local fallback both route through here, which is what
  * makes shard-count-independent bit-equality hold.
  *
+ * Range checks are inclusive: a coordinate at exactly the parameter
+ * minimum or maximum is in-space (Parameter::contains additionally
+ * absorbs a few ulps of round-trip error at the boundary), so
+ * querying the corners of the trained design space always succeeds.
+ *
  * @throws SnapshotError on a dimensionality mismatch, an
- *         out-of-space point, or ModelKind::Linear without a
- *         published baseline.
+ *         out-of-space point, an empty RBF network, or
+ *         ModelKind::Linear without a published baseline.
  */
 std::vector<double> predictWithSnapshot(
     const ModelSnapshot &snap,

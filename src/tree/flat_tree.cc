@@ -1,0 +1,122 @@
+#include "tree/flat_tree.hh"
+
+#include <cassert>
+#include <deque>
+
+#include "tree/regression_tree.hh"
+
+namespace ppm::tree {
+
+FlatTree::FlatTree(const RegressionTree &tree)
+    : dims_(tree.dimensions()), depth_(tree.depth())
+{
+    // Breadth-first flatten, so every level occupies a contiguous
+    // index range and children always sit at higher indices than
+    // their parents (the batch descent walks the arrays forward).
+    const std::size_t n = tree.nodeCount();
+    split_param_.reserve(n);
+    split_value_.reserve(n);
+    left_.reserve(n);
+    right_.reserve(n);
+    mean_.reserve(n);
+    stddev_.reserve(n);
+
+    using Node = RegressionTree::Node;
+    std::deque<const Node *> queue{tree.root_.get()};
+    std::uint32_t next_index = 1;
+    while (!queue.empty()) {
+        const Node *node = queue.front();
+        queue.pop_front();
+
+        const std::uint32_t self =
+            static_cast<std::uint32_t>(split_param_.size());
+        if (node->isLeaf()) {
+            split_param_.push_back(kLeaf);
+            split_value_.push_back(0.0);
+            // Self-referential children: a leaf that is "advanced"
+            // another level stays put, which lets the batch descent
+            // run a fixed depth_ passes without per-query early-out.
+            left_.push_back(self);
+            right_.push_back(self);
+        } else {
+            split_param_.push_back(
+                static_cast<std::int32_t>(node->split_param));
+            split_value_.push_back(node->split_value);
+            left_.push_back(next_index++);
+            right_.push_back(next_index++);
+            queue.push_back(node->left.get());
+            queue.push_back(node->right.get());
+        }
+        mean_.push_back(node->mean);
+        stddev_.push_back(node->stddev);
+    }
+    assert(split_param_.size() == n);
+}
+
+std::size_t
+FlatTree::leafIndex(const double *x) const
+{
+    std::uint32_t i = 0;
+    std::int32_t p;
+    while ((p = split_param_[i]) != kLeaf)
+        i = x[p] <= split_value_[i] ? left_[i] : right_[i];
+    return i;
+}
+
+void
+FlatTree::leafIndicesBatch(const std::vector<dspace::UnitPoint> &xs,
+                           std::vector<std::uint32_t> &idx) const
+{
+    idx.assign(xs.size(), 0);
+    // Level-synchronous descent: every pass advances all queries one
+    // level. Leaves self-reference, so queries that land early just
+    // idle; comparisons are identical to the pointer-chasing walk,
+    // hence the same leaf is selected bit-for-bit.
+    for (int level = 0; level < depth_; ++level) {
+        for (std::size_t q = 0; q < xs.size(); ++q) {
+            const std::uint32_t i = idx[q];
+            const std::int32_t p = split_param_[i];
+            if (p == kLeaf)
+                continue;
+            idx[q] = xs[q][p] <= split_value_[i] ? left_[i] : right_[i];
+        }
+    }
+}
+
+double
+FlatTree::predict(const dspace::UnitPoint &x) const
+{
+    assert(x.size() == dims_);
+    return mean_[leafIndex(x.data())];
+}
+
+double
+FlatTree::leafStd(const dspace::UnitPoint &x) const
+{
+    assert(x.size() == dims_);
+    return stddev_[leafIndex(x.data())];
+}
+
+std::vector<double>
+FlatTree::predictBatch(const std::vector<dspace::UnitPoint> &xs) const
+{
+    std::vector<std::uint32_t> idx;
+    leafIndicesBatch(xs, idx);
+    std::vector<double> out(xs.size());
+    for (std::size_t q = 0; q < xs.size(); ++q)
+        out[q] = mean_[idx[q]];
+    return out;
+}
+
+std::vector<double>
+FlatTree::leafStdBatch(const std::vector<dspace::UnitPoint> &xs) const
+{
+    std::vector<std::uint32_t> idx;
+    leafIndicesBatch(xs, idx);
+    std::vector<double> out(xs.size());
+    for (std::size_t q = 0; q < xs.size(); ++q)
+        out[q] = stddev_[idx[q]];
+    return out;
+}
+
+} // namespace ppm::tree

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Flattened regression-tree traversal plan: the pointer tree
+ * restructured into level-ordered structure-of-arrays node tables so
+ * whole query batches descend one level per pass with contiguous,
+ * branch-light accesses instead of per-query pointer chasing.
+ *
+ * Traversal is bit-identical to RegressionTree::predict / leafStd:
+ * the same `x[param] <= value` comparisons select the same leaves;
+ * only the memory layout changes (predictions are leaf statistics, so
+ * there is no floating-point reassociation at all).
+ */
+
+#ifndef PPM_TREE_FLAT_TREE_HH
+#define PPM_TREE_FLAT_TREE_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "dspace/design_space.hh"
+
+namespace ppm::tree {
+
+class RegressionTree;
+
+/**
+ * Structure-of-arrays snapshot of a built RegressionTree, nodes in
+ * breadth-first (level) order — node 0 is the root and every level's
+ * nodes are contiguous, so a level-synchronous batch descent walks
+ * the arrays front to back. Immutable after construction; safe to
+ * share across threads.
+ */
+class FlatTree
+{
+  public:
+    /** Compile @p tree into level-ordered SoA node arrays. */
+    explicit FlatTree(const RegressionTree &tree);
+
+    std::size_t nodeCount() const { return split_param_.size(); }
+    std::size_t dimensions() const { return dims_; }
+    /** Depth of the deepest node (root = 0). */
+    int depth() const { return depth_; }
+
+    /** Leaf mean at @p x; bit-identical to RegressionTree::predict. */
+    double predict(const dspace::UnitPoint &x) const;
+
+    /** Leaf response std-dev at @p x (RegressionTree::leafStd). */
+    double leafStd(const dspace::UnitPoint &x) const;
+
+    /**
+     * Batched leaf means: all queries descend level by level, one
+     * pass over the (contiguous) active node window per level.
+     */
+    std::vector<double> predictBatch(
+        const std::vector<dspace::UnitPoint> &xs) const;
+
+    /** Batched leaf std-devs. */
+    std::vector<double> leafStdBatch(
+        const std::vector<dspace::UnitPoint> &xs) const;
+
+  private:
+    /** Leaf marker in split_param_. */
+    static constexpr std::int32_t kLeaf = -1;
+
+    /** Index of the leaf whose region contains @p x. */
+    std::size_t leafIndex(const double *x) const;
+
+    void leafIndicesBatch(const std::vector<dspace::UnitPoint> &xs,
+                          std::vector<std::uint32_t> &idx) const;
+
+    std::size_t dims_ = 0;
+    int depth_ = 0;
+    /** Split parameter per node; kLeaf marks terminal nodes. */
+    std::vector<std::int32_t> split_param_;
+    /** Split boundary (unit space) per node; 0 for leaves. */
+    std::vector<double> split_value_;
+    /** Left/right child indices; self-referential for leaves. */
+    std::vector<std::uint32_t> left_;
+    std::vector<std::uint32_t> right_;
+    /** Mean response per node (the prediction at leaves). */
+    std::vector<double> mean_;
+    /** Response std-dev per node (population convention). */
+    std::vector<double> stddev_;
+};
+
+} // namespace ppm::tree
+
+#endif // PPM_TREE_FLAT_TREE_HH

@@ -241,6 +241,42 @@ TEST(ModelSnapshot, RejectsQueriesOutsideTheTrainedSpace)
                  serve::SnapshotError);
 }
 
+TEST(ModelSnapshot, AcceptsQueriesAtExactSpaceBoundary)
+{
+    // Inclusive-bound contract: the corners of the trained design
+    // space are valid queries. A point at exactly min/max in every
+    // coordinate — and one a few ulps past the bound, as produced by
+    // fromUnit/quantize round trips — must not be rejected.
+    const serve::ModelSnapshot &snap = trainedSnapshot();
+    dspace::DesignPoint lo, hi, hi_ulps;
+    for (const dspace::Parameter &p : snap.space.params()) {
+        lo.push_back(p.minValue());
+        hi.push_back(p.maxValue());
+        double v = p.maxValue();
+        for (int i = 0; i < 4; ++i)
+            v = std::nextafter(
+                v, std::numeric_limits<double>::infinity());
+        hi_ulps.push_back(v);
+    }
+    EXPECT_NO_THROW(serve::predictWithSnapshot(snap, {lo, hi}));
+    EXPECT_NO_THROW(serve::predictWithSnapshot(snap, {hi_ulps}));
+    // The boundary prediction equals the clamped unit-space one.
+    const auto at_hi = serve::predictWithSnapshot(snap, {hi});
+    const auto at_hi_ulps =
+        serve::predictWithSnapshot(snap, {hi_ulps});
+    EXPECT_DOUBLE_EQ(at_hi[0], at_hi_ulps[0]);
+}
+
+TEST(ModelSnapshot, RbfQueryWithoutNetworkFailsTyped)
+{
+    // Hand-assembled snapshot with no network: the serve path throws
+    // SnapshotError instead of reaching the network's logic_error.
+    serve::ModelSnapshot snap;
+    snap.space = trainedSnapshot().space;
+    EXPECT_THROW(serve::predictWithSnapshot(snap, queryPoints(1)),
+                 serve::SnapshotError);
+}
+
 TEST(ModelSnapshot, EncodeRejectsNonFiniteWeight)
 {
     serve::ModelSnapshot snap = trainedSnapshot();

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "dspace/parameter.hh"
 
@@ -135,6 +136,36 @@ TEST(Parameter, TransformNames)
 {
     EXPECT_EQ(transformName(Transform::Linear), "linear");
     EXPECT_EQ(transformName(Transform::Log), "log");
+}
+
+TEST(Parameter, ContainsIsInclusiveAtExactBounds)
+{
+    const Parameter p("lat", 1.0, 12.0, 4, Transform::Linear, true);
+    EXPECT_TRUE(p.contains(1.0));
+    EXPECT_TRUE(p.contains(12.0));
+}
+
+TEST(Parameter, ContainsAbsorbsUlpsOnNarrowLargeMagnitudeRanges)
+{
+    // Regression: a narrow range at a large magnitude makes the old
+    // span-only tolerance (1e-9 * span) smaller than one ulp of the
+    // endpoints, so a boundary value that round-tripped through
+    // fromUnit/quantize and picked up a few ulps was rejected.
+    const Parameter p("freq", 999999.0, 1000001.0, 0,
+                      Transform::Linear, false);
+    double just_above = 1000001.0;
+    for (int i = 0; i < 20; ++i)
+        just_above = std::nextafter(
+            just_above, std::numeric_limits<double>::infinity());
+    double just_below = 999999.0;
+    for (int i = 0; i < 20; ++i)
+        just_below = std::nextafter(
+            just_below, -std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(p.contains(just_above));
+    EXPECT_TRUE(p.contains(just_below));
+    // Genuinely outside values are still rejected.
+    EXPECT_FALSE(p.contains(1000001.1));
+    EXPECT_FALSE(p.contains(999998.9));
 }
 
 } // namespace

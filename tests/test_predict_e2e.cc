@@ -300,6 +300,49 @@ TEST(PredictE2E, ServerRejectsForeignAndOutOfSpaceQueries)
     ::unlink(path.c_str());
 }
 
+TEST(PredictE2E, MalformedQueryGetsWellFormedErrorServerSurvives)
+{
+    // A malformed PREDICT (wrong dimensionality, which now raises a
+    // typed error on the serve path instead of release-mode UB) must
+    // come back as a well-formed Error reply with a message naming
+    // the problem — and the server must keep serving afterwards.
+    const serve::ModelSnapshot snap = buildSnapshot(1, 100);
+    const std::string path = savedSnapshot(snap, "malq");
+    const std::string sock = uniqueSocket("malq");
+    serve::SimServer server(predictServer(sock, path));
+    server.start();
+
+    serve::PredictRequest bad;
+    bad.points = {dspace::DesignPoint(snap.space.size() + 3, 10.0)};
+    serve::FdGuard conn = serve::connectUnix(sock, 1000);
+    serve::writeFrame(conn.get(), serve::encodePredictRequest(bad),
+                      1000);
+    const serve::Frame err = serve::readFrame(conn.get(), 5000);
+    ASSERT_EQ(err.type, serve::MsgType::Error);
+    EXPECT_FALSE(serve::parseError(err.payload).message.empty());
+
+    // Boundary corners (inclusive-bound contract) answered correctly
+    // on a fresh connection after the malformed one.
+    dspace::DesignPoint lo, hi;
+    for (const dspace::Parameter &p : snap.space.params()) {
+        lo.push_back(p.minValue());
+        hi.push_back(p.maxValue());
+    }
+    serve::PredictRequest good;
+    good.points = {lo, hi};
+    serve::FdGuard conn2 = serve::connectUnix(sock, 1000);
+    serve::writeFrame(conn2.get(),
+                      serve::encodePredictRequest(good), 1000);
+    const serve::Frame reply = serve::readFrame(conn2.get(), 5000);
+    ASSERT_EQ(reply.type, serve::MsgType::PredictResponse);
+    const serve::PredictResponse resp =
+        serve::parsePredictResponse(reply.payload);
+    expectBitIdentical(resp.values,
+                       serve::predictWithSnapshot(snap, good.points));
+    server.stop();
+    ::unlink(path.c_str());
+}
+
 TEST(PredictE2E, ModelInfoDescribesHostedSnapshot)
 {
     const serve::ModelSnapshot snap = buildSnapshot(5, 100);

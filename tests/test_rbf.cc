@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "math/rng.hh"
 #include "rbf/rbf_rt.hh"
@@ -53,6 +54,69 @@ TEST(GaussianBasis, AnisotropicRadii)
     // Larger radius in dim 0 means slower decay along dim 0.
     GaussianBasis h({0.5, 0.5}, {1.0, 0.1});
     EXPECT_GT(h.evaluate({0.8, 0.5}), h.evaluate({0.5, 0.8}));
+}
+
+TEST(GaussianBasis, RejectsInvalidRadiiUnconditionally)
+{
+    // Throws even in release builds (this was an assert, i.e. a
+    // release-mode validation hole: 1/r^2 would poison predictions
+    // with inf/NaN).
+    const dspace::UnitPoint c{0.5, 0.5};
+    EXPECT_THROW(GaussianBasis(c, {0.0, 0.5}), std::invalid_argument);
+    EXPECT_THROW(GaussianBasis(c, {-0.1, 0.5}), std::invalid_argument);
+    EXPECT_THROW(GaussianBasis(c, {0.5, std::nan("")}),
+                 std::invalid_argument);
+    EXPECT_THROW(GaussianBasis(c, {0.5, INFINITY}),
+                 std::invalid_argument);
+}
+
+TEST(GaussianBasis, RejectsMalformedCenter)
+{
+    EXPECT_THROW(GaussianBasis({}, {}), std::invalid_argument);
+    EXPECT_THROW(GaussianBasis({0.5, 0.5}, {0.5}),
+                 std::invalid_argument);
+    EXPECT_THROW(GaussianBasis({0.5, std::nan("")}, {0.5, 0.5}),
+                 std::invalid_argument);
+}
+
+TEST(RbfNetwork, EmptyNetworkPredictThrowsTyped)
+{
+    // dimensions() == 0 for a default network while predict() used to
+    // hit an assert-only path: in release it read junk. Now typed.
+    const RbfNetwork net;
+    EXPECT_EQ(net.dimensions(), 0u);
+    EXPECT_TRUE(net.empty());
+    EXPECT_THROW(at(net, {0.5}), std::logic_error);
+    EXPECT_THROW(net.predict(std::vector<dspace::UnitPoint>{{0.5}}),
+                 std::logic_error);
+}
+
+TEST(RbfNetwork, DimensionMismatchThrowsTyped)
+{
+    std::vector<GaussianBasis> bases;
+    bases.emplace_back(dspace::UnitPoint{0.5, 0.5},
+                       std::vector<double>{0.5, 0.5});
+    const RbfNetwork net(bases, {1.0});
+    EXPECT_THROW(at(net, {0.5}), std::invalid_argument);
+    EXPECT_THROW(at(net, {0.5, 0.5, 0.5}), std::invalid_argument);
+    EXPECT_THROW(
+        net.predict(std::vector<dspace::UnitPoint>{{0.5, 0.5}, {0.5}}),
+        std::invalid_argument);
+}
+
+TEST(RbfNetwork, ConstructorValidatesShape)
+{
+    std::vector<GaussianBasis> bases;
+    bases.emplace_back(dspace::UnitPoint{0.5},
+                       std::vector<double>{0.5});
+    EXPECT_THROW(RbfNetwork({}, {}), std::invalid_argument);
+    EXPECT_THROW(RbfNetwork(bases, {1.0, 2.0}),
+                 std::invalid_argument);
+    std::vector<GaussianBasis> mixed = bases;
+    mixed.emplace_back(dspace::UnitPoint{0.5, 0.5},
+                       std::vector<double>{0.5, 0.5});
+    EXPECT_THROW(RbfNetwork(mixed, {1.0, 2.0}),
+                 std::invalid_argument);
 }
 
 TEST(RbfNetwork, SingleBasisPrediction)
