@@ -91,8 +91,15 @@ class RbfNetwork
 /**
  * Hidden-layer design matrix H with H(i, j) = h_j(xs[i]) for a set of
  * candidate bases. Column j corresponds to bases[j]. Evaluated
- * through a batched SoA plan (the trainer's criteria-scoring hot
- * loop); bit-identical to the per-element loop under PPM_SIMD=off.
+ * through a batched SoA plan; bit-identical to the per-element loop
+ * under PPM_SIMD=off.
+ *
+ * Compiles a fresh BatchPlan per call — an O(m * d) transpose,
+ * negligible next to the O(n * m * d) evaluation when every point is
+ * scored once (the trainer builds H once and scores candidate subsets
+ * off the Gram matrix). A caller that evaluates the *same* basis set
+ * against many batches should compile a BatchPlan once and use its
+ * designMatrix member instead.
  */
 math::Matrix designMatrix(const std::vector<GaussianBasis> &bases,
                           const std::vector<dspace::UnitPoint> &xs);

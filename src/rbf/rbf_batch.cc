@@ -744,7 +744,10 @@ basisRowNeon(const double *x, double *h, const double *centers,
              const double *inv_r_sq, std::size_t m, std::size_t dims,
              std::size_t padded)
 {
-    for (std::size_t jb = 0; jb < padded; jb += 2) {
+    // Stop at m, not padded: the caller's row holds exactly m
+    // doubles, so padding blocks must never be stored (the x86
+    // kernels guard the same way inside storeBlock/storeBlock8).
+    for (std::size_t jb = 0; jb < m; jb += 2) {
         float64x2_t e = vdupq_n_f64(0.0);
         for (std::size_t k = 0; k < dims; ++k) {
             const float64x2_t c = vld1q_f64(centers + k * padded + jb);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <deque>
+#include <stdexcept>
+#include <string>
 
 #include "tree/regression_tree.hh"
 
@@ -67,6 +69,15 @@ void
 FlatTree::leafIndicesBatch(const std::vector<dspace::UnitPoint> &xs,
                            std::vector<std::uint32_t> &idx) const
 {
+    // Checked unconditionally (not just assert): a short point would
+    // read xs[q][p] out of bounds in release builds. Typed to match
+    // RbfNetwork::predict so the serve path reports it the same way.
+    for (const auto &x : xs)
+        if (x.size() != dims_)
+            throw std::invalid_argument(
+                "tree::FlatTree: batch point has " +
+                std::to_string(x.size()) + " dimensions, tree has " +
+                std::to_string(dims_));
     idx.assign(xs.size(), 0);
     // Level-synchronous descent: every pass advances all queries one
     // level. Leaves self-reference, so queries that land early just

@@ -346,6 +346,43 @@ TEST(BatchPlanProperty, BasisRowsMatchWithinUlpBound)
     }
 }
 
+TEST(BatchPlanProperty, BasisRowNeverStoresPastBasisCount)
+{
+    // Regression test for an out-of-bounds store in the NEON kernel:
+    // padding blocks (jb >= m) were stored into the caller's row,
+    // which holds exactly m doubles. Rows here carry a sentinel guard
+    // region after m covering the full pad width, so a padding-block
+    // store is caught on every kernel even without asan. Constructing
+    // a plan with an uncompiled kind dispatches to scalar, so the
+    // kind loop exercises whichever kernels this build has (NEON on
+    // aarch64, AVX2/AVX-512 on x86).
+    constexpr double kSentinel = -1234.5;
+    constexpr std::size_t kGuard = 16; // >= pad width of every kernel
+    math::Rng rng(616);
+    for (SimdKind kind :
+         {SimdKind::Scalar, SimdKind::Avx2, SimdKind::Neon,
+          SimdKind::Avx512}) {
+        // Every tail residue against the 2/4/8-lane block widths.
+        for (std::size_t m : {std::size_t{1}, std::size_t{2},
+                              std::size_t{3}, std::size_t{5},
+                              std::size_t{7}, std::size_t{9},
+                              std::size_t{15}, std::size_t{16},
+                              std::size_t{17}, std::size_t{31}}) {
+            const std::size_t dims = 1 + rng.uniformInt(std::uint64_t{5});
+            const RandomNet net = randomNet(rng, m, dims);
+            const BatchPlan plan(net.bases, {}, kind);
+            std::vector<double> row(m + kGuard, kSentinel);
+            plan.basisRow(randomBatch(rng, 1, dims)[0], row.data());
+            for (std::size_t j = 0; j < m; ++j)
+                EXPECT_NE(row[j], kSentinel)
+                    << simdKindName(kind) << " m=" << m << " j=" << j;
+            for (std::size_t j = m; j < row.size(); ++j)
+                EXPECT_EQ(row[j], kSentinel)
+                    << simdKindName(kind) << " m=" << m << " j=" << j;
+        }
+    }
+}
+
 TEST(BatchPlanProperty, TinyRadiiUnderflowToExactZeroBothPaths)
 {
     // A far-away query with a tiny radius drives the exponent past

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "dspace/design_space.hh"
 #include "math/rng.hh"
@@ -390,6 +391,27 @@ TEST(FlatTree, SingleAndBatchedTraversalBitIdenticalToTree)
                              t.leafStd(queries[i]));
         }
     }
+}
+
+TEST(FlatTree, BatchDimensionMismatchThrows)
+{
+    // Checked unconditionally (not assert-only): a short point would
+    // read past its coordinates during the descent in release builds.
+    math::Rng rng(73);
+    std::vector<dspace::UnitPoint> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 32; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(rng.uniform());
+    }
+    const RegressionTree t(xs, ys, 4);
+    EXPECT_THROW(t.predictBatch({{0.5}}), std::invalid_argument);
+    EXPECT_THROW(t.leafStdBatch({{0.1, 0.2, 0.3}}),
+                 std::invalid_argument);
+    // A mismatch anywhere in the batch is rejected before descent.
+    EXPECT_THROW(t.flat().predictBatch({{0.1, 0.2}, {0.5}}),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(t.flat().leafStdBatch({{0.1, 0.2}}));
 }
 
 TEST(FlatTree, SingleNodeTree)
