@@ -526,6 +526,42 @@ BM_ObsSpanCompiledOut(benchmark::State &state)
 BENCHMARK(BM_ObsSpanCompiledOut);
 
 /**
+ * Distributed-tracing overhead at a representative propagation site:
+ * a trace root, one context hand-off (what the sharded client and the
+ * thread pool do per dispatch), and one nested span. The sample arg
+ * is PPM_TRACE_SAMPLE: 0 is the tracing-off guard — its delta over
+ * BM_ObsSpan is the cost tracing adds to an already-instrumented hot
+ * path, contractually one relaxed atomic load per site — 1 records
+ * every root (worst case), 128 is a production-like sampling rate.
+ * Committed sweeps live in bench_results/BENCH_obs_v2.json.
+ */
+void
+BM_TraceContextPropagate(benchmark::State &state)
+{
+    const auto every = static_cast<std::uint32_t>(state.range(0));
+    obs::setTraceSampleEvery(every);
+    obs::SpanBuffer::instance().clear();
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        obs::TraceRoot root("bench.trace_root");
+        const obs::TraceContext ctx = obs::currentTraceContext();
+        obs::ScopedTraceContext scope(ctx);
+        OBS_SPAN("bench.trace_child");
+        acc = acc * 2654435761u + ctx.trace_lo;
+        benchmark::DoNotOptimize(acc);
+    }
+    obs::setTraceSampleEvery(0);
+    obs::SpanBuffer::instance().clear();
+    state.SetLabel(every == 0 ? "tracing-off"
+                              : "sample-1-in-" +
+                                    std::to_string(every));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceContextPropagate)->ArgNames({"sample"})
+    ->Arg(0)->Arg(1)->Arg(128);
+
+/**
  * ThreadPool::forEach dispatch overhead on trivial items, grain=1
  * (legacy one-index-per-claim) versus grain=0 (auto chunking,
  * ~8 chunks per worker). The work per item is a few nanoseconds, so

@@ -57,12 +57,18 @@ ChromeTrace::record(const char *name, std::uint64_t start_ns,
                     std::uint64_t dur_ns)
 {
     const unsigned tid = threadSlot();
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (events_.size() >= kMaxEvents) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
-        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (events_.size() < kMaxEvents) {
+            events_.push_back({name, start_ns, dur_ns, tid});
+            return;
+        }
     }
-    events_.push_back({name, start_ns, dur_ns, tid});
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Surface the loss: a silent cap reads as "trace is complete".
+    static Counter &dropped_counter =
+        Registry::instance().counter("obs.trace.dropped");
+    dropped_counter.add(1);
 }
 
 void
@@ -89,7 +95,16 @@ ChromeTrace::flush()
             static_cast<double>(e.dur_ns) / 1e3);
         first = false;
     }
-    std::fprintf(out, "\n]}\n");
+    // Footer note so a capped buffer is visible in the trace itself
+    // (otherData shows up in the Perfetto/chrome://tracing metadata
+    // pane) instead of silently truncating the timeline.
+    const std::uint64_t dropped =
+        dropped_.load(std::memory_order_relaxed);
+    std::fprintf(out,
+                 "\n],\"otherData\":{\"ppm_dropped_events\":\"%llu\","
+                 "\"ppm_buffered_events\":\"%zu\"}}\n",
+                 static_cast<unsigned long long>(dropped),
+                 events_.size());
     std::fclose(out);
 }
 
@@ -98,6 +113,7 @@ reconfigureFromEnv()
 {
     EventLog::instance().configureFromEnv();
     ChromeTrace::instance().configureFromEnv();
+    traceConfigureFromEnv();
 }
 
 } // namespace ppm::obs

@@ -29,6 +29,7 @@
 
 #include "obs/event_log.hh"
 #include "obs/metrics.hh"
+#include "obs/trace_context.hh"
 
 namespace ppm::obs {
 
@@ -115,13 +116,30 @@ class SpanSite
     Histogram &hist_;
 };
 
-/** RAII timer: observes the scope duration on destruction. */
+/**
+ * RAII timer: observes the scope duration on destruction. When
+ * distributed tracing is runtime-enabled (PPM_TRACE_SAMPLE) and the
+ * thread's trace context is sampled, the span also joins the
+ * distributed span tree: it allocates a span id, re-parents the
+ * thread context for its dynamic extent, and records a SpanRecord at
+ * destruction. With tracing off this adds exactly one relaxed atomic
+ * load (tracingEnabled) to the span hot path.
+ */
 class ScopedSpan
 {
   public:
     explicit ScopedSpan(SpanSite &site)
         : site_(site), start_ns_(monotonicNs())
     {
+        if (tracingEnabled()) {
+            TraceContext &ctx = threadTraceContext();
+            if (ctx.sampled()) {
+                traced_ = true;
+                parent_span_id_ = ctx.parent_span_id;
+                span_id_ = nextSpanId();
+                ctx.parent_span_id = span_id_;
+            }
+        }
     }
 
     ~ScopedSpan()
@@ -131,6 +149,20 @@ class ScopedSpan
         ChromeTrace &trace = ChromeTrace::instance();
         if (trace.enabled())
             trace.record(site_.name(), start_ns_, dur);
+        if (traced_) {
+            TraceContext &ctx = threadTraceContext();
+            ctx.parent_span_id = parent_span_id_;
+            SpanRecord span;
+            span.trace_hi = ctx.trace_hi;
+            span.trace_lo = ctx.trace_lo;
+            span.span_id = span_id_;
+            span.parent_span_id = parent_span_id_;
+            span.name = site_.name();
+            span.start_unix_ns = start_ns_ + epochOffsetNs();
+            span.dur_ns = dur;
+            span.tid = threadSlot();
+            SpanBuffer::instance().record(span);
+        }
     }
 
     ScopedSpan(const ScopedSpan &) = delete;
@@ -139,6 +171,9 @@ class ScopedSpan
   private:
     SpanSite &site_;
     std::uint64_t start_ns_;
+    std::uint64_t span_id_ = 0;
+    std::uint64_t parent_span_id_ = 0;
+    bool traced_ = false;
 };
 
 /**

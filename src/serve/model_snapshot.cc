@@ -72,6 +72,10 @@ encodeSnapshot(const ModelSnapshot &snap)
     w.u32(snap.p_min);
     checkFinite(snap.alpha, "alpha");
     w.f64(snap.alpha);
+    checkFinite(snap.cv_error, "cv_error");
+    if (snap.cv_error < 0.0)
+        fail("negative cv_error");
+    w.f64(snap.cv_error);
 
     w.u32(static_cast<std::uint32_t>(dims));
     for (std::size_t k = 0; k < dims; ++k) {
@@ -158,7 +162,7 @@ decodeSnapshot(const std::uint8_t *data, std::size_t size)
         if (header.u32() != kSnapshotMagic)
             fail("bad magic");
         const std::uint16_t format = header.u16();
-        if (format != kSnapshotFormat)
+        if (format < kMinSnapshotFormat || format > kSnapshotFormat)
             fail("unsupported format version " +
                  std::to_string(format));
         if (header.u16() != 0)
@@ -191,6 +195,12 @@ decodeSnapshot(const std::uint8_t *data, std::size_t size)
         snap.p_min = r.u32();
         snap.alpha = r.f64();
         checkFinite(snap.alpha, "alpha");
+        if (format >= 2) {
+            snap.cv_error = r.f64();
+            checkFinite(snap.cv_error, "cv_error");
+            if (snap.cv_error < 0.0)
+                fail("negative cv_error");
+        }
 
         const std::uint32_t dims = r.u32();
         if (dims == 0 || dims > kMaxSnapshotDims)

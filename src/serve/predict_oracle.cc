@@ -55,6 +55,10 @@ PredictOracle::evaluateAll(
     if (n == 0)
         return out;
 
+    // Root of the distributed trace: when sampled, every chunk frame
+    // (and thus every shard-side span) inherits this trace id.
+    obs::TraceRoot trace_root("predict.evaluate_all");
+
     const std::size_t chunk = client_.options().chunk_points;
     const std::size_t num_chunks = (n + chunk - 1) / chunk;
     const std::size_t num_sockets = client_.numEndpoints();

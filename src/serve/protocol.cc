@@ -13,8 +13,10 @@ bool
 knownType(std::uint16_t t)
 {
     return t >= static_cast<std::uint16_t>(MsgType::EvalRequest) &&
-           t <= static_cast<std::uint16_t>(MsgType::ModelPushAck);
+           t <= static_cast<std::uint16_t>(MsgType::TraceResponse);
 }
+
+thread_local std::uint16_t t_wire_version = kVersion;
 
 std::vector<std::uint8_t>
 encodeNonce(MsgType type, std::uint64_t nonce)
@@ -35,20 +37,49 @@ parseNonce(const std::vector<std::uint8_t> &payload)
 
 } // namespace
 
+ScopedWireVersion::ScopedWireVersion(std::uint16_t version)
+    : saved_(t_wire_version)
+{
+    if (version < kMinVersion || version > kVersion)
+        throw ProtocolError("unsupported wire version " +
+                            std::to_string(version));
+    t_wire_version = version;
+}
+
+ScopedWireVersion::~ScopedWireVersion() { t_wire_version = saved_; }
+
+std::uint16_t
+wireVersion()
+{
+    return t_wire_version;
+}
+
 std::vector<std::uint8_t>
 encodeFrame(MsgType type, const std::vector<std::uint8_t> &payload)
 {
     if (payload.size() > kMaxPayload)
         throw ProtocolError("payload exceeds kMaxPayload");
+    const std::uint16_t version = t_wire_version;
     PayloadWriter w;
     w.u32(kMagic);
-    w.u16(kVersion);
+    w.u16(version);
     w.u16(static_cast<std::uint16_t>(type));
     w.u32(static_cast<std::uint32_t>(payload.size()));
+    if (version >= 4) {
+        // The trace block is CRC-covered header material: the CRC
+        // runs over trace block + payload, so corrupted trace bytes
+        // are rejected exactly like corrupted payload bytes.
+        const obs::TraceContext ctx = obs::currentTraceContext();
+        w.u64(ctx.trace_hi);
+        w.u64(ctx.trace_lo);
+        w.u64(ctx.parent_span_id);
+        w.u8(ctx.flags);
+    }
     std::vector<std::uint8_t> frame = w.take();
     frame.insert(frame.end(), payload.begin(), payload.end());
     PayloadWriter trailer;
-    trailer.u32(util::crc32(payload.data(), payload.size()));
+    trailer.u32(util::crc32(frame.data() + kHeaderSize,
+                            frame.size() - kHeaderSize));
     const auto crc = trailer.take();
     frame.insert(frame.end(), crc.begin(), crc.end());
     return frame;
@@ -63,9 +94,10 @@ decodeHeader(const std::uint8_t *data, std::size_t size)
     if (r.u32() != kMagic)
         throw ProtocolError("bad frame magic");
     const std::uint16_t version = r.u16();
-    if (version != kVersion)
+    if (version < kMinVersion || version > kVersion)
         throw ProtocolError("protocol version mismatch: got " +
                             std::to_string(version) + ", want " +
+                            std::to_string(kMinVersion) + ".." +
                             std::to_string(kVersion));
     const std::uint16_t type = r.u16();
     if (!knownType(type))
@@ -75,27 +107,39 @@ decodeHeader(const std::uint8_t *data, std::size_t size)
     if (payload_len > kMaxPayload)
         throw ProtocolError("frame payload oversized: " +
                             std::to_string(payload_len) + " bytes");
-    return FrameHeader{static_cast<MsgType>(type), payload_len};
+    return FrameHeader{static_cast<MsgType>(type), version,
+                       payload_len};
 }
 
 Frame
 decodeFrame(const std::uint8_t *data, std::size_t size)
 {
     const FrameHeader header = decodeHeader(data, size);
-    const std::size_t want =
-        kHeaderSize + header.payload_len + kTrailerSize;
+    const std::size_t trace_size = traceBlockSize(header.version);
+    const std::size_t want = kHeaderSize + trace_size +
+                             header.payload_len + kTrailerSize;
     if (size < want)
         throw ProtocolError("frame truncated");
     if (size > want)
         throw ProtocolError("trailing bytes after frame");
-    const std::uint8_t *payload = data + kHeaderSize;
+    const std::uint8_t *body = data + kHeaderSize;
+    const std::uint8_t *payload = body + trace_size;
     PayloadReader trailer(payload + header.payload_len, kTrailerSize);
     const std::uint32_t want_crc = trailer.u32();
-    if (util::crc32(payload, header.payload_len) != want_crc)
+    if (util::crc32(body, trace_size + header.payload_len) != want_crc)
         throw ProtocolError("frame CRC mismatch");
-    return Frame{header.type,
-                 std::vector<std::uint8_t>(
-                     payload, payload + header.payload_len)};
+    Frame frame;
+    frame.type = header.type;
+    frame.version = header.version;
+    if (trace_size != 0) {
+        PayloadReader t(body, trace_size);
+        frame.trace.trace_hi = t.u64();
+        frame.trace.trace_lo = t.u64();
+        frame.trace.parent_span_id = t.u64();
+        frame.trace.flags = t.u8();
+    }
+    frame.payload.assign(payload, payload + header.payload_len);
+    return frame;
 }
 
 Frame
@@ -532,6 +576,90 @@ parseModelPushAck(const std::vector<std::uint8_t> &payload)
     ack.message = r.str();
     r.expectEnd();
     return ack;
+}
+
+std::vector<std::uint8_t>
+encodeTraceRequest(const TraceRequest &req)
+{
+    PayloadWriter w;
+    w.u64(req.nonce);
+    w.u8(req.drain ? 1 : 0);
+    return encodeFrame(MsgType::TraceRequest, w.take());
+}
+
+TraceRequest
+parseTraceRequest(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    TraceRequest req;
+    req.nonce = r.u64();
+    const std::uint8_t drain = r.u8();
+    if (drain > 1)
+        throw ProtocolError("bad drain flag in trace request");
+    req.drain = drain == 1;
+    r.expectEnd();
+    return req;
+}
+
+std::vector<std::uint8_t>
+encodeTraceResponse(const TraceDump &dump)
+{
+    if (dump.spans.size() > kMaxTraceSpans)
+        throw ProtocolError("too many spans in trace response");
+    PayloadWriter w;
+    w.u16(kTraceVersion);
+    w.u32(dump.pid);
+    w.u64(dump.dropped);
+    w.str(dump.endpoint.size() <= kMaxString
+              ? dump.endpoint
+              : dump.endpoint.substr(0, kMaxString));
+    w.u32(static_cast<std::uint32_t>(dump.spans.size()));
+    for (const TraceSpan &s : dump.spans) {
+        w.u64(s.trace_hi);
+        w.u64(s.trace_lo);
+        w.u64(s.span_id);
+        w.u64(s.parent_span_id);
+        w.str(s.name.size() <= kMaxString
+                  ? s.name
+                  : s.name.substr(0, kMaxString));
+        w.u64(s.start_unix_ns);
+        w.u64(s.dur_ns);
+        w.u32(s.tid);
+    }
+    return encodeFrame(MsgType::TraceResponse, w.take());
+}
+
+TraceDump
+parseTraceResponse(const std::vector<std::uint8_t> &payload)
+{
+    PayloadReader r(payload.data(), payload.size());
+    const std::uint16_t version = r.u16();
+    if (version != kTraceVersion)
+        throw ProtocolError("trace schema version mismatch: got " +
+                            std::to_string(version) + ", want " +
+                            std::to_string(kTraceVersion));
+    TraceDump dump;
+    dump.pid = r.u32();
+    dump.dropped = r.u64();
+    dump.endpoint = r.str();
+    const std::uint32_t n = r.u32();
+    if (n > kMaxTraceSpans)
+        throw ProtocolError("too many spans in trace response");
+    dump.spans.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        TraceSpan s;
+        s.trace_hi = r.u64();
+        s.trace_lo = r.u64();
+        s.span_id = r.u64();
+        s.parent_span_id = r.u64();
+        s.name = r.str();
+        s.start_unix_ns = r.u64();
+        s.dur_ns = r.u64();
+        s.tid = r.u32();
+        dump.spans.push_back(std::move(s));
+    }
+    r.expectEnd();
+    return dump;
 }
 
 } // namespace ppm::serve

@@ -7,12 +7,23 @@
  * Frame layout (all integers little-endian):
  *
  *     u32  magic        'PPMS' (0x50504D53)
- *     u16  version      kVersion; mismatches are rejected
+ *     u16  version      kMinVersion..kVersion; others are rejected
  *     u16  type         MsgType
  *     u32  payload_len  <= kMaxPayload; oversized frames are rejected
  *                       before any allocation
+ *     u8   trace[25]    v4+ only: trace context block (see below)
  *     u8   payload[payload_len]
- *     u32  crc          CRC-32 of the payload bytes
+ *     u32  crc          CRC-32 of trace block + payload (v4+), or of
+ *                       the payload alone (v3)
+ *
+ * v4 extends the header with a W3C-traceparent-style trace context —
+ * u64 trace_id_hi, u64 trace_id_lo, u64 parent_span_id, u8 flags
+ * (bit 0 = sampled) — present in every v4 frame (all-zero when no
+ * trace is active) so framing stays fixed-size per version. The block
+ * is covered by the frame CRC, so corrupted trace bytes are rejected
+ * exactly like corrupted payload bytes. v3 frames (no trace block)
+ * are still accepted and replied to in kind: a v3 poller can sit on a
+ * v4 server (see ScopedWireVersion).
  *
  * This layer is pure buffer encoding/decoding — no I/O — so malformed
  * frames can be unit-tested byte by byte. Every decode path
@@ -31,6 +42,7 @@
 #include "core/oracle.hh"
 #include "dspace/design_space.hh"
 #include "obs/metrics.hh"
+#include "obs/trace_context.hh"
 
 namespace ppm::serve {
 
@@ -45,14 +57,28 @@ class ProtocolError : public std::runtime_error
 inline constexpr std::uint32_t kMagic = 0x50504D53u; // "PPMS"
 
 /**
- * Protocol version carried in (and required of) every frame.
+ * Protocol version of frames this build emits by default.
  * v2 added the Stats request/response pair; v3 added the PREDICT and
- * MODEL frame families of the prediction-serving plane.
+ * MODEL frame families of the prediction-serving plane; v4 added the
+ * trace-context header block and the TRACE frame pair.
  */
-inline constexpr std::uint16_t kVersion = 3;
+inline constexpr std::uint16_t kVersion = 4;
+
+/** Oldest version still accepted (v3 pollers poll v4 servers). */
+inline constexpr std::uint16_t kMinVersion = 3;
 
 /** Bytes before the payload: magic + version + type + payload_len. */
 inline constexpr std::size_t kHeaderSize = 12;
+
+/** v4+ trace block: trace_id hi/lo + parent_span_id + flags. */
+inline constexpr std::size_t kTraceBlockSize = 25;
+
+/** Bytes of trace block between header and payload for @p version. */
+inline constexpr std::size_t
+traceBlockSize(std::uint16_t version)
+{
+    return version >= 4 ? kTraceBlockSize : 0;
+}
 
 /** Bytes after the payload: the payload CRC. */
 inline constexpr std::size_t kTrailerSize = 4;
@@ -84,6 +110,12 @@ inline constexpr std::uint32_t kMaxStatsBuckets = 64;
  */
 inline constexpr std::uint32_t kMaxModelBytes = 8u << 20;
 
+/** Schema version of the Trace payload (inside-payload, like Stats). */
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/** Hard cap on spans in one TraceResponse. */
+inline constexpr std::uint32_t kMaxTraceSpans = 1u << 16;
+
 enum class MsgType : std::uint16_t
 {
     EvalRequest = 1,   //!< evaluate a batch of design points
@@ -100,6 +132,9 @@ enum class MsgType : std::uint16_t
     ModelInfoResponse = 11, //!< loaded-model metadata/version
     ModelPush = 12,        //!< push a snapshot image for hot-swap
     ModelPushAck = 13,     //!< result of a ModelPush
+    // v4: distributed tracing.
+    TraceRequest = 14,  //!< pull the server's sampled-span buffer
+    TraceResponse = 15, //!< span buffer, stamped with pid/endpoint
 };
 
 /** A batch of design points to evaluate on a benchmark trace. */
@@ -187,10 +222,41 @@ struct ModelPushAck
     std::string message;
 };
 
-/** A decoded frame: its type and raw payload bytes. */
+/** One span pulled over the wire (TraceResponse body). */
+struct TraceSpan
+{
+    std::uint64_t trace_hi = 0;
+    std::uint64_t trace_lo = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_span_id = 0;
+    std::string name;
+    std::uint64_t start_unix_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;
+};
+
+/** Ask a server for its sampled spans. */
+struct TraceRequest
+{
+    std::uint64_t nonce = 0;
+    bool drain = false; //!< true: clear the server buffer after copy
+};
+
+/** A server's span buffer, stamped for cross-process merging. */
+struct TraceDump
+{
+    std::uint32_t pid = 0;
+    std::uint64_t dropped = 0;  //!< spans lost to the buffer cap
+    std::string endpoint;       //!< server's listen spec ("" = local)
+    std::vector<TraceSpan> spans;
+};
+
+/** A decoded frame: its type, trace context and raw payload bytes. */
 struct Frame
 {
     MsgType type = MsgType::Error;
+    std::uint16_t version = kVersion; //!< wire version it arrived in
+    obs::TraceContext trace;          //!< zero for v3 frames
     std::vector<std::uint8_t> payload;
 };
 
@@ -198,8 +264,30 @@ struct Frame
 struct FrameHeader
 {
     MsgType type = MsgType::Error;
+    std::uint16_t version = kVersion;
     std::uint32_t payload_len = 0;
 };
+
+/**
+ * Pin the wire version encodeFrame() emits on this thread for a
+ * scope — how a v4 server answers a v3 poller in v3 so the old
+ * binary can parse the reply.
+ */
+class ScopedWireVersion
+{
+  public:
+    explicit ScopedWireVersion(std::uint16_t version);
+    ~ScopedWireVersion();
+
+    ScopedWireVersion(const ScopedWireVersion &) = delete;
+    ScopedWireVersion &operator=(const ScopedWireVersion &) = delete;
+
+  private:
+    std::uint16_t saved_;
+};
+
+/** The version encodeFrame() currently emits on this thread. */
+std::uint16_t wireVersion();
 
 // --- encoding ---------------------------------------------------------
 
@@ -219,6 +307,8 @@ std::vector<std::uint8_t> encodeModelInfoResponse(const ModelInfo &info);
 std::vector<std::uint8_t> encodeModelPush(
     const std::vector<std::uint8_t> &snapshot_bytes);
 std::vector<std::uint8_t> encodeModelPushAck(const ModelPushAck &ack);
+std::vector<std::uint8_t> encodeTraceRequest(const TraceRequest &req);
+std::vector<std::uint8_t> encodeTraceResponse(const TraceDump &dump);
 
 /** Frame an arbitrary payload (building block of the encoders). */
 std::vector<std::uint8_t> encodeFrame(
@@ -258,6 +348,10 @@ ModelInfo parseModelInfoResponse(
 std::vector<std::uint8_t> parseModelPush(
     const std::vector<std::uint8_t> &payload);
 ModelPushAck parseModelPushAck(
+    const std::vector<std::uint8_t> &payload);
+TraceRequest parseTraceRequest(
+    const std::vector<std::uint8_t> &payload);
+TraceDump parseTraceResponse(
     const std::vector<std::uint8_t> &payload);
 
 } // namespace ppm::serve

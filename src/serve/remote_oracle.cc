@@ -66,6 +66,10 @@ RemoteOracle::evaluateAll(
     if (n == 0)
         return out;
 
+    // Root of the distributed trace: when sampled, every chunk frame
+    // (and thus every shard-side span) inherits this trace id.
+    obs::TraceRoot trace_root("remote.evaluate_all");
+
     const std::size_t chunk = client_.options().chunk_points;
     const std::size_t num_chunks = (n + chunk - 1) / chunk;
     const std::size_t num_sockets = client_.numEndpoints();

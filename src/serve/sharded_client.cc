@@ -157,13 +157,17 @@ ShardedClient::forEachChunk(std::size_t num_chunks,
     }
 
     // Dedicated dispatch threads (see file comment); thread t owns
-    // chunks t, t+T, t+2T, ... so slot writes never overlap.
+    // chunks t, t+T, t+2T, ... so slot writes never overlap. The
+    // caller's trace context is re-installed in each thread so chunk
+    // frames carry the request's trace id to the shards.
+    const obs::TraceContext trace = obs::currentTraceContext();
     std::exception_ptr first_error;
     std::mutex error_mutex;
     std::vector<std::thread> threads;
     threads.reserve(num_threads);
     for (std::size_t t = 0; t < num_threads; ++t) {
         threads.emplace_back([&, t] {
+            obs::ScopedTraceContext trace_scope(trace);
             try {
                 for (std::size_t c = t; c < num_chunks;
                      c += num_threads)

@@ -56,6 +56,7 @@ SimServer::SimServer(ServerOptions options)
     if (options_.cache_mb != 0)
         cache_config.budget_bytes = options_.cache_mb * 1024 * 1024;
     cache_ = std::make_shared<cache::ResultCache>(cache_config);
+    drift_.configure(options_.drift);
 }
 
 SimServer::~SimServer()
@@ -137,6 +138,16 @@ SimServer::oracleCount() const
 {
     std::lock_guard<std::mutex> lock(backends_mutex_);
     return backends_.size();
+}
+
+std::int64_t
+SimServer::contextIdFor(const std::string &sim_key)
+{
+    std::lock_guard<std::mutex> lock(backends_mutex_);
+    const auto [it, inserted] = sim_context_ids_.try_emplace(
+        sim_key, static_cast<std::int64_t>(sim_context_ids_.size()));
+    (void)inserted;
+    return it->second;
 }
 
 SimServer::Backend &
@@ -251,6 +262,22 @@ SimServer::handlePredict(const Frame &frame)
     PredictResponse resp;
     resp.model_version = model->model_version;
     resp.values = predictWithSnapshot(*model, req.points, req.model);
+    if (drift_.enabled() && req.model == ModelKind::Rbf) {
+        // Shadow-check a deterministic sample of the served values
+        // against ground truth already in the shared cache; the
+        // context word is exactly what an EvalRequest for the
+        // snapshot's simulation context would memoize under.
+        const std::string sim_key =
+            model->benchmark + "|t" +
+            std::to_string(model->trace_length) + "|w" +
+            std::to_string(model->warmup);
+        drift_.observeBatch(
+            *cache_,
+            cache::contextWord(contextIdFor(sim_key),
+                               core::metricIndex(model->metric)),
+            model->model_version, model->cv_error, req.points,
+            resp.values);
+    }
     requests_.fetch_add(1, std::memory_order_relaxed);
     if (options_.verbose)
         std::fprintf(stderr,
@@ -304,6 +331,79 @@ SimServer::handleModelPush(const Frame &frame)
     return encodeModelPushAck(ack);
 }
 
+std::vector<std::uint8_t>
+SimServer::handleTrace(const Frame &frame)
+{
+    const TraceRequest req = parseTraceRequest(frame.payload);
+    TraceDump dump;
+    dump.pid = static_cast<std::uint32_t>(::getpid());
+    obs::SpanBuffer &buffer = obs::SpanBuffer::instance();
+    std::vector<obs::SpanRecord> spans = buffer.snapshot(req.drain);
+    dump.dropped = buffer.droppedCount();
+    if (spans.size() > kMaxTraceSpans) {
+        // Ship the newest spans; the overflow joins the drop count.
+        dump.dropped += spans.size() - kMaxTraceSpans;
+        spans.erase(spans.begin(),
+                    spans.end() - static_cast<std::ptrdiff_t>(
+                                      kMaxTraceSpans));
+    }
+    dump.endpoint = endpointSpec();
+    dump.spans.reserve(spans.size());
+    for (const obs::SpanRecord &s : spans) {
+        TraceSpan out;
+        out.trace_hi = s.trace_hi;
+        out.trace_lo = s.trace_lo;
+        out.span_id = s.span_id;
+        out.parent_span_id = s.parent_span_id;
+        out.name = s.name;
+        out.start_unix_ns = s.start_unix_ns;
+        out.dur_ns = s.dur_ns;
+        out.tid = s.tid;
+        dump.spans.push_back(std::move(out));
+    }
+    return encodeTraceResponse(dump);
+}
+
+namespace {
+
+/** Per-frame-family SLO latency histogram (served request time). */
+obs::Histogram &
+sloHistogramFor(MsgType type)
+{
+    auto &reg = obs::Registry::instance();
+    static obs::Histogram &eval = reg.histogram("slo.eval");
+    static obs::Histogram &predict = reg.histogram("slo.predict");
+    static obs::Histogram &stats = reg.histogram("slo.stats");
+    static obs::Histogram &model = reg.histogram("slo.model");
+    static obs::Histogram &other = reg.histogram("slo.other");
+    switch (type) {
+      case MsgType::EvalRequest:
+        return eval;
+      case MsgType::PredictRequest:
+        return predict;
+      case MsgType::StatsRequest:
+        return stats;
+      case MsgType::ModelInfoRequest:
+      case MsgType::ModelPush:
+        return model;
+      default:
+        return other;
+    }
+}
+
+/** Is this encoded reply an Error frame? (type field at offset 6) */
+bool
+isErrorReply(const std::vector<std::uint8_t> &reply)
+{
+    if (reply.size() < kHeaderSize)
+        return false;
+    const std::uint16_t type = static_cast<std::uint16_t>(
+        reply[6] | (static_cast<std::uint16_t>(reply[7]) << 8));
+    return type == static_cast<std::uint16_t>(MsgType::Error);
+}
+
+} // namespace
+
 void
 SimServer::serveConnection(int fd)
 {
@@ -315,6 +415,9 @@ SimServer::serveConnection(int fd)
             break; // EOF, timeout or reset: drop the connection
         } catch (const ProtocolError &e) {
             // Framing is lost; report once and drop the connection.
+            OBS_STATIC_COUNTER(protocol_errors,
+                               "slo.errors.protocol");
+            OBS_ADD(protocol_errors, 1);
             try {
                 writeFrame(fd, encodeError({e.what()}),
                            options_.io_timeout_ms);
@@ -322,6 +425,15 @@ SimServer::serveConnection(int fd)
             }
             break;
         }
+
+        // The requester's trace context rides the v4 header: install
+        // it so every span this request touches (cache, RBF kernel,
+        // nested oracles) joins the distributed trace. The reply is
+        // encoded in the requester's wire version, so a v3 poller
+        // gets v3 frames back from a v4 server.
+        obs::ScopedTraceContext trace_scope(frame.trace);
+        ScopedWireVersion wire_version(frame.version);
+        const std::uint64_t slo_start = obs::monotonicNs();
 
         std::vector<std::uint8_t> reply;
         switch (frame.type) {
@@ -382,13 +494,28 @@ SimServer::serveConnection(int fd)
                 reply = encodeError({e.what()});
             }
             break;
+          case MsgType::TraceRequest:
+            try {
+                reply = handleTrace(frame);
+            } catch (const ProtocolError &e) {
+                reply = encodeError({e.what()});
+            }
+            break;
           default:
             reply = encodeError({"unexpected message type"});
             break;
         }
+        sloHistogramFor(frame.type).observe(obs::monotonicNs() -
+                                            slo_start);
+        if (isErrorReply(reply)) {
+            OBS_STATIC_COUNTER(error_replies, "slo.errors.replies");
+            OBS_ADD(error_replies, 1);
+        }
         try {
             writeFrame(fd, reply, options_.io_timeout_ms);
         } catch (const IoError &) {
+            OBS_STATIC_COUNTER(io_errors, "slo.errors.io");
+            OBS_ADD(io_errors, 1);
             break;
         }
     }

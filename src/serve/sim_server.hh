@@ -43,6 +43,7 @@
 #include "cache/result_cache.hh"
 #include "core/oracle.hh"
 #include "dspace/design_space.hh"
+#include "serve/drift_monitor.hh"
 #include "serve/model_host.hh"
 #include "serve/protocol.hh"
 #include "serve/socket_io.hh"
@@ -93,6 +94,11 @@ struct ServerOptions
      * only in Metric share each other's simulations.
      */
     std::size_t cache_mb = 0;
+    /**
+     * Model-drift monitoring of served PREDICT queries (off unless
+     * drift.sample_every > 0); see drift_monitor.hh.
+     */
+    DriftOptions drift;
 };
 
 class SimServer
@@ -157,6 +163,9 @@ class SimServer
     /** The shared result cache every backend memoizes through. */
     const cache::ResultCache &resultCache() const { return *cache_; }
 
+    /** The PREDICT shadow-sampling drift monitor (tests inspect it). */
+    const DriftMonitor &driftMonitor() const { return drift_; }
+
   private:
     /** One benchmark-trace oracle and the trace backing it. */
     struct Backend
@@ -172,6 +181,9 @@ class SimServer
     std::vector<std::uint8_t> handlePredict(const Frame &frame);
     std::vector<std::uint8_t> handleModelInfo(const Frame &frame);
     std::vector<std::uint8_t> handleModelPush(const Frame &frame);
+    std::vector<std::uint8_t> handleTrace(const Frame &frame);
+    /** Cache context id of a simulation context key (allocating). */
+    std::int64_t contextIdFor(const std::string &sim_key);
 
     ServerOptions options_;
     dspace::DesignSpace space_;
@@ -198,6 +210,7 @@ class SimServer
 
     std::atomic<std::uint64_t> requests_{0};
     ModelHost model_host_;
+    DriftMonitor drift_;
 };
 
 } // namespace ppm::serve

@@ -24,6 +24,9 @@ struct ThreadPool::Job
 {
     std::size_t n = 0;
     const std::function<void(std::size_t)> *fn = nullptr;
+    /** Submitter's trace context, re-installed in each runner so
+     * spans inside tasks join the submitting request's trace. */
+    obs::TraceContext trace;
     std::size_t grain = 1;  //!< indices claimed per mutex acquisition
     std::size_t next = 0;   //!< first index not yet claimed
     std::size_t active = 0; //!< runners currently inside fn
@@ -93,6 +96,7 @@ ThreadPool::forEach(std::size_t n,
     auto job = std::make_shared<Job>();
     job->n = n;
     job->fn = &fn;
+    job->trace = obs::currentTraceContext();
     // Auto grain: ~8 chunks per worker balances dispatch overhead
     // against load-balancing slack for uneven item costs.
     job->grain = grain != 0
@@ -131,11 +135,14 @@ ThreadPool::runJob(const std::shared_ptr<Job> &job)
         }
         std::exception_ptr error;
         t_inside_task = true;
-        try {
-            for (std::size_t i = begin; i < end; ++i)
-                (*job->fn)(i);
-        } catch (...) {
-            error = std::current_exception();
+        {
+            obs::ScopedTraceContext trace_scope(job->trace);
+            try {
+                for (std::size_t i = begin; i < end; ++i)
+                    (*job->fn)(i);
+            } catch (...) {
+                error = std::current_exception();
+            }
         }
         t_inside_task = false;
         {

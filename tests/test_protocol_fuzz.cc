@@ -298,7 +298,7 @@ const Mutator kMutators[] = {
              rng.bernoulli(0.25)
                  ? 0
                  : static_cast<std::uint16_t>(
-                       14 + rng.uniformInt(0x10000 - 14));
+                       16 + rng.uniformInt(0x10000 - 16));
          putU16(m, kTypeOffset, t);
          return m;
      }},
@@ -374,9 +374,9 @@ TEST(ProtocolFuzz, Version1FramesAreRejected)
 TEST(ProtocolFuzz, HeaderRejectsEveryUnknownTypeCode)
 {
     // Exhaustive, not sampled: all 2^16 type codes against a valid
-    // frame; exactly the thirteen known codes may pass the header
-    // check (v3: Eval/Error/nonce/Stats plus the PREDICT and MODEL
-    // families).
+    // frame; exactly the fifteen known codes may pass the header
+    // check (Eval/Error/nonce/Stats plus the PREDICT and MODEL
+    // families, plus the v4 TRACE pair).
     const Bytes frame = serve::encodePing(1);
     int accepted = 0;
     for (std::uint32_t t = 0; t < 0x10000; ++t) {
@@ -386,11 +386,11 @@ TEST(ProtocolFuzz, HeaderRejectsEveryUnknownTypeCode)
             (void)serve::decodeHeader(m.data(), m.size());
             ++accepted;
             EXPECT_GE(t, 1u);
-            EXPECT_LE(t, 13u);
+            EXPECT_LE(t, 15u);
         } catch (const serve::ProtocolError &) {
         }
     }
-    EXPECT_EQ(accepted, 13);
+    EXPECT_EQ(accepted, 15);
 }
 
 TEST(ProtocolFuzz, EveryTruncationLengthIsRejected)

@@ -107,7 +107,7 @@ walkLayout(const Bytes &image)
         return v;
     };
     off += 4 + u32at(off);   // str benchmark
-    off += 2 + 8 + 8 + 4 + 4 + 8; // metric..alpha
+    off += 2 + 8 + 8 + 4 + 4 + 8 + 8; // metric..alpha, cv_error
     Layout l;
     l.dims_off = off;
     l.dims = u32at(off);
@@ -153,6 +153,7 @@ buildSnapshot(const dspace::DesignSpace &space, int num_bases,
     snap.train_points = static_cast<std::uint32_t>(num_bases);
     snap.p_min = 2;
     snap.alpha = 1.5;
+    snap.cv_error = 0.04;
     snap.space = space;
     snap.network =
         rbf::RbfNetwork(std::move(bases), std::move(weights));

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Distributed trace-context unit suite: deterministic 1-in-N root
+ * sampling, span parenting through nested ScopedSpans and the thread
+ * pool, SpanBuffer overflow accounting, the v4 frame trace block
+ * (round trip + propagation into encoded frames), and wire-version
+ * skew — a v3 poller against a v4 server must get v3 frames back and
+ * STATS snapshots from mixed-version servers must merge cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+#include "obs/trace_context.hh"
+#include "obs/trace_span.hh"
+#include "serve/protocol.hh"
+#include "util/thread_pool.hh"
+
+namespace {
+
+using namespace ppm;
+
+/** RAII: enable tracing for one test, restore "off" after. */
+struct TracingOn
+{
+    explicit TracingOn(std::uint32_t every)
+    {
+        obs::SpanBuffer::instance().clear();
+        obs::setTraceSampleEvery(every);
+    }
+    ~TracingOn()
+    {
+        obs::setTraceSampleEvery(0);
+        obs::SpanBuffer::instance().clear();
+        obs::threadTraceContext() = obs::TraceContext{};
+    }
+};
+
+TEST(TraceContext, DisabledRootInstallsNothing)
+{
+    obs::setTraceSampleEvery(0);
+    obs::TraceRoot root("test.root");
+    EXPECT_FALSE(root.context().valid());
+    EXPECT_FALSE(obs::tracingEnabled());
+}
+
+TEST(TraceContext, EveryRootSampledAtPeriodOne)
+{
+    TracingOn tracing(1);
+    for (int i = 0; i < 5; ++i) {
+        obs::TraceRoot root("test.root");
+        EXPECT_TRUE(root.context().sampled());
+        EXPECT_NE(root.context().parent_span_id, 0u);
+    }
+    // Each root is a distinct trace...
+    const auto spans = obs::SpanBuffer::instance().snapshot();
+    ASSERT_EQ(spans.size(), 5u);
+    for (std::size_t i = 1; i < spans.size(); ++i)
+        EXPECT_NE(spans[i].trace_lo, spans[0].trace_lo);
+    // ...and root spans have no parent.
+    for (const auto &s : spans)
+        EXPECT_EQ(s.parent_span_id, 0u);
+}
+
+TEST(TraceContext, OneInNSamplingIsPeriodic)
+{
+    // The root counter is process-global (never reset), so assert the
+    // period property over a window rather than absolute positions:
+    // any 3k consecutive roots contain exactly k sampled ones, and
+    // the sampled positions are congruent mod 3.
+    TracingOn tracing(3);
+    std::vector<int> sampled_at;
+    constexpr int kRoots = 12;
+    for (int i = 0; i < kRoots; ++i) {
+        obs::TraceRoot root("test.root");
+        if (root.context().sampled())
+            sampled_at.push_back(i);
+    }
+    ASSERT_EQ(sampled_at.size(), kRoots / 3);
+    for (std::size_t i = 1; i < sampled_at.size(); ++i)
+        EXPECT_EQ(sampled_at[i] - sampled_at[i - 1], 3);
+}
+
+TEST(TraceContext, NestedSpansFormAParentChain)
+{
+    TracingOn tracing(1);
+    {
+        obs::TraceRoot root("test.root");
+        ASSERT_TRUE(root.context().sampled());
+        OBS_SPAN("test.outer");
+        {
+            OBS_SPAN("test.inner");
+        }
+    }
+    const auto spans = obs::SpanBuffer::instance().snapshot();
+    ASSERT_EQ(spans.size(), 3u); // inner, outer, root (closing order)
+    const auto &inner = spans[0];
+    const auto &outer = spans[1];
+    const auto &root = spans[2];
+    EXPECT_STREQ(inner.name, "test.inner");
+    EXPECT_STREQ(outer.name, "test.outer");
+    EXPECT_STREQ(root.name, "test.root");
+    EXPECT_EQ(inner.parent_span_id, outer.span_id);
+    EXPECT_EQ(outer.parent_span_id, root.span_id);
+    EXPECT_EQ(root.parent_span_id, 0u);
+    // One trace id across the tree.
+    EXPECT_EQ(inner.trace_hi, root.trace_hi);
+    EXPECT_EQ(inner.trace_lo, root.trace_lo);
+    EXPECT_EQ(outer.trace_lo, root.trace_lo);
+}
+
+TEST(TraceContext, ScopedContextInstallsAndRestores)
+{
+    TracingOn tracing(1);
+    obs::TraceContext wire;
+    wire.trace_hi = 0xabcd;
+    wire.trace_lo = 0x1234;
+    wire.parent_span_id = 77;
+    wire.flags = obs::kTraceFlagSampled;
+    {
+        obs::ScopedTraceContext scope(wire);
+        EXPECT_EQ(obs::currentTraceContext().trace_hi, 0xabcdu);
+        OBS_SPAN("test.under_wire_context");
+    }
+    EXPECT_FALSE(obs::currentTraceContext().valid());
+    const auto spans = obs::SpanBuffer::instance().snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].trace_hi, 0xabcdu);
+    EXPECT_EQ(spans[0].trace_lo, 0x1234u);
+    EXPECT_EQ(spans[0].parent_span_id, 77u);
+    // An invalid context is a no-op install.
+    obs::ScopedTraceContext noop(obs::TraceContext{});
+    EXPECT_FALSE(obs::currentTraceContext().valid());
+}
+
+TEST(TraceContext, ThreadPoolTasksInheritTheSubmittersTrace)
+{
+    TracingOn tracing(1);
+    obs::TraceRoot root("test.root");
+    ASSERT_TRUE(root.context().sampled());
+    const std::uint64_t want_lo = root.context().trace_lo;
+    std::vector<std::uint64_t> seen(16, 0);
+    util::parallelFor(seen.size(), [&](std::size_t i) {
+        seen[i] = obs::currentTraceContext().trace_lo;
+    });
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], want_lo) << "task " << i;
+}
+
+TEST(TraceContext, SpanBufferOverflowCountsDrops)
+{
+    TracingOn tracing(1);
+    obs::SpanBuffer &buffer = obs::SpanBuffer::instance();
+    const std::uint64_t before_counter =
+        obs::Registry::instance().counter("obs.spans.dropped").value();
+    obs::SpanRecord span;
+    span.trace_hi = 1;
+    span.name = "test.flood";
+    for (std::size_t i = 0;
+         i < obs::SpanBuffer::kMaxSpans + 10; ++i)
+        buffer.record(span);
+    EXPECT_EQ(buffer.snapshot().size(), obs::SpanBuffer::kMaxSpans);
+    EXPECT_EQ(buffer.droppedCount(), 10u);
+    EXPECT_EQ(obs::Registry::instance()
+                      .counter("obs.spans.dropped")
+                      .value() -
+                  before_counter,
+              10u);
+    // clear() resets the drop accounting too.
+    buffer.clear();
+    EXPECT_EQ(buffer.droppedCount(), 0u);
+}
+
+TEST(TraceContext, JsonlDumpRoundTripsSpanFields)
+{
+    TracingOn tracing(1);
+    {
+        obs::TraceRoot root("test.jsonl");
+        ASSERT_TRUE(root.context().sampled());
+    }
+    const std::string path =
+        "/tmp/ppm_spans_" + std::to_string(::getpid()) + ".jsonl";
+    ASSERT_TRUE(obs::SpanBuffer::instance().writeJsonl(path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char line[512] = {};
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+    std::fclose(f);
+    ::unlink(path.c_str());
+    const std::string text(line);
+    EXPECT_NE(text.find("\"name\":\"test.jsonl\""), std::string::npos);
+    EXPECT_NE(text.find("\"trace\":\""), std::string::npos);
+    EXPECT_NE(text.find("\"pid\":"), std::string::npos);
+}
+
+// --- protocol v4 trace block -----------------------------------------
+
+TEST(TraceWire, FrameCarriesTheThreadContext)
+{
+    TracingOn tracing(1);
+    obs::TraceContext ctx;
+    ctx.trace_hi = 0x1111222233334444ull;
+    ctx.trace_lo = 0x5555666677778888ull;
+    ctx.parent_span_id = 0x9999aaaabbbbccccull;
+    ctx.flags = obs::kTraceFlagSampled;
+    obs::ScopedTraceContext scope(ctx);
+
+    const auto bytes = serve::encodePing(7);
+    const serve::Frame frame = serve::decodeFrame(bytes);
+    EXPECT_EQ(frame.version, serve::kVersion);
+    EXPECT_EQ(frame.trace.trace_hi, ctx.trace_hi);
+    EXPECT_EQ(frame.trace.trace_lo, ctx.trace_lo);
+    EXPECT_EQ(frame.trace.parent_span_id, ctx.parent_span_id);
+    EXPECT_TRUE(frame.trace.sampled());
+}
+
+TEST(TraceWire, UntracedFrameCarriesAZeroContext)
+{
+    obs::setTraceSampleEvery(0);
+    const serve::Frame frame =
+        serve::decodeFrame(serve::encodePing(7));
+    EXPECT_FALSE(frame.trace.valid());
+    EXPECT_EQ(frame.version, serve::kVersion);
+}
+
+TEST(TraceWire, TraceRequestAndResponseRoundTrip)
+{
+    serve::TraceRequest req;
+    req.nonce = 42;
+    req.drain = true;
+    const serve::Frame req_frame =
+        serve::decodeFrame(serve::encodeTraceRequest(req));
+    ASSERT_EQ(req_frame.type, serve::MsgType::TraceRequest);
+    const serve::TraceRequest parsed_req =
+        serve::parseTraceRequest(req_frame.payload);
+    EXPECT_EQ(parsed_req.nonce, 42u);
+    EXPECT_TRUE(parsed_req.drain);
+
+    serve::TraceDump dump;
+    dump.pid = 1234;
+    dump.dropped = 5;
+    dump.endpoint = "127.0.0.1:7070";
+    serve::TraceSpan span;
+    span.trace_hi = 7;
+    span.trace_lo = 8;
+    span.span_id = 9;
+    span.parent_span_id = 10;
+    span.name = "serve.request";
+    span.start_unix_ns = 1'700'000'000'000'000'000ull;
+    span.dur_ns = 1500;
+    span.tid = 3;
+    dump.spans.push_back(span);
+    const serve::Frame resp_frame =
+        serve::decodeFrame(serve::encodeTraceResponse(dump));
+    ASSERT_EQ(resp_frame.type, serve::MsgType::TraceResponse);
+    const serve::TraceDump parsed =
+        serve::parseTraceResponse(resp_frame.payload);
+    EXPECT_EQ(parsed.pid, 1234u);
+    EXPECT_EQ(parsed.dropped, 5u);
+    EXPECT_EQ(parsed.endpoint, "127.0.0.1:7070");
+    ASSERT_EQ(parsed.spans.size(), 1u);
+    EXPECT_EQ(parsed.spans[0].name, "serve.request");
+    EXPECT_EQ(parsed.spans[0].start_unix_ns, span.start_unix_ns);
+    EXPECT_EQ(parsed.spans[0].tid, 3u);
+}
+
+// --- wire-version skew ------------------------------------------------
+
+TEST(VersionSkew, V3FramesHaveNoTraceBlockAndStillDecode)
+{
+    serve::ScopedWireVersion v3(3);
+    const auto bytes = serve::encodePing(9);
+    // v3 layout: 12-byte header + payload + CRC, no trace block.
+    EXPECT_EQ(bytes.size(),
+              serve::kHeaderSize + 8 + serve::kTrailerSize);
+    const serve::Frame frame = serve::decodeFrame(bytes);
+    EXPECT_EQ(frame.version, 3u);
+    EXPECT_FALSE(frame.trace.valid());
+    EXPECT_EQ(serve::parsePing(frame.payload), 9u);
+}
+
+TEST(VersionSkew, V4FrameIsExactlyTraceBlockLongerThanV3)
+{
+    std::size_t v3_size = 0;
+    {
+        serve::ScopedWireVersion v3(3);
+        v3_size = serve::encodePing(1).size();
+    }
+    EXPECT_EQ(serve::encodePing(1).size(),
+              v3_size + serve::kTraceBlockSize);
+}
+
+TEST(VersionSkew, RejectsVersionsOutsideTheSupportedRange)
+{
+    EXPECT_THROW(serve::ScopedWireVersion bad(2),
+                 serve::ProtocolError);
+    EXPECT_THROW(serve::ScopedWireVersion bad(5),
+                 serve::ProtocolError);
+}
+
+TEST(VersionSkew, StatsRoundTripsAndMergesAcrossVersions)
+{
+    // A v3 poller asking a v4 server for STATS: the reply is encoded
+    // in the requester's version, and snapshots polled from mixed
+    // v3/v4 servers merge cleanly (satellite: minor-version skew).
+    obs::Snapshot snap_v3;
+    snap_v3.counters.push_back({"serve.requests", 10});
+    snap_v3.histograms.push_back(
+        {"slo.predict", 2, 3000,
+         std::vector<std::uint64_t>(obs::Histogram::kBuckets, 0)});
+    snap_v3.histograms[0].buckets[1] = 2;
+
+    obs::Snapshot snap_v4 = snap_v3;
+    snap_v4.counters[0].value = 32;
+
+    std::vector<std::uint8_t> v3_bytes;
+    {
+        serve::ScopedWireVersion v3(3);
+        v3_bytes = serve::encodeStatsResponse(snap_v3);
+    }
+    const std::vector<std::uint8_t> v4_bytes =
+        serve::encodeStatsResponse(snap_v4);
+
+    const serve::Frame f3 = serve::decodeFrame(v3_bytes);
+    const serve::Frame f4 = serve::decodeFrame(v4_bytes);
+    EXPECT_EQ(f3.version, 3u);
+    EXPECT_EQ(f4.version, serve::kVersion);
+
+    // The STATS payload schema is version-independent: both parse,
+    // and the merged view sums by name exactly as same-version polls
+    // would.
+    obs::Snapshot merged = serve::parseStatsResponse(f3.payload);
+    obs::merge(merged, serve::parseStatsResponse(f4.payload));
+    ASSERT_EQ(merged.counters.size(), 1u);
+    EXPECT_EQ(merged.counters[0].value, 42u);
+    ASSERT_EQ(merged.histograms.size(), 1u);
+    EXPECT_EQ(merged.histograms[0].count, 4u);
+    EXPECT_EQ(merged.histograms[0].total_ns, 6000u);
+    EXPECT_EQ(merged.histograms[0].buckets[1], 4u);
+}
+
+TEST(VersionSkew, ReplyVersionFollowsTheThreadNotTheProcess)
+{
+    // Nested scopes restore correctly (a v4 connection served right
+    // after a v3 one must not inherit the older version).
+    EXPECT_EQ(serve::wireVersion(), serve::kVersion);
+    {
+        serve::ScopedWireVersion v3(3);
+        EXPECT_EQ(serve::wireVersion(), 3u);
+        {
+            serve::ScopedWireVersion v4(4);
+            EXPECT_EQ(serve::wireVersion(), 4u);
+        }
+        EXPECT_EQ(serve::wireVersion(), 3u);
+    }
+    EXPECT_EQ(serve::wireVersion(), serve::kVersion);
+}
+
+} // namespace

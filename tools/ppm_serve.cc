@@ -31,6 +31,12 @@
  * transport fault injector for chaos rehearsal; see
  * serve/fault_injector.hh for the grammar.
  *
+ * --drift-sample N (or PPM_DRIFT_SAMPLE) shadow-checks every Nth
+ * served PREDICT point against ground truth already in the result
+ * cache and exports model.drift.* metrics; a model whose observed
+ * error degrades past --drift-threshold times its training-time CV
+ * error fires a one-shot model_drift event (see drift_monitor.hh).
+ *
  * Stops cleanly on SIGINT/SIGTERM.
  */
 
@@ -80,6 +86,15 @@ usage(const char *argv0)
         "  --fault-spec SPEC   install the deterministic transport\n"
         "                      fault injector (chaos rehearsal), e.g.\n"
         "                      seed=1;drop=0.1;delay=0.1;delay_ms=5\n"
+        "  --drift-sample N    shadow-check every Nth served PREDICT\n"
+        "                      point against cached ground truth\n"
+        "                      (default: $PPM_DRIFT_SAMPLE, else off)\n"
+        "  --drift-threshold X fire the model_drift event when mean\n"
+        "                      relative error exceeds X times the\n"
+        "                      snapshot's training CV error"
+        " (default 2.0)\n"
+        "  --drift-min-samples N  residuals required before the event\n"
+        "                      can fire (default 32)\n"
         "  --verbose           log requests to stderr\n",
         argv0);
 }
@@ -101,6 +116,9 @@ main(int argc, char **argv)
     options.socket_path = defaultSocket();
     if (const char *dir = std::getenv("PPM_MODEL_DIR"))
         options.model_dir = dir;
+    if (const char *sample = std::getenv("PPM_DRIFT_SAMPLE"))
+        options.drift.sample_every = static_cast<std::uint32_t>(
+            std::strtoul(sample, nullptr, 10));
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -131,6 +149,14 @@ main(int argc, char **argv)
         } else if (arg == "--cache-mb" && has_value) {
             options.cache_mb = static_cast<std::size_t>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--drift-sample" && has_value) {
+            options.drift.sample_every = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--drift-threshold" && has_value) {
+            options.drift.threshold_ratio = std::atof(argv[++i]);
+        } else if (arg == "--drift-min-samples" && has_value) {
+            options.drift.min_samples = std::strtoull(
+                argv[++i], nullptr, 10);
         } else if (arg == "--verbose") {
             options.verbose = true;
         } else if (arg == "--help" || arg == "-h") {

@@ -16,7 +16,11 @@
  * --watch SECONDS polls twice, SECONDS apart, and prints per-second
  * rates over the interval instead of absolute totals: counter and
  * histogram deltas divided by the interval (clamped at zero across
- * server restarts), gauges as their current level.
+ * server restarts), gauges as their current level. Histogram rows
+ * carry interval p50/p95/p99 latency, and a per-endpoint SLO table
+ * follows: request rate, latency quantiles over the slo.* request
+ * histograms, error-budget burn (slo.errors.*) and live queue depth
+ * for every polled server.
  *
  * Exit status: 0 when every requested endpoint answered (on every
  * poll), 1 when at least one was unreachable (the merged view of the
@@ -27,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -90,27 +95,39 @@ pollSocket(const std::string &socket, int timeout_ms)
     return parseStatsResponse(reply.payload);
 }
 
-/** Merged view across the local registry and every endpoint. */
-ppm::obs::Snapshot
+/** One poll: the merged view plus each endpoint's own snapshot
+ * (nullopt = unreachable), from a single connection per endpoint. */
+struct PollResult
+{
+    ppm::obs::Snapshot merged;
+    std::vector<std::optional<ppm::obs::Snapshot>> per_endpoint;
+};
+
+PollResult
 pollAll(const std::vector<std::string> &sockets, bool include_local,
         int timeout_ms, int &unreachable)
 {
-    ppm::obs::Snapshot merged;
+    PollResult result;
     if (include_local)
-        merged = ppm::obs::Registry::instance().snapshot();
+        result.merged = ppm::obs::Registry::instance().snapshot();
+    result.per_endpoint.reserve(sockets.size());
     for (const std::string &socket : sockets) {
         try {
-            ppm::obs::merge(merged, pollSocket(socket, timeout_ms));
+            ppm::obs::Snapshot snap = pollSocket(socket, timeout_ms);
+            ppm::obs::merge(result.merged, snap);
+            result.per_endpoint.push_back(std::move(snap));
         } catch (const std::exception &e) {
             ++unreachable;
+            result.per_endpoint.push_back(std::nullopt);
             std::fprintf(stderr, "ppm_stats: %s: %s\n",
                          socket.c_str(), e.what());
         }
     }
-    return merged;
+    return result;
 }
 
-/** The --watch rate view: per-second rates of a poll-to-poll delta. */
+/** The --watch rate view: per-second rates of a poll-to-poll delta,
+ * with interval latency quantiles per histogram. */
 std::string
 rateTable(const ppm::obs::Snapshot &d, double seconds)
 {
@@ -136,21 +153,94 @@ rateTable(const ppm::obs::Snapshot &d, double seconds)
     }
     if (!d.histograms.empty()) {
         out += "histograms:                             "
-               "    per_s   mean_us\n";
+               "    per_s   mean_us    p50_us    p95_us    p99_us\n";
         for (const auto &h : d.histograms) {
             const double mean_us =
                 h.count == 0 ? 0.0
                              : static_cast<double>(h.total_ns) /
                                    static_cast<double>(h.count) / 1e3;
-            std::snprintf(line, sizeof(line),
-                          "  %-36s %9.2f %9.1f\n", h.name.c_str(),
-                          static_cast<double>(h.count) / seconds,
-                          mean_us);
+            std::snprintf(
+                line, sizeof(line),
+                "  %-36s %9.2f %9.1f %9.1f %9.1f %9.1f\n",
+                h.name.c_str(),
+                static_cast<double>(h.count) / seconds, mean_us,
+                static_cast<double>(ppm::obs::quantileNs(h, 0.50)) /
+                    1e3,
+                static_cast<double>(ppm::obs::quantileNs(h, 0.95)) /
+                    1e3,
+                static_cast<double>(ppm::obs::quantileNs(h, 0.99)) /
+                    1e3);
             out += line;
         }
     }
     if (out.empty())
         out = "(no metrics)\n";
+    return out;
+}
+
+/**
+ * The --watch SLO view: one row per endpoint, built from that
+ * endpoint's own poll-to-poll delta — served request rate and
+ * interval latency quantiles over the per-family slo.* histograms,
+ * error-budget burn from the slo.errors.* counters, and the live
+ * connection queue depth.
+ */
+std::string
+sloTable(const std::vector<std::string> &sockets, const PollResult &a,
+         const PollResult &b, double seconds)
+{
+    if (sockets.empty())
+        return "";
+    std::string out =
+        "slo (per endpoint):                     "
+        "    req_s    p50_us    p95_us    p99_us     err_s  queue\n";
+    char line[256];
+    for (std::size_t i = 0; i < sockets.size(); ++i) {
+        if (i >= b.per_endpoint.size() || !b.per_endpoint[i]) {
+            std::snprintf(line, sizeof(line), "  %-36s %s\n",
+                          sockets[i].c_str(), "unreachable");
+            out += line;
+            continue;
+        }
+        const ppm::obs::Snapshot empty;
+        const ppm::obs::Snapshot d = ppm::obs::delta(
+            *b.per_endpoint[i],
+            i < a.per_endpoint.size() && a.per_endpoint[i]
+                ? *a.per_endpoint[i]
+                : empty);
+        // All request families land in slo.* histograms; merge their
+        // interval buckets for one endpoint-level latency profile.
+        ppm::obs::HistogramValue slo;
+        slo.buckets.assign(ppm::obs::Histogram::kBuckets, 0);
+        for (const auto &h : d.histograms) {
+            if (h.name.rfind("slo.", 0) != 0)
+                continue;
+            slo.count += h.count;
+            slo.total_ns += h.total_ns;
+            for (std::size_t bkt = 0;
+                 bkt < h.buckets.size() && bkt < slo.buckets.size();
+                 ++bkt)
+                slo.buckets[bkt] += h.buckets[bkt];
+        }
+        std::uint64_t errors = 0;
+        for (const auto &c : d.counters)
+            if (c.name.rfind("slo.errors.", 0) == 0)
+                errors += c.value;
+        long long queue = 0;
+        for (const auto &g : b.per_endpoint[i]->gauges)
+            if (g.name == "serve.active_connections")
+                queue = g.value;
+        std::snprintf(
+            line, sizeof(line),
+            "  %-36s %9.2f %9.1f %9.1f %9.1f %9.2f %6lld\n",
+            sockets[i].c_str(),
+            static_cast<double>(slo.count) / seconds,
+            static_cast<double>(ppm::obs::quantileNs(slo, 0.50)) / 1e3,
+            static_cast<double>(ppm::obs::quantileNs(slo, 0.95)) / 1e3,
+            static_cast<double>(ppm::obs::quantileNs(slo, 0.99)) / 1e3,
+            static_cast<double>(errors) / seconds, queue);
+        out += line;
+    }
     return out;
 }
 
@@ -235,25 +325,30 @@ main(int argc, char **argv)
     }
 
     int unreachable = 0;
-    const ppm::obs::Snapshot first =
+    const PollResult first =
         pollAll(sockets, include_local, timeout_ms, unreachable);
 
     if (watch_s > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double>(watch_s));
-        const ppm::obs::Snapshot second =
+        const PollResult second =
             pollAll(sockets, include_local, timeout_ms, unreachable);
-        const ppm::obs::Snapshot d = ppm::obs::delta(second, first);
-        if (json)
+        const ppm::obs::Snapshot d =
+            ppm::obs::delta(second.merged, first.merged);
+        if (json) {
             std::printf("%s\n", rateJson(d, watch_s).c_str());
-        else
+        } else {
             std::fputs(rateTable(d, watch_s).c_str(), stdout);
+            std::fputs(sloTable(sockets, first, second, watch_s)
+                           .c_str(),
+                       stdout);
+        }
         return unreachable == 0 ? 0 : 1;
     }
 
     if (json)
-        std::printf("%s\n", ppm::obs::toJson(first).c_str());
+        std::printf("%s\n", ppm::obs::toJson(first.merged).c_str());
     else
-        std::fputs(ppm::obs::toTable(first).c_str(), stdout);
+        std::fputs(ppm::obs::toTable(first.merged).c_str(), stdout);
     return unreachable == 0 ? 0 : 1;
 }
