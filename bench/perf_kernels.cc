@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include <unistd.h>
 
 #include "bench_util.hh"
@@ -19,8 +21,10 @@
 #include "core/oracle.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_span.hh"
+#include "rbf/incremental.hh"
 #include "rbf/rbf_batch.hh"
 #include "sampling/batch_acquisition.hh"
+#include "train/online_trainer.hh"
 #include "sampling/discrepancy.hh"
 #include "sampling/sample_gen.hh"
 #include "serve/model_snapshot.hh"
@@ -367,6 +371,78 @@ BENCHMARK(BM_AdaptiveAcquisition)->Unit(benchmark::kMillisecond)
     ->ArgNames({"strategy", "batch"})
     ->Args({0, 1})->Args({0, 4})->Args({0, 16})
     ->Args({1, 1})->Args({1, 4})->Args({1, 16});
+
+/**
+ * Continuous-training cost at archive scale: folding ONE fresh point
+ * into the streaming normal-equation state (rank-1 Cholesky update +
+ * two triangular solves, O(m^2) independent of the archive size)
+ * versus the full trainRbfModel() pass (new tree, new subset
+ * selection, fresh grid search over the whole archive) the online
+ * trainer falls back to on its growth/error triggers. arg = archive
+ * size n; both benchmarks share the same archive and the same
+ * capacity-capped onlineRefitOptions(n). The committed
+ * bench_results/BENCH_online.json ratio at n = 4096 backs the >= 10x
+ * steady-state claim in DESIGN.md.
+ */
+struct OnlineArchive
+{
+    FitData data;
+    rbf::TrainedRbf model;
+};
+
+const OnlineArchive &
+onlineArchive(std::size_t n)
+{
+    static std::map<std::size_t, OnlineArchive> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        OnlineArchive a;
+        a.data = fitData(n);
+        a.model = rbf::trainRbfModel(a.data.xs, a.data.ys,
+                                     train::onlineRefitOptions(n));
+        it = cache.emplace(n, std::move(a)).first;
+    }
+    return it->second;
+}
+
+void
+BM_OnlineIncrementalFold(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const OnlineArchive &a = onlineArchive(n);
+    rbf::IncrementalFit fit(a.model.network.bases());
+    for (std::size_t i = 0; i < n; ++i)
+        fit.fold(a.data.xs[i], a.data.ys[i]);
+    math::Rng rng(11);
+    dspace::UnitPoint x(a.data.xs.front().size());
+    for (auto _ : state) {
+        for (auto &v : x)
+            v = rng.uniform();
+        fit.fold(x, 1.0 + x[0]);
+        auto w = fit.solve();
+        benchmark::DoNotOptimize(w.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OnlineIncrementalFold)->Unit(benchmark::kMillisecond)
+    ->ArgName("archive")->Arg(1024)->Arg(4096);
+
+void
+BM_OnlineFullRetrain(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const OnlineArchive &a = onlineArchive(n);
+    const auto opts = train::onlineRefitOptions(n);
+    for (auto _ : state) {
+        auto model = rbf::trainRbfModel(a.data.xs, a.data.ys, opts);
+        benchmark::DoNotOptimize(model.num_centers);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OnlineFullRetrain)->Unit(benchmark::kMillisecond)
+    ->ArgName("archive")->Arg(1024)->Arg(4096);
 
 void
 BM_RbfPrediction(benchmark::State &state)

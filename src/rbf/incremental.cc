@@ -1,0 +1,184 @@
+#include "rbf/incremental.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/trace_span.hh"
+
+namespace ppm::rbf {
+
+namespace {
+
+/**
+ * Rank-1 Cholesky update (choldate): given lower-triangular L with
+ * L L^T = G, rewrite it in place so that L L^T = G + h h^T. Destroys
+ * @p h. The diagonal stays strictly positive for any input because it
+ * was seeded at sqrt(ridge) and each step only grows it.
+ */
+void
+cholUpdate(std::vector<double> &chol, std::vector<double> &h,
+           std::size_t m)
+{
+    for (std::size_t k = 0; k < m; ++k) {
+        double *row_k = chol.data() + k * m;
+        const double lkk = row_k[k];
+        const double hk = h[k];
+        const double r = std::sqrt(lkk * lkk + hk * hk);
+        const double c = r / lkk;
+        const double s = hk / lkk;
+        row_k[k] = r;
+        for (std::size_t i = k + 1; i < m; ++i) {
+            double *lik = chol.data() + i * m + k;
+            *lik = (*lik + s * h[i]) / c;
+            h[i] = c * h[i] - s * *lik;
+        }
+    }
+}
+
+} // namespace
+
+IncrementalFit::IncrementalFit(std::vector<GaussianBasis> bases,
+                               double ridge)
+    : bases_(std::move(bases)), ridge_(ridge)
+{
+    if (!(ridge > 0.0))
+        throw std::invalid_argument(
+            "IncrementalFit: ridge must be positive");
+    // Pin the scalar kernel: the SIMD basis rows differ from scalar
+    // by a few ulps per host capability, which would leak the host's
+    // CPUID into the streamed weights and break the trainer's
+    // bit-identical-snapshot guarantee.
+    plan_ = std::make_shared<const BatchPlan>(
+        bases_, std::vector<double>{}, SimdKind::Scalar);
+    const std::size_t m = bases_.size();
+    chol_.assign(m * m, 0.0);
+    const double seed = std::sqrt(ridge_);
+    for (std::size_t j = 0; j < m; ++j)
+        chol_[j * m + j] = seed;
+    rhs_.assign(m, 0.0);
+    row_.assign(m, 0.0);
+}
+
+std::size_t
+IncrementalFit::dimensions() const
+{
+    return plan_->dimensions();
+}
+
+void
+IncrementalFit::fold(const dspace::UnitPoint &x, double y)
+{
+    OBS_SPAN("train.fold");
+    const std::size_t m = bases_.size();
+    plan_->basisRow(x, row_.data());
+    for (std::size_t j = 0; j < m; ++j)
+        rhs_[j] += y * row_[j];
+    cholUpdate(chol_, row_, m); // destroys row_ (scratch)
+    ++points_;
+}
+
+std::vector<double>
+IncrementalFit::solve() const
+{
+    const std::size_t m = bases_.size();
+    // Forward solve L z = b, then back solve L^T w = z.
+    std::vector<double> w(rhs_);
+    for (std::size_t i = 0; i < m; ++i) {
+        const double *row_i = chol_.data() + i * m;
+        double acc = w[i];
+        for (std::size_t j = 0; j < i; ++j)
+            acc -= row_i[j] * w[j];
+        w[i] = acc / row_i[i];
+    }
+    for (std::size_t ii = m; ii-- > 0;) {
+        double acc = w[ii];
+        for (std::size_t j = ii + 1; j < m; ++j)
+            acc -= chol_[j * m + ii] * w[j];
+        w[ii] = acc / chol_[ii * m + ii];
+    }
+    return w;
+}
+
+double
+IncrementalFit::predictWith(const std::vector<double> &weights,
+                            const dspace::UnitPoint &x) const
+{
+    const std::size_t m = bases_.size();
+    if (weights.size() != m)
+        throw std::invalid_argument(
+            "IncrementalFit::predictWith: weight count mismatch");
+    plan_->basisRow(x, row_.data());
+    double acc = 0.0;
+    for (std::size_t j = 0; j < m; ++j)
+        acc += weights[j] * row_[j];
+    return acc;
+}
+
+double
+IncrementalFit::predict(const dspace::UnitPoint &x) const
+{
+    return predictWith(solve(), x);
+}
+
+RbfNetwork
+IncrementalFit::network() const
+{
+    return RbfNetwork(bases_, solve());
+}
+
+std::vector<double>
+batchRidgeWeights(const std::vector<GaussianBasis> &bases,
+                  const std::vector<dspace::UnitPoint> &xs,
+                  const std::vector<double> &ys, double ridge)
+{
+    if (xs.size() != ys.size())
+        throw std::invalid_argument(
+            "batchRidgeWeights: xs/ys size mismatch");
+    const std::size_t m = bases.size();
+    const BatchPlan plan(bases, {}, SimdKind::Scalar);
+    std::vector<double> gram(m * m, 0.0);
+    std::vector<double> rhs(m, 0.0);
+    std::vector<double> row(m);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        plan.basisRow(xs[i], row.data());
+        for (std::size_t a = 0; a < m; ++a) {
+            rhs[a] += ys[i] * row[a];
+            // Lower triangle only; G is symmetric.
+            for (std::size_t b = 0; b <= a; ++b)
+                gram[a * m + b] += row[a] * row[b];
+        }
+    }
+    for (std::size_t j = 0; j < m; ++j)
+        gram[j * m + j] += ridge;
+
+    // Fresh Cholesky factorization (lower triangle in place).
+    for (std::size_t k = 0; k < m; ++k) {
+        double d = gram[k * m + k];
+        for (std::size_t j = 0; j < k; ++j)
+            d -= gram[k * m + j] * gram[k * m + j];
+        const double lkk = std::sqrt(d);
+        gram[k * m + k] = lkk;
+        for (std::size_t i = k + 1; i < m; ++i) {
+            double acc = gram[i * m + k];
+            for (std::size_t j = 0; j < k; ++j)
+                acc -= gram[i * m + j] * gram[k * m + j];
+            gram[i * m + k] = acc / lkk;
+        }
+    }
+    std::vector<double> w(rhs);
+    for (std::size_t i = 0; i < m; ++i) {
+        double acc = w[i];
+        for (std::size_t j = 0; j < i; ++j)
+            acc -= gram[i * m + j] * w[j];
+        w[i] = acc / gram[i * m + i];
+    }
+    for (std::size_t ii = m; ii-- > 0;) {
+        double acc = w[ii];
+        for (std::size_t j = ii + 1; j < m; ++j)
+            acc -= gram[j * m + ii] * w[j];
+        w[ii] = acc / gram[ii * m + ii];
+    }
+    return w;
+}
+
+} // namespace ppm::rbf

@@ -153,9 +153,9 @@ acquireDeterminantal(const dspace::DesignSpace &space,
     AcquiredBatch out;
     out.stats.pool_scored = pool;
 
-    const double dims = static_cast<double>(space.size());
     const double sigma = options.kernel_bandwidth > 0
-        ? options.kernel_bandwidth : 0.25 * std::sqrt(dims);
+        ? options.kernel_bandwidth
+        : adaptedKernelBandwidth(space.size(), occupied.size());
     const double inv_two_sigma_sq = 1.0 / (2.0 * sigma * sigma);
 
     const auto start = std::chrono::steady_clock::now();
@@ -222,6 +222,23 @@ batchStrategyName(BatchStrategy strategy)
 {
     return strategy == BatchStrategy::Sequential ? "sequential"
                                                  : "determinantal";
+}
+
+double
+adaptedKernelBandwidth(std::size_t dims, std::size_t occupied)
+{
+    // Nearest-neighbour spacing in a d-cube contracts ~ n^(-1/d); 16
+    // occupied points is the scale the 0.25 * sqrt(d) default was
+    // tuned at (early adaptive rounds on the paper's seed samples).
+    constexpr double kReferenceOccupancy = 16.0;
+    const double d =
+        static_cast<double>(std::max<std::size_t>(dims, 1));
+    const double base = 0.25 * std::sqrt(d);
+    const double n = static_cast<double>(occupied);
+    if (n <= kReferenceOccupancy)
+        return base;
+    const double shrink = std::pow(kReferenceOccupancy / n, 1.0 / d);
+    return std::max(shrink, 0.2) * base;
 }
 
 AcquiredBatch

@@ -70,12 +70,26 @@ struct BatchAcquisitionOptions
     double distance_weight = 1.0;
     /**
      * Gaussian kernel bandwidth sigma in unit space
-     * (k = exp(-d^2 / (2 sigma^2))); 0 selects 0.25 * sqrt(dims),
-     * the scale of typical nearest-neighbour spacing. Determinantal
-     * only.
+     * (k = exp(-d^2 / (2 sigma^2))); 0 selects
+     * adaptedKernelBandwidth() — the nearest-neighbour spacing scale
+     * shrunk as the occupied sample grows. Determinantal only.
      */
     double kernel_bandwidth = 0.0;
 };
+
+/**
+ * Default diversity-kernel bandwidth adapted to sample growth. The
+ * repulsion scale that matters is the typical nearest-neighbour
+ * spacing of the @p occupied points, which contracts like n^(-1/d)
+ * in a d-dimensional unit cube: a bandwidth fixed at the early-round
+ * scale eventually spans many occupied neighbours, making every
+ * candidate pair look redundant and flattening the determinant's
+ * diversity signal. Returns the established early-sample default
+ * 0.25 * sqrt(dims) while occupied <= 16, then shrinks it by
+ * (16 / occupied)^(1/dims), floored at a fifth of the base so late
+ * rounds keep a nonzero repulsion radius.
+ */
+double adaptedKernelBandwidth(std::size_t dims, std::size_t occupied);
 
 /** Per-round acquisition accounting, surfaced in AdaptiveRound. */
 struct AcquisitionStats

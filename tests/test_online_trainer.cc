@@ -1,0 +1,877 @@
+/**
+ * @file
+ * Online-trainer test wall (in-process half; the spawned-binary half
+ * lives in test_trainer_e2e.cc):
+ *
+ *  - IncrementalFit vs batchRidgeWeights over 10k random networks and
+ *    streamed point orders — rank-deficient and duplicate-heavy
+ *    streams included — within the condition-number ULP bound the
+ *    header documents, and bit-identical across same-order refolds.
+ *  - ArchiveTailer: record tailing across polls, the concurrent
+ *    writer's partially flushed tail record (byte-at-a-time slow
+ *    writer regression — retry, never corrupt-tail), CRC-corrupt
+ *    tails healing through the owner's truncation, context mismatch,
+ *    absent files, and seek/resume.
+ *  - OnlineTrainer: exact unique-fold counting across overlapping
+ *    shard archives, bit-identical snapshots from 1 vs 4 shard
+ *    archives with interleaved appends, crash-safe state resume
+ *    (proven by poisoning the already-consumed archive bytes), the
+ *    growth and prequential-error refit triggers, and the drift
+ *    arming gate.
+ *  - adaptedKernelBandwidth: the PR 3 leftover — bandwidth contracts
+ *    with sample growth, floored, and feeds acquireBatch's default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "dspace/paper_space.hh"
+#include "math/rng.hh"
+#include "rbf/incremental.hh"
+#include "rbf/network.hh"
+#include "sampling/batch_acquisition.hh"
+#include "serve/archive_tail.hh"
+#include "serve/model_snapshot.hh"
+#include "serve/result_archive.hh"
+#include "train/online_trainer.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace ppm;
+using Key = core::ResultStore::Key;
+
+fs::path
+uniqueDir(const std::string &tag)
+{
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("ppm_online_" + tag + "_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    return dir;
+}
+
+/** The oracle context every trainer/archive in this file shares. */
+std::string
+ctx()
+{
+    return "twolf|t2000|w0|CPI";
+}
+
+Key
+makeKey(const dspace::DesignPoint &p)
+{
+    Key key;
+    key.reserve(p.size());
+    for (double v : p)
+        key.push_back(static_cast<std::int64_t>(std::llround(v * 1e6)));
+    return key;
+}
+
+/** Deterministic smooth ground truth standing in for the simulator. */
+double
+truth(const dspace::DesignSpace &space, const dspace::DesignPoint &p)
+{
+    const dspace::UnitPoint u = space.toUnit(p);
+    double acc = 1.0;
+    for (std::size_t k = 0; k < u.size(); ++k)
+        acc += 0.1 * static_cast<double>(k + 1) * u[k];
+    acc += 0.25 * u.front() * u.back();
+    return acc;
+}
+
+/**
+ * @p n design points with pairwise-distinct memo keys (paper-space
+ * parameters are discrete, so raw randomPoint draws can collide).
+ */
+std::vector<dspace::DesignPoint>
+uniquePoints(const dspace::DesignSpace &space, std::size_t n,
+             std::uint64_t seed)
+{
+    math::Rng rng(seed);
+    std::map<Key, dspace::DesignPoint> seen;
+    while (seen.size() < n) {
+        dspace::DesignPoint p = space.randomPoint(rng);
+        seen.emplace(makeKey(p), std::move(p));
+    }
+    std::vector<dspace::DesignPoint> out;
+    out.reserve(n);
+    for (auto &[key, p] : seen)
+        out.push_back(std::move(p));
+    return out;
+}
+
+train::OnlineTrainerOptions
+baseOptions()
+{
+    train::OnlineTrainerOptions opts;
+    opts.benchmark = "twolf";
+    opts.trace_length = 2000;
+    opts.warmup = 0;
+    opts.metric = core::Metric::Cpi;
+    opts.min_train_points = 10;
+    return opts;
+}
+
+std::vector<std::uint8_t>
+fileBytes(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/** Random Gaussian bases over @p dims (radii bounded away from 0). */
+std::vector<rbf::GaussianBasis>
+randomBases(math::Rng &rng, std::size_t dims, std::size_t m)
+{
+    std::vector<rbf::GaussianBasis> bases;
+    bases.reserve(m);
+    for (std::size_t b = 0; b < m; ++b) {
+        dspace::UnitPoint center(dims);
+        std::vector<double> radius(dims);
+        for (std::size_t d = 0; d < dims; ++d) {
+            center[d] = rng.uniform();
+            radius[d] = 0.2 + rng.uniform();
+        }
+        bases.emplace_back(std::move(center), std::move(radius));
+    }
+    return bases;
+}
+
+// ---------------------------------------------------------------------
+// IncrementalFit vs batch equivalence (satellite 1)
+// ---------------------------------------------------------------------
+
+TEST(IncrementalFit, MatchesBatchSolveOver10kRandomStreams)
+{
+    constexpr int kTrials = 10'000;
+    const double ridge = rbf::kIncrementalRidge;
+    double worst_ratio = 0.0;
+
+    for (int trial = 0; trial < kTrials; ++trial) {
+        math::Rng rng(0x0317ee75'0000'0000ull + trial);
+        const std::size_t dims = 1 + rng.uniformInt(6);
+        const std::size_t m = 1 + rng.uniformInt(12);
+        // n below m makes H rank-deficient: only the ridge term keeps
+        // the normal equations positive definite.
+        const std::size_t n_lo = std::max<std::size_t>(1, m / 2);
+        const std::size_t n = n_lo + rng.uniformInt(3 * m - n_lo + 1);
+
+        const std::vector<rbf::GaussianBasis> bases =
+            randomBases(rng, dims, m);
+
+        std::vector<dspace::UnitPoint> xs;
+        std::vector<double> ys;
+        xs.reserve(n);
+        ys.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!xs.empty() && rng.uniform() < 0.25) {
+                // Duplicate an earlier point; half the time with its
+                // exact response (a shard replay), half with a fresh
+                // one (a noisy re-measure).
+                const std::size_t j = rng.uniformInt(xs.size());
+                xs.push_back(xs[j]);
+                ys.push_back(rng.uniform() < 0.5
+                                 ? ys[j]
+                                 : rng.uniform(-2.0, 2.0));
+                continue;
+            }
+            dspace::UnitPoint x(dims);
+            for (std::size_t d = 0; d < dims; ++d)
+                x[d] = rng.uniform();
+            xs.push_back(std::move(x));
+            ys.push_back(rng.uniform(-2.0, 2.0));
+        }
+
+        // Stream in a random order (Fisher-Yates off the same rng).
+        std::vector<std::size_t> order(n);
+        std::iota(order.begin(), order.end(), 0);
+        for (std::size_t i = n; i > 1; --i)
+            std::swap(order[i - 1], order[rng.uniformInt(i)]);
+        std::vector<dspace::UnitPoint> sx;
+        std::vector<double> sy;
+        for (std::size_t i : order) {
+            sx.push_back(xs[i]);
+            sy.push_back(ys[i]);
+        }
+
+        rbf::IncrementalFit fit(bases, ridge);
+        rbf::IncrementalFit refold(bases, ridge);
+        for (std::size_t i = 0; i < n; ++i) {
+            fit.fold(sx[i], sy[i]);
+            refold.fold(sx[i], sy[i]);
+        }
+        ASSERT_EQ(fit.points(), n);
+        const std::vector<double> w_inc = fit.solve();
+        const std::vector<double> w_batch =
+            rbf::batchRidgeWeights(bases, sx, sy, ridge);
+        ASSERT_EQ(w_inc.size(), m);
+        ASSERT_EQ(w_batch.size(), m);
+
+        // Determinism: the same fold order is bit-identical.
+        const std::vector<double> w_again = refold.solve();
+        ASSERT_EQ(std::memcmp(w_inc.data(), w_again.data(),
+                              m * sizeof(double)),
+                  0)
+            << "trial " << trial;
+
+        // The documented norm-wise bound, with kappa(G) estimated by
+        // the Gershgorin row sums of the accumulated Gram matrix.
+        std::vector<double> gram(m * m, 0.0);
+        std::vector<double> h(m);
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t j = 0; j < m; ++j)
+                h[j] = bases[j].evaluate(sx[p]);
+            for (std::size_t r = 0; r < m; ++r)
+                for (std::size_t c = 0; c < m; ++c)
+                    gram[r * m + c] += h[r] * h[c];
+        }
+        double gersh = 0.0;
+        for (std::size_t r = 0; r < m; ++r) {
+            double row = ridge;
+            for (std::size_t c = 0; c < m; ++c)
+                row += std::abs(gram[r * m + c]);
+            gersh = std::max(gersh, row);
+        }
+        const double kappa = (gersh + ridge) / ridge;
+        double w_inf = 0.0;
+        for (double w : w_batch)
+            w_inf = std::max(w_inf, std::abs(w));
+        const double tol = rbf::kIncrementalUlpFactor * kappa *
+                           DBL_EPSILON * (w_inf + 1.0);
+        for (std::size_t j = 0; j < m; ++j) {
+            const double err = std::abs(w_inc[j] - w_batch[j]);
+            ASSERT_LE(err, tol)
+                << "trial " << trial << " weight " << j << ": inc "
+                << w_inc[j] << " batch " << w_batch[j] << " (m=" << m
+                << " n=" << n << " dims=" << dims << ")";
+            worst_ratio = std::max(worst_ratio, err / tol);
+        }
+    }
+    // The factor should have real headroom; a choldate bug lands
+    // orders of magnitude past 1.0, not at 1.0001.
+    EXPECT_LT(worst_ratio, 0.5)
+        << "incremental solve is drifting toward the contract edge";
+}
+
+TEST(IncrementalFit, PredictAndNetworkAgreeWithSolve)
+{
+    math::Rng rng(99);
+    const std::vector<rbf::GaussianBasis> bases =
+        randomBases(rng, 3, 5);
+    rbf::IncrementalFit fit(bases);
+    for (int i = 0; i < 12; ++i) {
+        dspace::UnitPoint x{rng.uniform(), rng.uniform(),
+                            rng.uniform()};
+        fit.fold(x, rng.uniform(-1.0, 1.0));
+    }
+    const std::vector<double> w = fit.solve();
+    const rbf::RbfNetwork net = fit.network();
+    ASSERT_EQ(net.weights().size(), w.size());
+    EXPECT_EQ(std::memcmp(net.weights().data(), w.data(),
+                          w.size() * sizeof(double)),
+              0);
+    const dspace::UnitPoint probe{0.3, 0.6, 0.9};
+    EXPECT_DOUBLE_EQ(fit.predict(probe), fit.predictWith(w, probe));
+    // network() shares the weights bit-for-bit (asserted above), but
+    // RbfNetwork::predict dispatches the host's SIMD kernel while the
+    // fit pins the scalar one — equal only to a few ulps.
+    EXPECT_NEAR(net.predict(probe), fit.predictWith(w, probe),
+                1e-12 * std::abs(fit.predictWith(w, probe)) + 1e-15);
+}
+
+TEST(IncrementalFit, RejectsInvalidArguments)
+{
+    math::Rng rng(7);
+    const std::vector<rbf::GaussianBasis> bases =
+        randomBases(rng, 2, 3);
+    EXPECT_THROW(rbf::IncrementalFit(bases, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(rbf::IncrementalFit(bases, -1e-9),
+                 std::invalid_argument);
+    rbf::IncrementalFit fit(bases);
+    EXPECT_THROW(fit.predictWith({1.0}, dspace::UnitPoint{0.5, 0.5}),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// ArchiveTailer (satellite 5: partial-flush tolerance + regression)
+// ---------------------------------------------------------------------
+
+TEST(ArchiveTailer, TailsRecordsAcrossPolls)
+{
+    const fs::path dir = uniqueDir("tail_basic");
+    const std::string path = (dir / "a.ppma").string();
+    const Key k1{1'000'000, 2'000'000};
+    const Key k2{3'000'000, 4'000'000};
+    const Key k3{5'500'000, 6'500'000};
+    {
+        serve::ResultArchive ar(path, ctx());
+        ar.append(k1, 1.25);
+        ar.append(k2, 2.5);
+    }
+    serve::ArchiveTailer tailer(path, ctx());
+    auto got = tailer.poll();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].key, k1);
+    EXPECT_EQ(got[0].value, 1.25);
+    EXPECT_EQ(got[1].key, k2);
+    EXPECT_EQ(got[1].value, 2.5);
+    EXPECT_EQ(got[1].end_offset, fs::file_size(path));
+    EXPECT_EQ(tailer.offset(), fs::file_size(path));
+    EXPECT_TRUE(tailer.poll().empty());
+
+    {
+        serve::ResultArchive ar(path, ctx());
+        EXPECT_EQ(ar.recordsLoaded(), 2u);
+        ar.append(k3, -0.75);
+    }
+    got = tailer.poll();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].key, k3);
+    EXPECT_EQ(got[0].value, -0.75);
+    EXPECT_EQ(tailer.records(), 3u);
+    EXPECT_EQ(tailer.retries(), 0u);
+    fs::remove_all(dir);
+}
+
+TEST(ArchiveTailer, SlowWriterPartialRecordRetriesUntilComplete)
+{
+    // Regression for the tail-reader vs concurrent-writer race: a
+    // reader may observe any byte prefix of an in-flight append. The
+    // raw bytes of the second record are recovered by diffing two
+    // archives that share their first record, then replayed onto a
+    // copy one byte at a time; every prefix must poll empty (retry),
+    // never throw, and never surface a garbage record.
+    const fs::path dir = uniqueDir("tail_slow");
+    const std::string one = (dir / "one.ppma").string();
+    const std::string two = (dir / "two.ppma").string();
+    const Key k1{1'000'000};
+    const Key k2{2'000'000, -3'000'000, 4'000'000};
+    {
+        serve::ResultArchive ar(one, ctx());
+        ar.append(k1, 1.0);
+    }
+    {
+        serve::ResultArchive ar(two, ctx());
+        ar.append(k1, 1.0);
+        ar.append(k2, 2.5);
+    }
+    const std::vector<std::uint8_t> short_bytes = fileBytes(one);
+    const std::vector<std::uint8_t> long_bytes = fileBytes(two);
+    ASSERT_GT(long_bytes.size(), short_bytes.size());
+    ASSERT_EQ(std::memcmp(long_bytes.data(), short_bytes.data(),
+                          short_bytes.size()),
+              0)
+        << "archives with identical prefixes must share bytes";
+
+    const std::string live = (dir / "live.ppma").string();
+    fs::copy_file(one, live);
+    serve::ArchiveTailer tailer(live, ctx());
+    ASSERT_EQ(tailer.poll().size(), 1u);
+    const std::uint64_t consumed = tailer.offset();
+
+    const int fd = ::open(live.c_str(), O_WRONLY | O_APPEND);
+    ASSERT_GE(fd, 0);
+    for (std::size_t i = short_bytes.size(); i < long_bytes.size();
+         ++i) {
+        ASSERT_EQ(::write(fd, &long_bytes[i], 1), 1);
+        const auto got = tailer.poll();
+        if (i + 1 < long_bytes.size()) {
+            EXPECT_TRUE(got.empty())
+                << "partial record surfaced at byte " << i + 1;
+            EXPECT_EQ(tailer.offset(), consumed)
+                << "offset advanced into a partial record";
+        } else {
+            ASSERT_EQ(got.size(), 1u);
+            EXPECT_EQ(got[0].key, k2);
+            EXPECT_EQ(got[0].value, 2.5);
+        }
+    }
+    ::close(fd);
+    EXPECT_EQ(tailer.records(), 2u);
+    EXPECT_GT(tailer.retries(), 0u);
+    EXPECT_EQ(tailer.offset(), long_bytes.size());
+    fs::remove_all(dir);
+}
+
+TEST(ArchiveTailer, CorruptTailWaitsForOwnerTruncation)
+{
+    const fs::path dir = uniqueDir("tail_corrupt");
+    const std::string path = (dir / "a.ppma").string();
+    const Key k1{1'000'000};
+    const Key k2{2'000'000};
+    const Key k3{3'000'000};
+    {
+        serve::ResultArchive ar(path, ctx());
+        ar.append(k1, 1.0);
+        ar.append(k2, 2.0);
+    }
+    // Flip the last byte (inside record 2's CRC): a torn read and a
+    // genuinely corrupt tail are indistinguishable to a reader, so
+    // the tailer must wait, not consume or "recover".
+    {
+        const auto size = fs::file_size(path);
+        const int fd = ::open(path.c_str(), O_WRONLY);
+        ASSERT_GE(fd, 0);
+        std::uint8_t last = 0;
+        ASSERT_EQ(::pread(::open(path.c_str(), O_RDONLY), &last, 1,
+                          static_cast<off_t>(size - 1)),
+                  1);
+        last ^= 0xFF;
+        ASSERT_EQ(::pwrite(fd, &last, 1,
+                           static_cast<off_t>(size - 1)),
+                  1);
+        ::close(fd);
+    }
+    serve::ArchiveTailer tailer(path, ctx());
+    auto got = tailer.poll();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].key, k1);
+    EXPECT_TRUE(tailer.poll().empty());
+    EXPECT_GE(tailer.retries(), 2u);
+
+    // The owning archive truncates the corrupt tail on open and
+    // appends resume; the tailer picks up cleanly from its offset.
+    {
+        serve::ResultArchive ar(path, ctx());
+        EXPECT_EQ(ar.recordsLoaded(), 1u);
+        EXPECT_EQ(ar.recordsSkipped(), 1u);
+        ar.append(k3, 3.0);
+    }
+    got = tailer.poll();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].key, k3);
+    EXPECT_EQ(got[0].value, 3.0);
+    fs::remove_all(dir);
+}
+
+TEST(ArchiveTailer, ContextMismatchAndGarbageThrow)
+{
+    const fs::path dir = uniqueDir("tail_ctx");
+    const std::string path = (dir / "a.ppma").string();
+    {
+        serve::ResultArchive ar(path, ctx());
+        ar.append(Key{1'000'000}, 1.0);
+    }
+    serve::ArchiveTailer wrong(path, "mcf|t2000|w0|CPI");
+    EXPECT_THROW(wrong.poll(), serve::ArchiveError);
+
+    const std::string junk = (dir / "junk.bin").string();
+    {
+        std::ofstream out(junk, std::ios::binary);
+        for (int i = 0; i < 64; ++i)
+            out.put('\xAB');
+    }
+    serve::ArchiveTailer garbage(junk, ctx());
+    EXPECT_THROW(garbage.poll(), serve::ArchiveError);
+    fs::remove_all(dir);
+}
+
+TEST(ArchiveTailer, AbsentFileThenAppears)
+{
+    const fs::path dir = uniqueDir("tail_absent");
+    const std::string path = (dir / "late.ppma").string();
+    serve::ArchiveTailer tailer(path, ctx());
+    EXPECT_TRUE(tailer.poll().empty());
+    EXPECT_TRUE(tailer.poll().empty());
+    EXPECT_EQ(tailer.offset(), 0u);
+    {
+        serve::ResultArchive ar(path, ctx());
+        ar.append(Key{7'000'000}, 7.5);
+    }
+    const auto got = tailer.poll();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].value, 7.5);
+    fs::remove_all(dir);
+}
+
+TEST(ArchiveTailer, SeekResumesPastConsumedRecords)
+{
+    const fs::path dir = uniqueDir("tail_seek");
+    const std::string path = (dir / "a.ppma").string();
+    {
+        serve::ResultArchive ar(path, ctx());
+        ar.append(Key{1'000'000}, 1.0);
+        ar.append(Key{2'000'000}, 2.0);
+        ar.append(Key{3'000'000}, 3.0);
+    }
+    serve::ArchiveTailer first(path, ctx());
+    auto got = first.poll();
+    ASSERT_EQ(got.size(), 3u);
+    const std::uint64_t after_two = got[1].end_offset;
+
+    serve::ArchiveTailer resumed(path, ctx());
+    resumed.seek(after_two);
+    got = resumed.poll();
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].key, (Key{3'000'000}));
+    EXPECT_EQ(got[0].value, 3.0);
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// OnlineTrainer
+// ---------------------------------------------------------------------
+
+TEST(OnlineTrainer, FoldsUniqueAcrossOverlappingShardArchives)
+{
+    const fs::path dir = uniqueDir("overlap");
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    const auto points = uniquePoints(space, 15, 42);
+    {
+        serve::ResultArchive a((dir / "a.ppma").string(), ctx());
+        serve::ResultArchive b((dir / "b.ppma").string(), ctx());
+        for (std::size_t i = 0; i < 10; ++i)
+            a.append(makeKey(points[i]), truth(space, points[i]));
+        for (std::size_t i = 5; i < 15; ++i)
+            b.append(makeKey(points[i]), truth(space, points[i]));
+    }
+    train::OnlineTrainer trainer(space, baseOptions());
+    trainer.addArchive((dir / "a.ppma").string());
+    trainer.addArchive((dir / "b.ppma").string());
+    EXPECT_EQ(trainer.step(), 15u)
+        << "the 5 overlapping points must fold exactly once";
+    EXPECT_EQ(trainer.folds(), 15u);
+    EXPECT_TRUE(trainer.hasModel());
+    EXPECT_EQ(trainer.refits(), 1u);
+    EXPECT_GE(trainer.cvError(), 0.0);
+    EXPECT_EQ(trainer.step(), 0u);
+    EXPECT_EQ(trainer.refits(), 1u);
+    EXPECT_EQ(trainer.publishes(), 0u); // no out_path configured
+    fs::remove_all(dir);
+}
+
+TEST(OnlineTrainer, SnapshotBitIdenticalForOneVsFourShardArchives)
+{
+    // The canonical (sorted-key) fold order makes the published bytes
+    // a function of the point *set*: one archive in insertion order
+    // and four archives with a scrambled interleave must publish
+    // byte-identical snapshots.
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    const auto points = uniquePoints(space, 24, 7);
+
+    const auto publish = [&](const std::string &tag, int shards,
+                             std::uint64_t scramble) {
+        const fs::path dir = uniqueDir("det_" + tag);
+        {
+            std::vector<std::unique_ptr<serve::ResultArchive>> ars;
+            for (int s = 0; s < shards; ++s)
+                ars.push_back(std::make_unique<serve::ResultArchive>(
+                    (dir / ("s" + std::to_string(s) + ".ppma"))
+                        .string(),
+                    ctx()));
+            std::vector<std::size_t> order(points.size());
+            std::iota(order.begin(), order.end(), 0);
+            math::Rng rng(scramble);
+            for (std::size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.uniformInt(i)]);
+            for (std::size_t n = 0; n < order.size(); ++n) {
+                const auto &p = points[order[n]];
+                ars[n % shards]->append(makeKey(p), truth(space, p));
+            }
+        }
+        train::OnlineTrainerOptions opts = baseOptions();
+        opts.out_path = (dir / "model.ppmm").string();
+        opts.model_version = 7;
+        train::OnlineTrainer trainer(space, opts);
+        for (int s = 0; s < shards; ++s)
+            trainer.addArchive(
+                (dir / ("s" + std::to_string(s) + ".ppma")).string());
+        EXPECT_EQ(trainer.step(), points.size());
+        EXPECT_EQ(trainer.publishes(), 1u);
+        EXPECT_EQ(trainer.modelVersion(), 7u);
+        return dir;
+    };
+
+    const fs::path one = publish("one", 1, 1001);
+    const fs::path four = publish("four", 4, 2002);
+    const auto bytes_one = fileBytes(one / "model.ppmm");
+    const auto bytes_four = fileBytes(four / "model.ppmm");
+    ASSERT_FALSE(bytes_one.empty());
+    ASSERT_EQ(bytes_one.size(), bytes_four.size());
+    EXPECT_EQ(std::memcmp(bytes_one.data(), bytes_four.data(),
+                          bytes_one.size()),
+              0)
+        << "shard layout leaked into the published snapshot";
+
+    const serve::ModelSnapshot snap =
+        serve::loadSnapshot((one / "model.ppmm").string());
+    EXPECT_EQ(snap.model_version, 7u);
+    EXPECT_EQ(snap.train_points, points.size());
+    EXPECT_EQ(snap.benchmark, "twolf");
+    fs::remove_all(one);
+    fs::remove_all(four);
+}
+
+TEST(OnlineTrainer, StateResumeNeverRereadsConsumedBytes)
+{
+    const fs::path dir = uniqueDir("resume");
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    const auto points = uniquePoints(space, 15, 99);
+    const std::string archive = (dir / "a.ppma").string();
+    {
+        serve::ResultArchive ar(archive, ctx());
+        for (std::size_t i = 0; i < 12; ++i)
+            ar.append(makeKey(points[i]), truth(space, points[i]));
+    }
+    train::OnlineTrainerOptions opts = baseOptions();
+    opts.state_path = (dir / "trainer.state").string();
+    opts.out_path = (dir / "model.ppmm").string();
+    {
+        train::OnlineTrainer trainer(space, opts);
+        trainer.addArchive(archive);
+        EXPECT_EQ(trainer.step(), 12u);
+        EXPECT_EQ(trainer.publishes(), 1u);
+        EXPECT_EQ(trainer.modelVersion(), 1u);
+    }
+    const std::uint64_t consumed = fs::file_size(archive);
+
+    // Fresh records land after the consumed region...
+    {
+        serve::ResultArchive ar(archive, ctx());
+        EXPECT_EQ(ar.recordsLoaded(), 12u);
+        for (std::size_t i = 12; i < 15; ++i)
+            ar.append(makeKey(points[i]), truth(space, points[i]));
+    }
+    // ...then the consumed record bytes are poisoned in place. A
+    // resumed trainer that re-read from the top would stall on the
+    // "partial" garbage forever; one that resumes from the persisted
+    // offset never touches these bytes.
+    {
+        const std::size_t header_end = 4 + 2 + 4 + ctx().size() + 4;
+        const int fd = ::open(archive.c_str(), O_WRONLY);
+        ASSERT_GE(fd, 0);
+        const std::vector<char> junk(
+            static_cast<std::size_t>(consumed) - header_end, '\xFF');
+        ASSERT_EQ(::pwrite(fd, junk.data(), junk.size(),
+                           static_cast<off_t>(header_end)),
+                  static_cast<ssize_t>(junk.size()));
+        ::close(fd);
+    }
+
+    train::OnlineTrainer resumed(space, opts);
+    EXPECT_EQ(resumed.folds(), 12u) << "state restore lost points";
+    EXPECT_TRUE(resumed.hasModel())
+        << "restart must rebuild the model from persisted points";
+    resumed.addArchive(archive);
+    EXPECT_EQ(resumed.step(), 3u)
+        << "resume must fold exactly the appended records";
+    EXPECT_EQ(resumed.folds(), 15u);
+    EXPECT_EQ(resumed.tailRetries(), 0u)
+        << "resume re-read already-consumed bytes";
+    EXPECT_GE(resumed.modelVersion(), 2u)
+        << "derived version must move past the persisted publish";
+    fs::remove_all(dir);
+}
+
+TEST(OnlineTrainer, CorruptOrForeignStateFileThrows)
+{
+    const fs::path dir = uniqueDir("badstate");
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    train::OnlineTrainerOptions opts = baseOptions();
+    opts.state_path = (dir / "trainer.state").string();
+    {
+        std::ofstream out(opts.state_path, std::ios::binary);
+        for (int i = 0; i < 64; ++i)
+            out.put('\xAB');
+    }
+    EXPECT_THROW(train::OnlineTrainer(space, opts),
+                 train::TrainerStateError);
+
+    // A valid state for a different oracle context must not load.
+    fs::remove(opts.state_path);
+    {
+        const auto pts = uniquePoints(space, 12, 5);
+        serve::ResultArchive ar((dir / "a.ppma").string(), ctx());
+        for (const auto &p : pts)
+            ar.append(makeKey(p), truth(space, p));
+        train::OnlineTrainer trainer(space, opts);
+        trainer.addArchive((dir / "a.ppma").string());
+        EXPECT_EQ(trainer.step(), 12u);
+    }
+    train::OnlineTrainerOptions other = opts;
+    other.benchmark = "mcf";
+    EXPECT_THROW(train::OnlineTrainer(space, other),
+                 train::TrainerStateError);
+    fs::remove_all(dir);
+}
+
+TEST(OnlineTrainer, GrowthTriggerRefitsAndVersionsMonotonically)
+{
+    const fs::path dir = uniqueDir("growth");
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    const auto points = uniquePoints(space, 24, 11);
+    const std::string archive = (dir / "a.ppma").string();
+    train::OnlineTrainerOptions opts = baseOptions();
+    opts.out_path = (dir / "model.ppmm").string();
+    opts.refit_growth = 2.0;
+
+    train::OnlineTrainer trainer(space, opts);
+    trainer.addArchive(archive);
+
+    const auto appendRange = [&](std::size_t lo, std::size_t hi) {
+        serve::ResultArchive ar(archive, ctx());
+        for (std::size_t i = lo; i < hi; ++i)
+            ar.append(makeKey(points[i]), truth(space, points[i]));
+    };
+
+    appendRange(0, 10); // first fit at min_train_points = 10
+    EXPECT_EQ(trainer.step(), 10u);
+    EXPECT_EQ(trainer.refits(), 1u);
+    EXPECT_EQ(trainer.publishes(), 1u);
+    EXPECT_EQ(trainer.modelVersion(), 1u);
+
+    appendRange(10, 20); // 20 >= 2.0 * 10: growth trigger
+    EXPECT_EQ(trainer.step(), 10u);
+    EXPECT_EQ(trainer.refits(), 2u);
+    EXPECT_EQ(trainer.publishes(), 2u);
+    EXPECT_EQ(trainer.modelVersion(), 2u);
+
+    appendRange(20, 24); // 24 < 40: folds only, still republishes
+    EXPECT_EQ(trainer.step(), 4u);
+    EXPECT_EQ(trainer.refits(), 2u);
+    EXPECT_EQ(trainer.publishes(), 3u);
+    EXPECT_EQ(trainer.modelVersion(), 3u);
+    EXPECT_EQ(serve::loadSnapshot(opts.out_path).train_points, 24u);
+    fs::remove_all(dir);
+}
+
+TEST(OnlineTrainer, PrequentialErrorTriggerForcesRefit)
+{
+    const fs::path dir = uniqueDir("preq");
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    const auto points = uniquePoints(space, 16, 23);
+    const std::string archive = (dir / "a.ppma").string();
+    train::OnlineTrainerOptions opts = baseOptions();
+    opts.refit_growth = 100.0; // growth trigger out of the way
+    opts.refit_error_min = 4;
+    opts.refit_error_ratio = 2.0;
+
+    train::OnlineTrainer trainer(space, opts);
+    trainer.addArchive(archive);
+    {
+        serve::ResultArchive ar(archive, ctx());
+        for (std::size_t i = 0; i < 12; ++i)
+            ar.append(makeKey(points[i]), truth(space, points[i]));
+    }
+    EXPECT_EQ(trainer.step(), 12u);
+    EXPECT_EQ(trainer.refits(), 1u);
+
+    // Regime shift: the next points answer ~10x off the fitted
+    // surface, so the prequential (predict-before-fold) error blows
+    // past ratio * max(cv_error, floor) and forces re-selection.
+    {
+        serve::ResultArchive ar(archive, ctx());
+        for (std::size_t i = 12; i < 16; ++i)
+            ar.append(makeKey(points[i]),
+                      truth(space, points[i]) + 10.0);
+    }
+    EXPECT_EQ(trainer.step(), 4u);
+    EXPECT_EQ(trainer.refits(), 2u)
+        << "prequential error trigger did not fire";
+    EXPECT_EQ(trainer.prequentialError(), 0.0)
+        << "refit must reset the prequential window";
+    fs::remove_all(dir);
+}
+
+TEST(OnlineTrainer, DisarmedTrainerDefersPublishUntilArmed)
+{
+    const fs::path dir = uniqueDir("armed");
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    const auto points = uniquePoints(space, 12, 31);
+    const std::string archive = (dir / "a.ppma").string();
+    {
+        serve::ResultArchive ar(archive, ctx());
+        for (const auto &p : points)
+            ar.append(makeKey(p), truth(space, p));
+    }
+    train::OnlineTrainerOptions opts = baseOptions();
+    opts.out_path = (dir / "model.ppmm").string();
+    train::OnlineTrainer trainer(space, opts);
+    trainer.addArchive(archive);
+    trainer.setArmed(false);
+
+    EXPECT_EQ(trainer.step(), 12u);
+    EXPECT_TRUE(trainer.hasModel())
+        << "disarmed trainers keep training";
+    EXPECT_EQ(trainer.publishes(), 0u);
+    EXPECT_FALSE(fs::exists(opts.out_path))
+        << "disarmed trainer touched the snapshot";
+
+    trainer.setArmed(true);
+    EXPECT_EQ(trainer.step(), 0u) << "no fresh points needed";
+    EXPECT_EQ(trainer.publishes(), 1u);
+    const serve::ModelSnapshot snap =
+        serve::loadSnapshot(opts.out_path);
+    EXPECT_EQ(snap.model_version, 1u);
+    EXPECT_EQ(snap.train_points, 12u);
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Adaptive acquisition bandwidth (PR 3 leftover)
+// ---------------------------------------------------------------------
+
+TEST(AdaptedKernelBandwidth, ContractsWithSampleGrowth)
+{
+    const double base9 = 0.25 * std::sqrt(9.0);
+    EXPECT_DOUBLE_EQ(sampling::adaptedKernelBandwidth(9, 0), base9);
+    EXPECT_DOUBLE_EQ(sampling::adaptedKernelBandwidth(9, 16), base9);
+    EXPECT_DOUBLE_EQ(
+        sampling::adaptedKernelBandwidth(9, 32),
+        std::pow(16.0 / 32.0, 1.0 / 9.0) * base9);
+
+    // Monotone non-increasing past the reference occupancy.
+    double prev = sampling::adaptedKernelBandwidth(9, 16);
+    for (std::size_t n = 17; n <= 4096; n += 7) {
+        const double bw = sampling::adaptedKernelBandwidth(9, n);
+        EXPECT_LE(bw, prev) << "n=" << n;
+        EXPECT_GT(bw, 0.0);
+        prev = bw;
+    }
+    // Floored at a fifth of the base scale.
+    EXPECT_DOUBLE_EQ(
+        sampling::adaptedKernelBandwidth(9, 1'000'000'000),
+        0.2 * base9);
+    // Dimension guard.
+    EXPECT_DOUBLE_EQ(sampling::adaptedKernelBandwidth(0, 4),
+                     0.25 * std::sqrt(1.0));
+}
+
+TEST(AdaptedKernelBandwidth, FeedsDeterminantalDefault)
+{
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    math::Rng rng(5);
+    std::vector<dspace::UnitPoint> occupied;
+    for (int i = 0; i < 40; ++i)
+        occupied.push_back(space.toUnit(space.randomPoint(rng)));
+    sampling::BatchAcquisitionOptions opts;
+    opts.batch_size = 4;
+    opts.candidate_pool = 64;
+    opts.kernel_bandwidth = 0.0; // adapted default
+    const auto batch = sampling::acquireBatch(
+        sampling::BatchStrategy::Determinantal, space, occupied,
+        [](const dspace::UnitPoint &) { return 0.0; }, opts, rng);
+    EXPECT_EQ(batch.points.size(), 4u);
+    EXPECT_GT(batch.stats.batch_min_distance, 0.0)
+        << "adapted bandwidth should still repel duplicate picks";
+}
+
+} // namespace

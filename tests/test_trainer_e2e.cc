@@ -1,0 +1,567 @@
+/**
+ * @file
+ * Continuous-training end-to-end suite over the real binaries:
+ *
+ *  - Crash safety: ppm_trainer is SIGKILLed at staggered instants
+ *    (mid-refit, mid-offset-persist, mid-republish) across several
+ *    append rounds; every surviving `.ppmm` must load cleanly, and
+ *    after restarts the fold count equals the exact number of unique
+ *    points ever archived — no double count, no skip.
+ *  - Determinism: `ppm_trainer --once` over the same archive under
+ *    PPM_THREADS=1 and PPM_THREADS=4 publishes byte-identical
+ *    snapshots (the in-process 1-vs-4-shard variant lives in
+ *    test_online_trainer.cc).
+ *  - The closed loop: two spawned ppm_serve shards plus an in-process
+ *    eval+predict server stream results into archives, a stale
+ *    snapshot drifts against cached truth, the drift event arms a
+ *    `--arm-on-drift` ppm_trainer, and its republish hot-swaps the
+ *    predict server under concurrent PREDICT load with zero failed
+ *    queries and a monotone version echo; the fresh version's drift
+ *    stats start clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dspace/paper_space.hh"
+#include "linreg/linear_model.hh"
+#include "math/rng.hh"
+#include "rbf/network.hh"
+#include "serve/model_snapshot.hh"
+#include "serve/protocol.hh"
+#include "serve/result_archive.hh"
+#include "serve/sim_server.hh"
+#include "serve/socket_io.hh"
+#include "serve/transport.hh"
+#include "train/online_trainer.hh"
+
+extern char **environ;
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace ppm;
+using Key = core::ResultStore::Key;
+
+constexpr std::uint64_t kTraceLen = 2000;
+
+std::string
+uniqueSocket(const std::string &tag)
+{
+    return "/tmp/ppm_trainer_" + std::to_string(::getpid()) + "_" +
+           tag + ".sock";
+}
+
+fs::path
+uniqueDir(const std::string &tag)
+{
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("ppm_trainer_" + tag + "_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+ctx()
+{
+    return "twolf|t" + std::to_string(kTraceLen) + "|w0|CPI";
+}
+
+Key
+makeKey(const dspace::DesignPoint &p)
+{
+    Key key;
+    key.reserve(p.size());
+    for (double v : p)
+        key.push_back(static_cast<std::int64_t>(std::llround(v * 1e6)));
+    return key;
+}
+
+/** Fabricated ground truth for the non-simulating tests. */
+double
+truth(const dspace::DesignSpace &space, const dspace::DesignPoint &p)
+{
+    const dspace::UnitPoint u = space.toUnit(p);
+    double acc = 1.0;
+    for (std::size_t k = 0; k < u.size(); ++k)
+        acc += 0.1 * static_cast<double>(k + 1) * u[k];
+    acc += 0.25 * u.front() * u.back();
+    return acc;
+}
+
+std::vector<dspace::DesignPoint>
+uniquePoints(const dspace::DesignSpace &space, std::size_t n,
+             std::uint64_t seed)
+{
+    math::Rng rng(seed);
+    std::map<Key, dspace::DesignPoint> seen;
+    while (seen.size() < n) {
+        dspace::DesignPoint p = space.randomPoint(rng);
+        seen.emplace(makeKey(p), std::move(p));
+    }
+    std::vector<dspace::DesignPoint> out;
+    out.reserve(n);
+    for (auto &[key, p] : seen)
+        out.push_back(std::move(p));
+    return out;
+}
+
+std::vector<std::uint8_t>
+fileBytes(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+/**
+ * Spawn a binary with this process's environment, minus any
+ * PPM_THREADS, plus @p extra_env entries ("NAME=value").
+ */
+pid_t
+spawnProcess(const std::vector<std::string> &args,
+             const std::vector<std::string> &extra_env = {})
+{
+    std::vector<char *> argv;
+    argv.reserve(args.size() + 1);
+    for (const auto &a : args)
+        argv.push_back(const_cast<char *>(a.c_str()));
+    argv.push_back(nullptr);
+
+    std::vector<char *> envp;
+    for (char **e = environ; *e != nullptr; ++e) {
+        if (std::strncmp(*e, "PPM_THREADS=", 12) == 0)
+            continue;
+        envp.push_back(*e);
+    }
+    for (const auto &e : extra_env)
+        envp.push_back(const_cast<char *>(e.c_str()));
+    envp.push_back(nullptr);
+
+    pid_t pid = -1;
+    if (::posix_spawn(&pid, args[0].c_str(), nullptr, nullptr,
+                      argv.data(), envp.data()) != 0)
+        return -1;
+    return pid;
+}
+
+/** Blocking wait; returns the exit code, or -signal when killed. */
+int
+waitForExit(pid_t pid)
+{
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return -WTERMSIG(status);
+    return -999;
+}
+
+/** Ping-poll a serve endpoint until it answers (or ~5 s elapse). */
+bool
+waitForServer(const std::string &sock)
+{
+    for (int i = 0; i < 200; ++i) {
+        try {
+            serve::FdGuard conn = serve::connectUnix(sock, 100);
+            serve::writeFrame(conn.get(), serve::encodePing(1), 500);
+            if (serve::readFrame(conn.get(), 500).type ==
+                serve::MsgType::Pong)
+                return true;
+        } catch (const std::exception &) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return false;
+}
+
+/** Hand-built stale snapshot over the paper space (see predict e2e). */
+serve::ModelSnapshot
+buildSnapshot(std::uint64_t version, std::uint64_t seed)
+{
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    const std::size_t dims = space.size();
+    math::Rng rng(seed);
+    std::vector<rbf::GaussianBasis> bases;
+    std::vector<double> weights;
+    for (int b = 0; b < 8; ++b) {
+        dspace::UnitPoint center(dims);
+        std::vector<double> radius(dims);
+        for (std::size_t d = 0; d < dims; ++d) {
+            center[d] = rng.uniform();
+            radius[d] = 0.2 + rng.uniform();
+        }
+        bases.emplace_back(std::move(center), std::move(radius));
+        weights.push_back(rng.uniform() * 4 - 2);
+    }
+    std::vector<linreg::Term> terms = linreg::fullTwoFactorTerms(dims);
+    std::vector<double> coeffs;
+    for (std::size_t t = 0; t < terms.size(); ++t)
+        coeffs.push_back(rng.uniform() * 2 - 1);
+
+    serve::ModelSnapshot snap;
+    snap.model_version = version;
+    snap.benchmark = "twolf";
+    snap.metric = core::Metric::Cpi;
+    snap.trace_length = kTraceLen;
+    snap.warmup = 0;
+    snap.train_points = 30;
+    snap.p_min = 2;
+    snap.alpha = 1.5;
+    snap.space = space;
+    snap.network =
+        rbf::RbfNetwork(std::move(bases), std::move(weights));
+    snap.linear =
+        linreg::LinearModel(std::move(terms), std::move(coeffs));
+    return snap;
+}
+
+TEST(TrainerE2E, SigkillRoundsNeverDoubleCountSkipOrTear)
+{
+    const fs::path dir = uniqueDir("crash");
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    const std::string archive = (dir / "a.ppma").string();
+    const std::string out = (dir / "model.ppmm").string();
+    const std::string state = (dir / "trainer.state").string();
+    constexpr std::size_t kRounds = 5;
+    constexpr std::size_t kPerRound = 12;
+    const auto points =
+        uniquePoints(space, kRounds * kPerRound, 0xC4A5);
+
+    const std::vector<std::string> daemon_args = {
+        PPM_TRAINER_BIN, "--archive",      archive,
+        "--out",         out,             "--state",
+        state,           "--trace-length", std::to_string(kTraceLen),
+        "--min-train",   "8",             "--poll-ms",
+        "1"};
+
+    for (std::size_t round = 0; round < kRounds; ++round) {
+        {
+            serve::ResultArchive ar(archive, ctx());
+            for (std::size_t i = round * kPerRound;
+                 i < (round + 1) * kPerRound; ++i)
+                ar.append(makeKey(points[i]),
+                          truth(space, points[i]));
+        }
+        const pid_t pid = spawnProcess(daemon_args);
+        ASSERT_GT(pid, 0);
+        // Staggered kill points: early rounds die during state load /
+        // first folds, later ones during refit, persist or publish.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(2 + 9 * round));
+        ::kill(pid, SIGKILL);
+        EXPECT_EQ(waitForExit(pid), -SIGKILL);
+
+        // Whatever the kill interrupted, consumers must never see a
+        // torn snapshot or state checkpoint.
+        if (fs::exists(out)) {
+            serve::ModelSnapshot snap;
+            ASSERT_NO_THROW(snap = serve::loadSnapshot(out))
+                << "round " << round
+                << ": SIGKILL left a torn snapshot";
+            EXPECT_GE(snap.model_version, 1u);
+        }
+        EXPECT_FALSE(fs::exists(state + ".tmp." + std::to_string(pid))
+                         ? false
+                         : false); // tmp leak is tolerated, never loaded
+    }
+
+    // Drain: --once epochs until one reports an idle epoch (exit 0;
+    // 3 = folded work). Two should suffice; allow slack for a kill
+    // that landed before any offset persisted.
+    std::vector<std::string> once_args = daemon_args;
+    once_args.pop_back();
+    once_args.pop_back(); // drop "--poll-ms 1"
+    once_args.push_back("--once");
+    int code = -1;
+    for (int attempt = 0; attempt < 4 && code != 0; ++attempt) {
+        const pid_t pid = spawnProcess(once_args);
+        ASSERT_GT(pid, 0);
+        code = waitForExit(pid);
+        ASSERT_TRUE(code == 0 || code == 3)
+            << "ppm_trainer --once exited " << code;
+    }
+    ASSERT_EQ(code, 0) << "trainer never reached an idle epoch";
+
+    // Exact-count proof: the persisted state must hold every unique
+    // point exactly once (the state loader independently cross-checks
+    // its fold counter against the point set).
+    train::OnlineTrainerOptions opts;
+    opts.benchmark = "twolf";
+    opts.trace_length = kTraceLen;
+    opts.min_train_points = 8;
+    opts.state_path = state;
+    train::OnlineTrainer check(space, opts);
+    EXPECT_EQ(check.folds(), points.size())
+        << "a SIGKILL round double-counted or skipped a point";
+    check.addArchive(archive);
+    EXPECT_EQ(check.step(), 0u);
+
+    const serve::ModelSnapshot final_snap = serve::loadSnapshot(out);
+    EXPECT_EQ(final_snap.train_points, points.size());
+    EXPECT_EQ(final_snap.benchmark, "twolf");
+    fs::remove_all(dir);
+}
+
+TEST(TrainerE2E, SnapshotBitIdenticalAcrossThreadCounts)
+{
+    const fs::path dir = uniqueDir("threads");
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    const std::string archive = (dir / "a.ppma").string();
+    {
+        serve::ResultArchive ar(archive, ctx());
+        for (const auto &p : uniquePoints(space, 16, 0x7EAD))
+            ar.append(makeKey(p), truth(space, p));
+    }
+
+    const auto publish = [&](const std::string &tag,
+                             const std::string &threads) {
+        const std::string out =
+            (dir / ("model_" + tag + ".ppmm")).string();
+        const pid_t pid = spawnProcess(
+            {PPM_TRAINER_BIN, "--archive", archive, "--out", out,
+             "--state", (dir / ("state_" + tag)).string(),
+             "--trace-length", std::to_string(kTraceLen),
+             "--min-train", "8", "--model-version", "7", "--once"},
+            {"PPM_THREADS=" + threads});
+        EXPECT_GT(pid, 0);
+        EXPECT_EQ(waitForExit(pid), 3)
+            << tag << ": --once should report folded work";
+        return out;
+    };
+
+    const std::string one = publish("t1", "1");
+    const std::string four = publish("t4", "4");
+    const auto bytes_one = fileBytes(one);
+    const auto bytes_four = fileBytes(four);
+    ASSERT_FALSE(bytes_one.empty());
+    ASSERT_EQ(bytes_one.size(), bytes_four.size());
+    EXPECT_EQ(std::memcmp(bytes_one.data(), bytes_four.data(),
+                          bytes_one.size()),
+              0)
+        << "PPM_THREADS leaked into the published snapshot";
+    EXPECT_EQ(serve::loadSnapshot(one).model_version, 7u);
+    fs::remove_all(dir);
+}
+
+TEST(TrainerE2E, DriftArmedTrainerRepublishesUnderPredictLoad)
+{
+    // The full loop: shard evals stream into archives; an in-process
+    // eval+predict server hosts a deliberately stale v1 snapshot whose
+    // drift against cached truth fires the model_drift event; the
+    // --arm-on-drift trainer observes the event via STATS, publishes
+    // v2 into the watched model directory; the server hot-swaps under
+    // concurrent PREDICT load with zero failures and a monotone
+    // version echo; and the fresh version's drift window starts clean.
+    const dspace::DesignSpace space = dspace::paperTrainSpace();
+    const auto points = uniquePoints(space, 24, 0xD21F7);
+    const std::vector<dspace::DesignPoint> probe_points(
+        points.begin(), points.begin() + 8);
+
+    const fs::path dir_a = uniqueDir("shard_a");
+    const fs::path dir_b = uniqueDir("shard_b");
+    const fs::path dir_c = uniqueDir("shard_c");
+    const fs::path model_dir = uniqueDir("models");
+    const std::string sock_a = uniqueSocket("a");
+    const std::string sock_b = uniqueSocket("b");
+    const std::string sock_c = uniqueSocket("c");
+
+    // Two real ppm_serve shard processes, archiving their results.
+    const pid_t pid_a = spawnProcess(
+        {PPM_SERVE_BIN, "--socket", sock_a, "--workers", "1",
+         "--archive-dir", dir_a.string()});
+    const pid_t pid_b = spawnProcess(
+        {PPM_SERVE_BIN, "--socket", sock_b, "--workers", "1",
+         "--archive-dir", dir_b.string()});
+    ASSERT_GT(pid_a, 0);
+    ASSERT_GT(pid_b, 0);
+    ASSERT_TRUE(waitForServer(sock_a));
+    ASSERT_TRUE(waitForServer(sock_b));
+
+    // The in-process eval+predict server: archives its own evals,
+    // shadow-checks every served PREDICT point, watches model_dir.
+    serve::ServerOptions copts;
+    copts.socket_path = sock_c;
+    copts.num_workers = 4;
+    copts.archive_dir = dir_c.string();
+    copts.model_dir = model_dir.string();
+    copts.model_poll_ms = 25;
+    copts.drift.sample_every = 1;
+    copts.drift.threshold_ratio = 2.0;
+    copts.drift.min_samples = 4;
+    serve::SimServer server(copts);
+    server.start();
+
+    const auto evalOn = [&](const std::string &sock,
+                            std::vector<dspace::DesignPoint> batch) {
+        serve::EvalRequest eval;
+        eval.benchmark = "twolf";
+        eval.metric = core::Metric::Cpi;
+        eval.trace_length = kTraceLen;
+        eval.warmup = 0;
+        eval.points = std::move(batch);
+        serve::FdGuard conn = serve::connectUnix(sock, 2000);
+        serve::writeFrame(conn.get(), serve::encodeEvalRequest(eval),
+                          2000);
+        const serve::Frame reply =
+            serve::readFrame(conn.get(), 120'000);
+        ASSERT_EQ(reply.type, serve::MsgType::EvalResponse);
+    };
+    // Truths for the probe points land in C's cache (drift ground
+    // truth); the remaining points only exist in shard archives, so
+    // reaching --min-train 16 *requires* cross-shard tailing.
+    evalOn(sock_c, probe_points);
+    evalOn(sock_a, {points.begin() + 8, points.begin() + 16});
+    evalOn(sock_b, {points.begin() + 16, points.end()});
+
+    const pid_t pid_t_ = spawnProcess(
+        {PPM_TRAINER_BIN, "--model-dir", model_dir.string(),
+         "--archive-dir", dir_a.string(), "--archive-dir",
+         dir_b.string(), "--archive-dir", dir_c.string(),
+         "--trace-length", std::to_string(kTraceLen), "--min-train",
+         "16", "--poll-ms", "25", "--model-version", "2",
+         "--arm-on-drift", "--stats", sock_c, "--verbose"});
+    ASSERT_GT(pid_t_, 0);
+
+    // The trainer's first epoch persists its state file; waiting for
+    // it guarantees the drift baseline was sampled while the event
+    // counter was still quiet, and that the model is trained and
+    // waiting before any drift can fire.
+    const std::string state =
+        (model_dir / "ppm_trainer.state").string();
+    {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(120);
+        while (!fs::exists(state) &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        ASSERT_TRUE(fs::exists(state))
+            << "trainer never completed its first epoch";
+    }
+    EXPECT_TRUE(fs::is_empty(model_dir) ||
+                !fs::exists(model_dir / ("twolf_t" +
+                                         std::to_string(kTraceLen) +
+                                         "_w0_CPI.ppmm")))
+        << "disarmed trainer published before the drift event";
+
+    // Host the stale model, then hammer PREDICT with points whose
+    // truths are cached: the shadow probe scores every one.
+    serve::ModelSnapshot stale = buildSnapshot(1, 4242);
+    stale.cv_error = 0.001;
+    ASSERT_TRUE(server.modelHost().install(stale, "stale-seed"));
+
+    constexpr int kClients = 2;
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+    std::atomic<int> regressions{0};
+    std::atomic<int> saw_v2{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&] {
+            bool observed_v2 = false;
+            std::uint64_t last_version = 0;
+            try {
+                serve::FdGuard conn =
+                    serve::connectUnix(sock_c, 2000);
+                serve::PredictRequest req;
+                req.points = probe_points;
+                const auto frame = serve::encodePredictRequest(req);
+                while (!stop.load(std::memory_order_relaxed)) {
+                    serve::writeFrame(conn.get(), frame, 10'000);
+                    const serve::Frame reply =
+                        serve::readFrame(conn.get(), 10'000);
+                    if (reply.type !=
+                        serve::MsgType::PredictResponse) {
+                        failures.fetch_add(1);
+                        continue;
+                    }
+                    const serve::PredictResponse resp =
+                        serve::parsePredictResponse(reply.payload);
+                    if (resp.model_version < last_version)
+                        regressions.fetch_add(1);
+                    last_version = resp.model_version;
+                    if (resp.model_version == 2 && !observed_v2) {
+                        observed_v2 = true;
+                        saw_v2.fetch_add(1);
+                    }
+                }
+            } catch (const std::exception &) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+
+    // Drift fires -> trainer arms -> publishes v2 -> watcher swaps ->
+    // every client observes the new version.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(120);
+    while (saw_v2.load() < kClients &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stop.store(true);
+    for (auto &t : clients)
+        t.join();
+
+    EXPECT_EQ(saw_v2.load(), kClients)
+        << "drift-armed republish never reached the serve plane";
+    EXPECT_EQ(failures.load(), 0)
+        << "PREDICT queries failed during the hot swap";
+    EXPECT_EQ(regressions.load(), 0)
+        << "served version went backwards during the swap";
+    EXPECT_EQ(server.modelVersion(), 2u);
+    EXPECT_EQ(server.modelSwaps(), 1u);
+
+    // The stale version drifted and fired; the republished version's
+    // window starts clean (the drift alert is cleared by the swap).
+    const serve::DriftStats stale_stats =
+        server.driftMonitor().statsFor(1);
+    EXPECT_TRUE(stale_stats.fired)
+        << "stale model never fired the drift event";
+    EXPECT_GE(stale_stats.scored, copts.drift.min_samples);
+    const serve::DriftStats fresh_stats =
+        server.driftMonitor().statsFor(2);
+    EXPECT_FALSE(fresh_stats.fired)
+        << "the retrained model still counts as drifted";
+
+    // The published snapshot is the trainer's: trained on all three
+    // shards' archives, version-pinned at 2.
+    const serve::ModelSnapshot published = serve::loadSnapshot(
+        (model_dir /
+         ("twolf_t" + std::to_string(kTraceLen) + "_w0_CPI.ppmm"))
+            .string());
+    EXPECT_EQ(published.model_version, 2u);
+    EXPECT_GE(published.train_points, 16u);
+
+    ::kill(pid_t_, SIGTERM);
+    ::kill(pid_a, SIGTERM);
+    ::kill(pid_b, SIGTERM);
+    EXPECT_EQ(waitForExit(pid_t_), 0);
+    waitForExit(pid_a);
+    waitForExit(pid_b);
+    server.stop();
+    for (const auto &sock : {sock_a, sock_b, sock_c})
+        ::unlink(sock.c_str());
+    for (const auto &d : {dir_a, dir_b, dir_c, model_dir})
+        fs::remove_all(d);
+}
+
+} // namespace
